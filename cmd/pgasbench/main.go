@@ -1,0 +1,153 @@
+// Command pgasbench measures the raw one-sided communication substrate the
+// Scioto runtime runs on: operation latency, transfer bandwidth, atomic
+// throughput under contention, and collective scaling — the classic PGAS
+// microbenchmark suite, runnable on either transport.
+//
+// Usage:
+//
+//	pgasbench                       # dsim cluster calibration
+//	pgasbench -transport shm        # real shared-memory costs
+//	pgasbench -procs 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"scioto"
+	"scioto/internal/coll"
+	"scioto/internal/pgas"
+)
+
+func main() {
+	procs := flag.Int("procs", 8, "number of simulated processes")
+	transport := flag.String("transport", "dsim", "transport: shm or dsim")
+	iters := flag.Int("iters", 500, "operations per measurement")
+	flag.Parse()
+
+	cfg := scioto.Config{
+		Procs:     *procs,
+		Transport: scioto.Transport(*transport),
+		Seed:      1,
+		Latency:   3 * time.Microsecond,
+		PerByte:   time.Nanosecond,       // ~1 GB/s link
+		Occupancy: 600 * time.Nanosecond, // NIC serialization at hot targets
+	}
+	if *procs < 2 {
+		log.Fatal("pgasbench needs at least 2 processes")
+	}
+	err := scioto.Run(cfg, func(rt *scioto.Runtime) {
+		p := rt.Proc()
+		runLatency(p, *iters)
+		runBandwidth(p, *iters)
+		runAtomics(p, *iters)
+		runCollectives(p, *iters)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func report(p pgas.Proc, format string, args ...any) {
+	if p.Rank() == 0 {
+		fmt.Printf(format+"\n", args...)
+	}
+}
+
+// runLatency measures single-word operation latency, local vs. remote.
+func runLatency(p pgas.Proc, iters int) {
+	seg := p.AllocWords(1)
+	p.Barrier()
+	if p.Rank() == 0 {
+		t0 := p.Now()
+		for i := 0; i < iters; i++ {
+			p.Load64(0, seg, 0)
+		}
+		local := (p.Now() - t0) / time.Duration(iters)
+		t0 = p.Now()
+		for i := 0; i < iters; i++ {
+			p.Load64(1, seg, 0)
+		}
+		remote := (p.Now() - t0) / time.Duration(iters)
+		fmt.Printf("latency: local load %v, remote load %v (%.1fx)\n",
+			local, remote, float64(remote)/float64(local))
+	}
+	p.Barrier()
+}
+
+// runBandwidth measures effective transfer bandwidth across sizes.
+func runBandwidth(p pgas.Proc, iters int) {
+	const maxSize = 1 << 20
+	seg := p.AllocData(maxSize)
+	p.Barrier()
+	if p.Rank() == 0 {
+		fmt.Println("bandwidth (remote get):")
+		for _, size := range []int{64, 1 << 10, 16 << 10, 256 << 10, maxSize} {
+			buf := make([]byte, size)
+			reps := iters
+			if size >= 256<<10 {
+				reps = iters / 10
+				if reps == 0 {
+					reps = 1
+				}
+			}
+			t0 := p.Now()
+			for i := 0; i < reps; i++ {
+				p.Get(buf, 1, seg, 0)
+			}
+			d := p.Now() - t0
+			mbps := float64(size*reps) / d.Seconds() / 1e6
+			fmt.Printf("  %8dB: %10.1f MB/s (%v/op)\n", size, mbps, d/time.Duration(reps))
+		}
+	}
+	p.Barrier()
+}
+
+// runAtomics measures fetch-add throughput against one hot word vs. words
+// spread over all processes.
+func runAtomics(p pgas.Proc, iters int) {
+	seg := p.AllocWords(1)
+	p.Barrier()
+	t0 := p.Now()
+	for i := 0; i < iters; i++ {
+		p.FetchAdd64(0, seg, 0, 1) // hot: everyone targets rank 0
+	}
+	p.Barrier()
+	hot := p.Now() - t0
+	t0 = p.Now()
+	for i := 0; i < iters; i++ {
+		p.FetchAdd64((p.Rank()+i)%p.NProcs(), seg, 0, 1) // spread
+	}
+	p.Barrier()
+	spread := p.Now() - t0
+	total := int64(iters) * int64(p.NProcs())
+	report(p, "atomics: hot counter %.2f Mop/s, spread %.2f Mop/s",
+		float64(total)/hot.Seconds()/1e6, float64(total)/spread.Seconds()/1e6)
+}
+
+// runCollectives measures barrier and allreduce cost.
+func runCollectives(p pgas.Proc, iters int) {
+	c := coll.New(p, 8)
+	p.Barrier()
+	t0 := p.Now()
+	for i := 0; i < iters; i++ {
+		p.Barrier()
+	}
+	bar := (p.Now() - t0) / time.Duration(iters)
+	vec := make([]int64, 4)
+	reps := iters / 10
+	if reps == 0 {
+		reps = 1
+	}
+	t0 = p.Now()
+	for i := 0; i < reps; i++ {
+		for j := range vec {
+			vec[j] = int64(p.Rank() + i + j)
+		}
+		c.AllReduce(vec, coll.Sum)
+	}
+	ar := (p.Now() - t0) / time.Duration(reps)
+	report(p, "collectives (P=%d): barrier %v, 4-word allreduce %v", p.NProcs(), bar, ar)
+}

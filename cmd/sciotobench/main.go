@@ -1,0 +1,104 @@
+// Command sciotobench regenerates the paper's evaluation tables and
+// figures on the simulated machines.
+//
+// Usage:
+//
+//	sciotobench -exp all                 # every table and figure
+//	sciotobench -exp table1              # one experiment
+//	sciotobench -exp fig7 -quick         # reduced-size run
+//	sciotobench -exp ablations           # design-choice ablation studies
+//
+// Experiments: table1, fig4, fig5, fig6, fig7, fig8, ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"scioto/internal/bench"
+	"scioto/internal/tce"
+	"scioto/internal/uts"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|fig8|ablations|all")
+	quick := flag.Bool("quick", false, "reduced problem sizes and process counts")
+	flag.Parse()
+
+	want := func(name string) bool {
+		return *exp == "all" || *exp == name ||
+			(*exp == "fig5" && name == "fig6") || (*exp == "fig6" && name == "fig5")
+	}
+	ran := false
+	start := time.Now()
+
+	if want("table1") {
+		ran = true
+		emit(bench.Table1(bench.Table1Options{}))
+	}
+	if want("fig4") {
+		ran = true
+		ps := []int{1, 2, 4, 8, 16, 32, 64}
+		if *quick {
+			ps = []int{1, 2, 4, 8}
+		}
+		emit(bench.Fig4(ps, 10))
+	}
+	if want("fig5") || want("fig6") {
+		ran = true
+		o := bench.AppSweepOptions{}
+		if *quick {
+			o.Ps = []int{1, 2, 4, 8}
+			o.SCFAtoms = 32
+			o.SCFMaxIter = 2
+			o.TCEParams = tce.Params{NB: 12, BS: 4, Density: 0.35, Band: 1, Seed: 11}
+		}
+		sweep := bench.RunAppSweep(o)
+		if want("fig5") {
+			emit(sweep.Fig5())
+		}
+		if want("fig6") {
+			emit(sweep.Fig6())
+		}
+	}
+	if want("fig7") {
+		ran = true
+		ps := []int{1, 2, 4, 8, 16, 32, 64}
+		o := bench.UTSOptions{}
+		if *quick {
+			ps = []int{1, 2, 4, 8}
+			o.Tree = uts.TreeSmall
+		}
+		emit(bench.Fig7(ps, o))
+	}
+	if want("fig8") {
+		ran = true
+		ps := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+		o := bench.UTSOptions{}
+		if *quick {
+			ps = []int{1, 4, 16, 64}
+			o.Tree = uts.TreeSmall
+		}
+		emit(bench.Fig8(ps, o))
+	}
+	if want("ablations") {
+		ran = true
+		for _, t := range bench.Ablations(*quick) {
+			emit(t)
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table1|fig4|fig5|fig6|fig7|fig8|ablations|all)\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("total harness time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func emit(t *bench.Table) {
+	var b strings.Builder
+	t.Fprint(&b)
+	fmt.Print(b.String())
+}

@@ -1,0 +1,122 @@
+// Command uts runs the Unbalanced Tree Search benchmark on the simulated
+// machine with a selectable load balancer.
+//
+// Usage:
+//
+//	uts -procs 16 -lb scioto -kind geometric -depth 15 -seed 20
+//	uts -procs 64 -lb mpi -transport dsim
+//	uts -lb nosplit          # the locked-queue ablation
+//	uts -lb seq              # sequential enumeration only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"scioto"
+	"scioto/internal/core"
+	"scioto/internal/mpiws"
+	"scioto/internal/uts"
+)
+
+func main() {
+	procs := flag.Int("procs", 8, "number of simulated processes")
+	lb := flag.String("lb", "scioto", "load balancer: scioto|nosplit|mpi|seq")
+	transport := flag.String("transport", "dsim", "transport: shm or dsim")
+	kind := flag.String("kind", "geometric", "tree kind: geometric|binomial")
+	seed := flag.Int("seed", 29, "tree root seed")
+	depth := flag.Int("depth", 12, "geometric depth cutoff")
+	b0 := flag.Float64("b0", 2.0, "root/expected branching factor")
+	q := flag.Float64("q", 0.249999, "binomial child probability")
+	m := flag.Int("m", 4, "binomial children per interior node")
+	chunk := flag.Int("chunk", 10, "steal chunk size")
+	nodeCost := flag.Duration("nodecost", 316*time.Nanosecond, "modeled per-node cost")
+	limit := flag.Int64("limit", 1<<26, "abort if the tree exceeds this many nodes")
+	flag.Parse()
+
+	tree := uts.Params{RootSeed: *seed, B0: *b0, MaxDepth: *depth, Q: *q, M: *m}
+	switch *kind {
+	case "geometric":
+		tree.Kind = uts.Geometric
+	case "binomial":
+		tree.Kind = uts.Binomial
+	default:
+		fmt.Fprintf(os.Stderr, "unknown tree kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	t0 := time.Now()
+	seq, err := uts.Sequential(tree, *limit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tree: %d nodes, %d leaves, depth %d (enumerated in %v)\n",
+		seq.Nodes, seq.Leaves, seq.MaxDepth, time.Since(t0).Round(time.Millisecond))
+	if *lb == "seq" {
+		return
+	}
+
+	cfg := scioto.Config{
+		Procs:     *procs,
+		Transport: scioto.Transport(*transport),
+		Seed:      1,
+		Latency:   3 * time.Microsecond,
+	}
+	err = scioto.Run(cfg, func(rt *scioto.Runtime) {
+		p := rt.Proc()
+		p.Barrier()
+		start := p.Now()
+		var got uts.Stats
+		var detail string
+		switch *lb {
+		case "scioto", "nosplit":
+			mode := core.ModeSplit
+			if *lb == "nosplit" {
+				mode = core.ModeLocked
+			}
+			st, ts, err := uts.RunScioto(p, uts.DriverConfig{
+				Tree:        tree,
+				PerNodeCost: *nodeCost,
+				TC:          core.Config{ChunkSize: *chunk, MaxTasks: 1 << 16, QueueMode: mode},
+				MaxNodes:    *limit,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			got = st
+			detail = fmt.Sprintf("steals %d/%d, stolen %d, releases %d",
+				ts.StealsOK, ts.StealAttempts, ts.TasksStolen, ts.Releases)
+		case "mpi":
+			st, polls, err := mpiws.Run(p, mpiws.Config{
+				Tree:        tree,
+				PerNodeCost: *nodeCost,
+				Chunk:       *chunk,
+				MaxNodes:    *limit,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			got = st
+			detail = fmt.Sprintf("rank0 polls %d", polls)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown load balancer %q\n", *lb)
+			os.Exit(2)
+		}
+		p.Barrier()
+		if rt.Rank() == 0 {
+			if got != seq {
+				log.Fatalf("VERIFICATION FAILED: parallel %+v vs sequential %+v", got, seq)
+			}
+			d := p.Now() - start
+			fmt.Printf("%s on %d procs (%s): %v, %.2f Mnodes/s — verified; %s\n",
+				*lb, *procs, *transport, d.Round(time.Microsecond),
+				float64(got.Nodes)/d.Seconds()/1e6, detail)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

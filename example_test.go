@@ -1,0 +1,149 @@
+package scioto_test
+
+import (
+	"fmt"
+	"time"
+
+	"scioto"
+	"scioto/internal/pgas"
+)
+
+// The smallest complete program: four processes, one task collection, work
+// seeded on rank 0 and spread by stealing.
+func ExampleRun() {
+	cfg := scioto.Config{Procs: 4, Transport: scioto.TransportDSim, Seed: 42}
+	err := scioto.Run(cfg, func(rt *scioto.Runtime) {
+		tc := scioto.NewTC(rt, scioto.TCConfig{MaxBodySize: 8, ChunkSize: 5})
+		h := tc.Register(func(tc *scioto.TC, t *scioto.Task) {
+			tc.Proc().Compute(20 * time.Microsecond)
+		})
+		if rt.Rank() == 0 {
+			task := scioto.NewTask(h, 8)
+			for i := 0; i < 100; i++ {
+				if err := tc.Add(0, scioto.AffinityHigh, task); err != nil {
+					panic(err)
+				}
+			}
+		}
+		tc.Process()
+		g := tc.GlobalStats()
+		if rt.Rank() == 0 {
+			fmt.Printf("executed %d tasks on %d processes\n", g.TasksExecuted, rt.NProcs())
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: executed 100 tasks on 4 processes
+}
+
+// Tasks spawn subtasks: a binary tree of depth 4 unfolds dynamically and
+// termination is detected once the whole tree has been processed.
+func ExampleTC_Add_dynamicSpawning() {
+	cfg := scioto.Config{Procs: 3, Transport: scioto.TransportDSim, Seed: 7}
+	err := scioto.Run(cfg, func(rt *scioto.Runtime) {
+		tc := scioto.NewTC(rt, scioto.TCConfig{MaxBodySize: 8})
+		var h scioto.Handle
+		h = tc.Register(func(tc *scioto.TC, t *scioto.Task) {
+			depth := pgas.GetI64(t.Body())
+			if depth >= 4 {
+				return
+			}
+			child := scioto.NewTask(h, 8)
+			pgas.PutI64(child.Body(), depth+1)
+			for i := 0; i < 2; i++ {
+				if err := tc.Add(tc.Runtime().Rank(), scioto.AffinityHigh, child); err != nil {
+					panic(err)
+				}
+			}
+		})
+		if rt.Rank() == 0 {
+			root := scioto.NewTask(h, 8)
+			if err := tc.Add(0, scioto.AffinityHigh, root); err != nil {
+				panic(err)
+			}
+		}
+		tc.Process()
+		g := tc.GlobalStats()
+		if rt.Rank() == 0 {
+			fmt.Printf("tree of %d nodes processed\n", g.TasksExecuted)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: tree of 31 nodes processed
+}
+
+// Common local objects give tasks access to a per-process instance of a
+// registered object wherever they run — the mechanism for accumulating
+// node-local results.
+func ExampleRuntime_RegisterCLO() {
+	type tally struct{ n int }
+	cfg := scioto.Config{Procs: 2, Transport: scioto.TransportDSim, Seed: 1}
+	err := scioto.Run(cfg, func(rt *scioto.Runtime) {
+		cloH := rt.RegisterCLO(&tally{})
+		tc := scioto.NewTC(rt, scioto.TCConfig{MaxBodySize: 8})
+		h := tc.Register(func(tc *scioto.TC, t *scioto.Task) {
+			// Wherever this task executes, the handle resolves to that
+			// process's own tally.
+			tc.Runtime().CLO(cloH).(*tally).n++
+		})
+		task := scioto.NewTask(h, 8)
+		for i := 0; i < 5; i++ {
+			if err := tc.Add(rt.Rank(), scioto.AffinityHigh, task); err != nil {
+				panic(err)
+			}
+		}
+		tc.Process()
+		local := rt.CLO(cloH).(*tally).n
+		p := rt.Proc()
+		seg := p.AllocWords(1)
+		p.FetchAdd64(0, seg, 0, int64(local))
+		p.Barrier()
+		if rt.Rank() == 0 {
+			fmt.Printf("total across CLOs: %d\n", p.Load64(0, seg, 0))
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: total across CLOs: 10
+}
+
+// Deferred tasks run only after their dependencies are satisfied: a join
+// task waits for three precursors.
+func ExampleTC_AddDeferred() {
+	cfg := scioto.Config{Procs: 2, Transport: scioto.TransportDSim, Seed: 3}
+	err := scioto.Run(cfg, func(rt *scioto.Runtime) {
+		tc := scioto.NewTC(rt, scioto.TCConfig{
+			MaxBodySize: scioto.DepBytes,
+			MaxDeferred: 4,
+		})
+		joinH := tc.Register(func(tc *scioto.TC, t *scioto.Task) {
+			fmt.Println("join ran after all precursors")
+		})
+		preH := tc.Register(func(tc *scioto.TC, t *scioto.Task) {
+			tc.Satisfy(scioto.DecodeDep(t.Body()))
+		})
+		if rt.Rank() == 0 {
+			join := scioto.NewTask(joinH, scioto.DepBytes)
+			dep, err := tc.AddDeferred(scioto.AffinityHigh, join, 3)
+			if err != nil {
+				panic(err)
+			}
+			pre := scioto.NewTask(preH, scioto.DepBytes)
+			scioto.EncodeDep(pre.Body(), dep)
+			for i := 0; i < 3; i++ {
+				if err := tc.Add(i%2, scioto.AffinityLow, pre); err != nil {
+					panic(err)
+				}
+			}
+		}
+		tc.Process()
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: join ran after all precursors
+}

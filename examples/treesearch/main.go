@@ -1,0 +1,101 @@
+// Treesearch runs the Unbalanced Tree Search benchmark through the public
+// API on both load balancers — Scioto task collections and the MPI-style
+// work-stealing baseline — and reports throughput and steal statistics,
+// a miniature version of the paper's Figure 7 experiment.
+//
+// Run with:
+//
+//	go run ./examples/treesearch
+//	go run ./examples/treesearch -procs 16 -depth 15 -seed 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"scioto"
+	"scioto/internal/core"
+	"scioto/internal/mpiws"
+	"scioto/internal/uts"
+)
+
+func main() {
+	procs := flag.Int("procs", 8, "number of simulated processes")
+	depth := flag.Int("depth", 12, "geometric tree depth cutoff")
+	seed := flag.Int("seed", 29, "tree root seed")
+	b0 := flag.Float64("b0", 2.0, "expected branching factor")
+	flag.Parse()
+
+	tree := uts.Params{Kind: uts.Geometric, RootSeed: *seed, B0: *b0, MaxDepth: *depth}
+	seq, err := uts.Sequential(tree, 1<<24)
+	if err != nil {
+		log.Fatalf("tree too large: %v", err)
+	}
+	fmt.Printf("tree: %d nodes, %d leaves, depth %d\n", seq.Nodes, seq.Leaves, seq.MaxDepth)
+
+	cfg := scioto.Config{
+		Procs:     *procs,
+		Transport: scioto.TransportDSim, // virtual time: deterministic timing
+		Seed:      5,
+		Latency:   3 * time.Microsecond,
+	}
+
+	// Scioto task-collection traversal.
+	err = scioto.Run(cfg, func(rt *scioto.Runtime) {
+		p := rt.Proc()
+		p.Barrier()
+		t0 := p.Now()
+		got, _, err := uts.RunScioto(p, uts.DriverConfig{
+			Tree:        tree,
+			PerNodeCost: 316 * time.Nanosecond,
+			TC:          core.Config{ChunkSize: 10, MaxTasks: 1 << 15},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.Barrier()
+		if rt.Rank() == 0 {
+			if got != seq {
+				log.Fatalf("parallel traversal mismatch: %+v vs %+v", got, seq)
+			}
+			d := p.Now() - t0
+			fmt.Printf("scioto:  %8v  %.2f Mnodes/s (verified)\n", d.Round(time.Microsecond), rate(got.Nodes, d))
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// MPI-style work-stealing traversal.
+	err = scioto.Run(cfg, func(rt *scioto.Runtime) {
+		p := rt.Proc()
+		p.Barrier()
+		t0 := p.Now()
+		got, polls, err := mpiws.Run(p, mpiws.Config{
+			Tree:        tree,
+			PerNodeCost: 316 * time.Nanosecond,
+			Chunk:       10,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.Barrier()
+		if rt.Rank() == 0 {
+			if got != seq {
+				log.Fatalf("mpi-ws traversal mismatch: %+v vs %+v", got, seq)
+			}
+			d := p.Now() - t0
+			fmt.Printf("mpi-ws:  %8v  %.2f Mnodes/s (rank 0 polled %d times)\n",
+				d.Round(time.Microsecond), rate(got.Nodes, d), polls)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func rate(nodes int64, d time.Duration) float64 {
+	return float64(nodes) / d.Seconds() / 1e6
+}

@@ -1,0 +1,3 @@
+module scioto
+
+go 1.22

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scioto/internal/uts"
+)
+
+// Small-scale smoke runs of every experiment: shapes must hold even at
+// reduced size.
+
+func TestTable1Smoke(t *testing.T) {
+	tb := Table1(Table1Options{Iters: 50})
+	s := tb.String()
+	if !strings.Contains(s, "Remote Steal") {
+		t.Fatalf("table missing rows:\n%s", s)
+	}
+	t.Logf("\n%s", s)
+}
+
+func TestTable1Ordering(t *testing.T) {
+	o := Table1Options{Iters: 50}.withDefaults()
+	cl := measureOpsOn(ClusterWorld(2, 1), o)
+	if cl.LocalInsert >= cl.RemoteInsert {
+		t.Errorf("local insert (%v) should be far cheaper than remote insert (%v)", cl.LocalInsert, cl.RemoteInsert)
+	}
+	if cl.LocalGet >= cl.RemoteSteal {
+		t.Errorf("local get (%v) should be far cheaper than a steal (%v)", cl.LocalGet, cl.RemoteSteal)
+	}
+	if cl.LocalInsert > 2*time.Microsecond {
+		t.Errorf("local insert should be sub-2µs, got %v", cl.LocalInsert)
+	}
+	if cl.RemoteInsert < 10*time.Microsecond || cl.RemoteInsert > 40*time.Microsecond {
+		t.Errorf("remote insert should land near the paper's ~18µs, got %v", cl.RemoteInsert)
+	}
+	if cl.RemoteSteal < cl.RemoteInsert {
+		t.Errorf("steal (%v) should cost at least a remote insert (%v)", cl.RemoteSteal, cl.RemoteInsert)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	p2 := MeasureFig4Point(2, 4)
+	p16 := MeasureFig4Point(16, 4)
+	if p16.ARMCIBar <= p2.ARMCIBar {
+		t.Errorf("barrier cost must grow with P: %v vs %v", p2.ARMCIBar, p16.ARMCIBar)
+	}
+	if p16.Termination <= 0 {
+		t.Errorf("termination estimate should be positive, got %v", p16.Termination)
+	}
+	// Detection should be within a small multiple of the barrier cost.
+	if p16.Termination > 20*p16.ARMCIBar {
+		t.Errorf("termination (%v) wildly above barrier (%v)", p16.Termination, p16.ARMCIBar)
+	}
+	t.Logf("P=2 %+v", p2)
+	t.Logf("P=16 %+v", p16)
+}
+
+func TestFig56Shape(t *testing.T) {
+	o := AppSweepOptions{
+		Ps:       []int{1, 8},
+		SCFAtoms: 24, SCFBlock: 4, SCFMaxIter: 2,
+	}
+	o.TCEParams.NB = 10
+	o.TCEParams.BS = 4
+	o.TCEParams.Density = 0.4
+	o.TCEParams.Band = 1
+	o.TCEParams.Seed = 11
+	s := RunAppSweep(o)
+	t.Logf("\n%s\n%s", s.Fig5(), s.Fig6())
+	// Both methods must speed up from 1 to 8 processes.
+	if s.SCF[1] >= s.SCF[0] {
+		t.Errorf("scioto SCF did not speed up: %v -> %v", s.SCF[0], s.SCF[1])
+	}
+	if s.TCE[1] >= s.TCE[0] {
+		t.Errorf("scioto TCE did not speed up: %v -> %v", s.TCE[0], s.TCE[1])
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	o := UTSOptions{Tree: uts.TreeSmall}.withDefaults()
+	nodes, d1 := runUTSPoint(ClusterWorld(1, 5), o, seriesSciotoSplit, OpteronNodeCost)
+	if nodes == 0 {
+		t.Fatal("no nodes enumerated")
+	}
+	_, d8split := runUTSPoint(ClusterWorld(8, 5), o, seriesSciotoSplit, OpteronNodeCost)
+	_, d8mpi := runUTSPoint(ClusterWorld(8, 5), o, seriesMPIWS, OpteronNodeCost)
+	_, d8lock := runUTSPoint(ClusterWorld(8, 5), o, seriesSciotoNoSplit, OpteronNodeCost)
+	t.Logf("P=1 split %v; P=8 split %v mpi %v locked %v", d1, d8split, d8mpi, d8lock)
+	if d8split >= d1 {
+		t.Errorf("split queues did not speed up: %v -> %v", d1, d8split)
+	}
+	if d8lock < d8split {
+		t.Errorf("locked queues (%v) should not beat split queues (%v)", d8lock, d8split)
+	}
+}

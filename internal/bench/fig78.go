@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"scioto/internal/core"
+	"scioto/internal/mpiws"
+	"scioto/internal/pgas"
+	"scioto/internal/uts"
+)
+
+// UTSOptions scales the Figure 7/8 UTS experiments.
+type UTSOptions struct {
+	Tree      uts.Params
+	ChunkSize int
+	MaxTasks  int
+	PollEvery int // MPI-WS polling interval (nodes)
+}
+
+func (o UTSOptions) withDefaults() UTSOptions {
+	if o.Tree.Kind == uts.Geometric && o.Tree.B0 == 0 {
+		o.Tree = uts.TreeMedium
+	}
+	if o.ChunkSize == 0 {
+		o.ChunkSize = 10
+	}
+	if o.MaxTasks == 0 {
+		o.MaxTasks = 1 << 15
+	}
+	if o.PollEvery == 0 {
+		o.PollEvery = 8
+	}
+	return o
+}
+
+// utsSeries identifies a Figure 7/8 configuration.
+type utsSeries int
+
+const (
+	seriesSciotoSplit utsSeries = iota
+	seriesSciotoNoSplit
+	seriesMPIWS
+)
+
+// runUTSPoint executes one UTS run and returns total nodes and the rank-0
+// elapsed virtual time.
+func runUTSPoint(w pgas.World, o UTSOptions, s utsSeries, perNode time.Duration) (int64, time.Duration) {
+	var nodes int64
+	var elapsed time.Duration
+	mustRun(w, func(p pgas.Proc) {
+		p.Barrier()
+		t0 := p.Now()
+		var st uts.Stats
+		switch s {
+		case seriesSciotoSplit, seriesSciotoNoSplit:
+			mode := core.ModeSplit
+			if s == seriesSciotoNoSplit {
+				mode = core.ModeLocked
+			}
+			got, _, err := uts.RunScioto(p, uts.DriverConfig{
+				Tree:        o.Tree,
+				PerNodeCost: perNode,
+				TC: core.Config{
+					ChunkSize: o.ChunkSize,
+					MaxTasks:  o.MaxTasks,
+					QueueMode: mode,
+				},
+			})
+			if err != nil {
+				panic(err)
+			}
+			st = got
+		case seriesMPIWS:
+			got, _, err := mpiws.Run(p, mpiws.Config{
+				Tree:        o.Tree,
+				PerNodeCost: perNode,
+				Chunk:       o.ChunkSize,
+				PollEvery:   o.PollEvery,
+			})
+			if err != nil {
+				panic(err)
+			}
+			st = got
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			nodes = st.Nodes
+			elapsed = p.Now() - t0
+		}
+	})
+	return nodes, elapsed
+}
+
+// Fig7 reproduces Figure 7: UTS throughput on the heterogeneous cluster
+// model for Scioto split queues, the MPI work-stealing baseline, and the
+// locked no-split ablation.
+func Fig7(ps []int, o UTSOptions) *Table {
+	o = o.withDefaults()
+	if len(ps) == 0 {
+		ps = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	t := &Table{
+		ID:      "fig7",
+		Title:   "UTS throughput on the cluster model (millions of nodes/s)",
+		Columns: []string{"P", "Split-Queues", "MPI-WS", "No-Split"},
+		Notes: []string{
+			fmt.Sprintf("tree: %v, %s", o.Tree.Kind, treeSize(o.Tree)),
+			"paper: Split-Queues > MPI-WS >> No-Split, whose locked queues collapse as P grows",
+			"half the ranks are Opterons (0.316 µs/node), half Xeons (1.5x slower)",
+		},
+	}
+	for _, n := range ps {
+		nodesA, dA := runUTSPoint(ClusterWorld(n, 5), o, seriesSciotoSplit, OpteronNodeCost)
+		_, dB := runUTSPoint(ClusterWorld(n, 5), o, seriesMPIWS, OpteronNodeCost)
+		_, dC := runUTSPoint(ClusterWorld(n, 5), o, seriesSciotoNoSplit, OpteronNodeCost)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), mnps(nodesA, dA), mnps(nodesA, dB), mnps(nodesA, dC),
+		})
+	}
+	return t
+}
+
+// Fig8 reproduces Figure 8: UTS throughput on the Cray XT4 model, Scioto
+// vs. the MPI baseline, up to 512 processes.
+func Fig8(ps []int, o UTSOptions) *Table {
+	if o.Tree.B0 == 0 && o.Tree.Kind == uts.Geometric {
+		// Large process counts need a large tree, as in the paper.
+		o.Tree = uts.TreeLarge
+	}
+	o = o.withDefaults()
+	if len(ps) == 0 {
+		ps = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	}
+	t := &Table{
+		ID:      "fig8",
+		Title:   "UTS throughput on the Cray XT4 model (millions of nodes/s)",
+		Columns: []string{"P", "UTS-Scioto", "UTS-MPI"},
+		Notes: []string{
+			fmt.Sprintf("tree: %v, %s", o.Tree.Kind, treeSize(o.Tree)),
+			"paper: both scale near-linearly to 512; Scioto leads by a modest margin (no polling)",
+		},
+	}
+	for _, n := range ps {
+		nodesA, dA := runUTSPoint(XT4World(n, 5), o, seriesSciotoSplit, XT4NodeCost)
+		_, dB := runUTSPoint(XT4World(n, 5), o, seriesMPIWS, XT4NodeCost)
+		t.Rows = append(t.Rows, []string{fmt.Sprint(n), mnps(nodesA, dA), mnps(nodesA, dB)})
+	}
+	return t
+}
+
+// treeSize describes the tree for table notes (computed once, sequential).
+func treeSize(p uts.Params) string {
+	s, err := uts.Sequential(p, 1<<24)
+	if err != nil {
+		return "unenumerable"
+	}
+	return fmt.Sprintf("%d nodes, depth %d", s.Nodes, s.MaxDepth)
+}

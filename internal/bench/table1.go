@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"scioto/internal/core"
+	"scioto/internal/pgas"
+	"scioto/internal/pgas/shm"
+)
+
+// Table1Options scales the microbenchmark.
+type Table1Options struct {
+	BodySize int // task body bytes (paper: 1 kB)
+	Chunk    int // steal chunk (paper: 10)
+	Iters    int // operations per measurement
+}
+
+func (o Table1Options) withDefaults() Table1Options {
+	if o.BodySize == 0 {
+		o.BodySize = 1024
+	}
+	if o.Chunk == 0 {
+		o.Chunk = 10
+	}
+	if o.Iters == 0 {
+		o.Iters = 1000
+	}
+	return o
+}
+
+// measureOpsOn runs the Table 1 microbenchmark on a world and returns
+// rank 0's timings.
+func measureOpsOn(w pgas.World, o Table1Options) core.OpTimings {
+	var out core.OpTimings
+	mustRun(w, func(p pgas.Proc) {
+		t := core.MeasureOps(p, o.BodySize, o.Chunk, o.Iters)
+		if p.Rank() == 0 {
+			out = t
+		}
+	})
+	return out
+}
+
+// Table1 reproduces the paper's Table 1: microbenchmark timings for the
+// core task collection operations on the cluster and Cray XT4 calibrations
+// (modeled, virtual time), plus the real measured cost on the Go
+// shared-memory transport for reference.
+func Table1(o Table1Options) *Table {
+	o = o.withDefaults()
+	cluster := measureOpsOn(ClusterWorld(2, 1), o)
+	xt4 := measureOpsOn(XT4World(2, 1), o)
+	real := measureOpsOn(shm.NewWorld(shm.Config{NProcs: 2, Seed: 1}), o)
+
+	t := &Table{
+		ID:      "table1",
+		Title:   "Microbenchmark timings for core Scioto operations (µs)",
+		Columns: []string{"Task Collection Operation", "Cluster (model)", "Cray XT4 (model)", "Go shm (measured)"},
+		Rows: [][]string{
+			{"Local Insert", us(cluster.LocalInsert), us(xt4.LocalInsert), us(real.LocalInsert)},
+			{"Remote Insert", us(cluster.RemoteInsert), us(xt4.RemoteInsert), us(real.RemoteInsert)},
+			{"Local Get", us(cluster.LocalGet), us(xt4.LocalGet), us(real.LocalGet)},
+			{"Remote Steal", us(cluster.RemoteSteal), us(xt4.RemoteSteal), us(real.RemoteSteal)},
+		},
+		Notes: []string{
+			"paper (cluster): 0.4952 / 18.0819 / 0.3613 / 29.0080 µs",
+			"paper (XT4):     0.9330 / 27.018  / 0.6913 / 32.384  µs",
+			"body 1 kB, chunk 10; model columns are virtual-time costs on the calibrated dsim machines",
+		},
+	}
+	return t
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:      "t",
+		Title:   "demo",
+		Columns: []string{"A", "LongColumn"},
+		Rows:    [][]string{{"1", "2"}, {"333333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	s := tb.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if !strings.HasPrefix(lines[0], "== t: demo ==") {
+		t.Errorf("header line %q", lines[0])
+	}
+	// Column alignment: the separator row must be at least as wide as the
+	// widest cell.
+	if !strings.Contains(lines[2], "------") {
+		t.Errorf("separator missing: %q", lines[2])
+	}
+	if !strings.Contains(s, "note: a note") {
+		t.Error("note missing")
+	}
+	// Cells wider than headers must still align in one column grid.
+	if !strings.Contains(lines[4], "333333") {
+		t.Errorf("row lost: %q", lines[4])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := us(1500 * time.Nanosecond); got != "1.5000" {
+		t.Errorf("us = %q", got)
+	}
+	if got := secs(2500 * time.Millisecond); got != "2.500" {
+		t.Errorf("secs = %q", got)
+	}
+	if got := mnps(2_000_000, time.Second); got != "2.00" {
+		t.Errorf("mnps = %q", got)
+	}
+	if got := mnps(1, 0); got != "inf" {
+		t.Errorf("mnps zero-time = %q", got)
+	}
+	if got := speedup(4*time.Second, 2*time.Second); got != "2.00" {
+		t.Errorf("speedup = %q", got)
+	}
+	if got := speedup(time.Second, 0); got != "inf" {
+		t.Errorf("speedup zero = %q", got)
+	}
+}
+
+func TestMachineProfiles(t *testing.T) {
+	c := ClusterConfig(8, 1)
+	if c.SpeedFactor(0) != 1.0 {
+		t.Error("cluster rank 0 should be an Opteron")
+	}
+	if f := c.SpeedFactor(7); f <= 1.0 {
+		t.Errorf("cluster rank 7 should be a slower Xeon, factor %v", f)
+	}
+	if c.Latency <= 0 || c.Occupancy <= 0 {
+		t.Error("cluster profile missing latency/occupancy")
+	}
+	x := XT4Config(8, 1)
+	if x.SpeedFactor != nil {
+		t.Error("XT4 should be homogeneous")
+	}
+	if x.Latency <= c.Latency {
+		t.Error("XT4 one-sided latency should exceed the cluster's (Table 1)")
+	}
+	// P=1 cluster degenerates to all-Opteron.
+	c1 := ClusterConfig(1, 1)
+	if c1.SpeedFactor(0) != 1.0 {
+		t.Error("single-proc cluster should be nominal speed")
+	}
+}

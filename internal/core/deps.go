@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"scioto/internal/pgas"
+)
+
+// Inter-task dependencies. The paper's conclusion announces work on
+// "extending our independent task model with support for tasks that
+// exhibit arbitrary inter-task dependencies"; this file implements the
+// natural counted-dependency design on top of the one-sided substrate:
+//
+//   - AddDeferred registers a task on the calling process together with a
+//     dependency counter, without enqueueing it;
+//   - the returned Dep handle is a portable 8-byte value that can travel
+//     in other tasks' bodies;
+//   - Satisfy atomically decrements the counter from anywhere; the caller
+//     whose decrement reaches zero fetches the pending descriptor with a
+//     one-sided get and enqueues it (on its registering process, with its
+//     recorded affinity), making it available for normal scheduling and
+//     stealing.
+//
+// Dependencies must resolve within the processing phase in which the
+// dependent tasks run: a pending task is invisible to termination
+// detection until it is enqueued, so a phase that ends with unsatisfied
+// dependencies simply leaves those tasks pending (query PendingDeferred).
+
+// Dep is a portable reference to a deferred task: the rank that registered
+// it and its slot in that rank's pending pool.
+type Dep struct {
+	Proc int32
+	Slot int32
+}
+
+// DepBytes is the encoded size of a Dep.
+const DepBytes = 8
+
+// EncodeDep writes d into b.
+func EncodeDep(b []byte, d Dep) {
+	pgas.PutI32(b, d.Proc)
+	pgas.PutI32(b[4:], d.Slot)
+}
+
+// DecodeDep reads a Dep from b.
+func DecodeDep(b []byte) Dep {
+	return Dep{Proc: pgas.GetI32(b), Slot: pgas.GetI32(b[4:])}
+}
+
+// Pending-pool counter states: free slots hold depFree; occupied slots
+// hold the remaining dependency count (> 0).
+const depFree = -1
+
+// depPool is the per-process storage for deferred tasks.
+type depPool struct {
+	p        pgas.Proc
+	slots    int
+	slotSize int
+	data     pgas.Seg // slots * slotSize bytes
+	ctr      pgas.Seg // slots counter words
+}
+
+// newDepPool collectively allocates the pool and marks every slot free.
+func newDepPool(p pgas.Proc, slots, slotSize int) *depPool {
+	pool := &depPool{
+		p:        p,
+		slots:    slots,
+		slotSize: slotSize,
+		data:     p.AllocData(slots * slotSize),
+		ctr:      p.AllocWords(slots),
+	}
+	me := p.Rank()
+	for i := 0; i < slots; i++ {
+		p.Store64(me, pool.ctr, i, depFree)
+	}
+	return pool
+}
+
+// MaxDeferred is the default pending-pool capacity per process.
+const MaxDeferred = 256
+
+// pool lazily creates the TC's dependency pool. Collective on first use:
+// every process's first AddDeferred/Satisfy path must not race collective
+// allocation, so the pool is created in NewTC when Config.MaxDeferred > 0,
+// or here for the default capacity if the user never configured it.
+func (tc *TC) pool() *depPool {
+	if tc.deps == nil {
+		panic("core: dependency API requires Config.MaxDeferred > 0 at NewTC")
+	}
+	return tc.deps
+}
+
+// AddDeferred registers a copy of the task on the calling process with the
+// given dependency count (> 0) and returns its portable handle. The task
+// is enqueued — on this process, with this affinity — by whichever process
+// performs the final Satisfy.
+func (tc *TC) AddDeferred(affinity int32, t *Task, deps int) (Dep, error) {
+	if deps <= 0 {
+		return Dep{}, fmt.Errorf("core: AddDeferred needs a positive dependency count, got %d", deps)
+	}
+	if int(t.Handle()) < 0 || int(t.Handle()) >= len(tc.callbacks) {
+		return Dep{}, fmt.Errorf("core: task handle %d not registered", t.Handle())
+	}
+	if t.BodyLen() > tc.cfg.MaxBodySize {
+		return Dep{}, fmt.Errorf("core: task body %dB exceeds collection max %dB", t.BodyLen(), tc.cfg.MaxBodySize)
+	}
+	pool := tc.pool()
+	p := tc.rt.p
+	me := p.Rank()
+	t.setAffinity(affinity)
+	t.setOrigin(me)
+	for slot := 0; slot < pool.slots; slot++ {
+		if p.Load64(me, pool.ctr, slot) != depFree {
+			continue
+		}
+		// Claim: write the descriptor first, then publish the counter.
+		off := slot * pool.slotSize
+		copy(p.Local(pool.data)[off:off+len(t.wire())], t.wire())
+		p.Store64(me, pool.ctr, slot, int64(deps))
+		tc.stats.DeferredRegistered++
+		return Dep{Proc: int32(me), Slot: int32(slot)}, nil
+	}
+	return Dep{}, fmt.Errorf("core: deferred-task pool full (%d slots)", pool.slots)
+}
+
+// Satisfy atomically resolves one dependency of the deferred task. The
+// caller that resolves the last dependency fetches the descriptor and
+// enqueues it; that caller's Add follows the normal full-queue rules
+// (inline execution during a processing phase).
+func (tc *TC) Satisfy(d Dep) {
+	pool := tc.pool()
+	p := tc.rt.p
+	target := int(d.Proc)
+	slot := int(d.Slot)
+	if target < 0 || target >= p.NProcs() || slot < 0 || slot >= pool.slots {
+		panic(fmt.Sprintf("core: Satisfy of invalid dep %+v", d))
+	}
+	old := p.FetchAdd64(target, pool.ctr, slot, -1)
+	switch {
+	case old <= 0:
+		panic(fmt.Sprintf("core: Satisfy of dep %+v with count %d (unregistered or over-satisfied)", d, old))
+	case old > 1:
+		return // dependencies remain
+	}
+	// Final dependency: launch the task.
+	buf := make([]byte, pool.slotSize)
+	p.Get(buf, target, pool.data, slot*pool.slotSize)
+	task := decodeTask(buf)
+	// Free the slot only after the descriptor is safely copied out.
+	p.Store64(target, pool.ctr, slot, depFree)
+	tc.stats.DeferredLaunched++
+	if err := tc.Add(target, task.Affinity(), task); err != nil {
+		panic(fmt.Sprintf("core: launching deferred task: %v", err))
+	}
+}
+
+// PendingDeferred counts this process's registered-but-unlaunched deferred
+// tasks (a debugging aid for dependency leaks at phase end).
+func (tc *TC) PendingDeferred() int {
+	pool := tc.pool()
+	p := tc.rt.p
+	me := p.Rank()
+	n := 0
+	for slot := 0; slot < pool.slots; slot++ {
+		if p.Load64(me, pool.ctr, slot) != depFree {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,224 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scioto/internal/core"
+	"scioto/internal/pgas"
+)
+
+func TestDepEncodeDecode(t *testing.T) {
+	d := core.Dep{Proc: 3, Slot: 117}
+	b := make([]byte, core.DepBytes)
+	core.EncodeDep(b, d)
+	if got := core.DecodeDep(b); got != d {
+		t.Errorf("dep round trip: %+v -> %+v", d, got)
+	}
+}
+
+// TestDeferredRunsAfterAllDeps: a task with N dependencies runs exactly
+// once, only after all N Satisfy calls, wherever they come from.
+func TestDeferredRunsAfterAllDeps(t *testing.T) {
+	const n = 4
+	const fanIn = 6
+	forBothTransports(t, n, func(tr pgas.Transport, p pgas.Proc) {
+		rt := core.Attach(p)
+		tc := core.NewTC(rt, core.Config{MaxBodySize: core.DepBytes, MaxTasks: 256, MaxDeferred: 8})
+		doneH := rt.RegisterCLO(&execCounter{})
+
+		// The dependent task: records completion.
+		joinH := tc.Register(func(tc *core.TC, t *core.Task) {
+			tc.Runtime().CLO(doneH).(*execCounter).n++
+		})
+		// Precursor tasks: each satisfies one dependency of the join task.
+		preH := tc.Register(func(tc *core.TC, t *core.Task) {
+			tc.Proc().Compute(5 * time.Microsecond)
+			tc.Satisfy(core.DecodeDep(t.Body()))
+		})
+
+		if p.Rank() == 0 {
+			join := core.NewTask(joinH, core.DepBytes)
+			dep, err := tc.AddDeferred(core.AffinityHigh, join, fanIn)
+			if err != nil {
+				panic(err)
+			}
+			pre := core.NewTask(preH, core.DepBytes)
+			core.EncodeDep(pre.Body(), dep)
+			for i := 0; i < fanIn; i++ {
+				// Spread precursors across ranks: remote Satisfy paths.
+				if err := tc.Add(i%n, core.AffinityLow, pre); err != nil {
+					panic(err)
+				}
+			}
+		}
+		tc.Process()
+		g := tc.GlobalStats()
+		if g.TasksExecuted != fanIn+1 {
+			panic(fmt.Sprintf("executed %d, want %d", g.TasksExecuted, fanIn+1))
+		}
+		if g.DeferredRegistered != 1 || g.DeferredLaunched != 1 {
+			panic(fmt.Sprintf("deferred counters: reg %d launch %d", g.DeferredRegistered, g.DeferredLaunched))
+		}
+		if tc.PendingDeferred() != 0 {
+			panic("deferred slot not freed after launch")
+		}
+	})
+}
+
+// TestDeferredChain: a dependency chain A -> B -> C resolves in order.
+func TestDeferredChain(t *testing.T) {
+	forBothTransports(t, 3, func(tr pgas.Transport, p pgas.Proc) {
+		rt := core.Attach(p)
+		tc := core.NewTC(rt, core.Config{MaxBodySize: core.DepBytes, MaxTasks: 64, MaxDeferred: 8})
+		type order struct{ events []string }
+		ordH := rt.RegisterCLO(&order{})
+
+		record := func(tc *core.TC, name string, next []byte) {
+			o := tc.Runtime().CLO(ordH).(*order)
+			o.events = append(o.events, name)
+			if len(next) == core.DepBytes {
+				tc.Satisfy(core.DecodeDep(next))
+			}
+		}
+		var hA, hB, hC core.Handle
+		hC = tc.Register(func(tc *core.TC, t *core.Task) { record(tc, "C", nil) })
+		hB = tc.Register(func(tc *core.TC, t *core.Task) { record(tc, "B", t.Body()) })
+		hA = tc.Register(func(tc *core.TC, t *core.Task) { record(tc, "A", t.Body()) })
+
+		if p.Rank() == 0 {
+			// All three stay on rank 0 (deps force the ordering anyway).
+			taskC := core.NewTask(hC, core.DepBytes)
+			depC, err := tc.AddDeferred(core.AffinityHigh, taskC, 1)
+			if err != nil {
+				panic(err)
+			}
+			taskB := core.NewTask(hB, core.DepBytes)
+			core.EncodeDep(taskB.Body(), depC)
+			depB, err := tc.AddDeferred(core.AffinityHigh, taskB, 1)
+			if err != nil {
+				panic(err)
+			}
+			taskA := core.NewTask(hA, core.DepBytes)
+			core.EncodeDep(taskA.Body(), depB)
+			if err := tc.Add(0, core.AffinityHigh, taskA); err != nil {
+				panic(err)
+			}
+		}
+		tc.Process()
+		if p.Rank() == 0 {
+			o := rt.CLO(ordH).(*order)
+			want := "A B C"
+			got := fmt.Sprint(o.events[0], " ", o.events[1], " ", o.events[2])
+			if len(o.events) != 3 || got != want {
+				panic(fmt.Sprintf("chain order %v", o.events))
+			}
+		}
+	})
+}
+
+// TestDeferredPoolExhaustion: registering beyond the pool reports an error
+// and the pool recovers after slots free up.
+func TestDeferredPoolExhaustion(t *testing.T) {
+	forBothTransports(t, 1, func(tr pgas.Transport, p pgas.Proc) {
+		rt := core.Attach(p)
+		tc := core.NewTC(rt, core.Config{MaxBodySize: 8, MaxTasks: 64, MaxDeferred: 2})
+		h := noopTask(rt, tc)
+		task := core.NewTask(h, 8)
+		d1, err := tc.AddDeferred(0, task, 1)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := tc.AddDeferred(0, task, 1); err != nil {
+			panic(err)
+		}
+		if _, err := tc.AddDeferred(0, task, 1); err == nil {
+			panic("third registration fit a 2-slot pool")
+		}
+		// Free one and retry.
+		tc.Satisfy(d1)
+		if _, err := tc.AddDeferred(0, task, 1); err != nil {
+			panic(fmt.Sprintf("pool did not recover: %v", err))
+		}
+		tc.Process()
+	})
+}
+
+// TestDeferredValidation: bad arguments are rejected.
+func TestDeferredValidation(t *testing.T) {
+	forBothTransports(t, 1, func(tr pgas.Transport, p pgas.Proc) {
+		rt := core.Attach(p)
+		tc := core.NewTC(rt, core.Config{MaxBodySize: 8, MaxTasks: 64, MaxDeferred: 4})
+		h := noopTask(rt, tc)
+		if _, err := tc.AddDeferred(0, core.NewTask(h, 8), 0); err == nil {
+			panic("zero dependency count accepted")
+		}
+		if _, err := tc.AddDeferred(0, core.NewTask(core.Handle(99), 8), 1); err == nil {
+			panic("unregistered handle accepted")
+		}
+		tc.Process()
+	})
+}
+
+// TestDeferredWithoutPoolPanics: using the API on a collection configured
+// without a pool is a programming error.
+func TestDeferredWithoutPoolPanics(t *testing.T) {
+	forBothTransports(t, 1, func(tr pgas.Transport, p pgas.Proc) {
+		rt := core.Attach(p)
+		tc := core.NewTC(rt, core.Config{MaxBodySize: 8, MaxTasks: 64})
+		h := noopTask(rt, tc)
+		defer func() {
+			if recover() == nil {
+				panic("AddDeferred without MaxDeferred did not panic")
+			}
+		}()
+		tc.AddDeferred(0, core.NewTask(h, 8), 1)
+	})
+}
+
+// TestDeferredManyJoins: a fan-out/fan-in DAG — many independent joins each
+// fed by several precursors spread over ranks — completes exactly.
+func TestDeferredManyJoins(t *testing.T) {
+	const n = 5
+	const joins = 30
+	const fanIn = 3
+	forBothTransports(t, n, func(tr pgas.Transport, p pgas.Proc) {
+		rt := core.Attach(p)
+		tc := core.NewTC(rt, core.Config{MaxBodySize: core.DepBytes, MaxTasks: 1024, MaxDeferred: joins + 4})
+		joinH := tc.Register(func(tc *core.TC, t *core.Task) {
+			tc.Proc().Compute(time.Microsecond)
+		})
+		preH := tc.Register(func(tc *core.TC, t *core.Task) {
+			tc.Satisfy(core.DecodeDep(t.Body()))
+		})
+		// Every rank registers its own joins and scatters precursors.
+		join := core.NewTask(joinH, core.DepBytes)
+		pre := core.NewTask(preH, core.DepBytes)
+		for j := 0; j < joins; j++ {
+			dep, err := tc.AddDeferred(core.AffinityHigh, join, fanIn)
+			if err != nil {
+				panic(err)
+			}
+			core.EncodeDep(pre.Body(), dep)
+			for i := 0; i < fanIn; i++ {
+				dst := (p.Rank() + i + j) % n
+				if err := tc.Add(dst, core.AffinityLow, pre); err != nil {
+					panic(err)
+				}
+			}
+		}
+		tc.Process()
+		g := tc.GlobalStats()
+		want := int64(n * joins * (fanIn + 1))
+		if g.TasksExecuted != want {
+			panic(fmt.Sprintf("executed %d, want %d", g.TasksExecuted, want))
+		}
+		if g.DeferredLaunched != n*joins {
+			panic(fmt.Sprintf("launched %d deferred, want %d", g.DeferredLaunched, n*joins))
+		}
+		if tc.PendingDeferred() != 0 {
+			panic("pending deferred tasks remain")
+		}
+	})
+}

@@ -1,0 +1,4 @@
+package core
+
+// PickVictimForTest exposes victim selection for distribution tests.
+func PickVictimForTest(tc *TC) int { return tc.pickVictim() }

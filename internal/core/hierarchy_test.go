@@ -1,0 +1,153 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scioto/internal/core"
+	"scioto/internal/pgas"
+	"scioto/internal/pgas/dsim"
+)
+
+// nodeWorld builds a dsim machine with multicore nodes: cheap intra-node
+// one-sided ops, expensive inter-node ones.
+func nodeWorld(n, ppn int, seed int64) pgas.World {
+	return dsim.NewWorld(dsim.Config{
+		NProcs:           n,
+		Seed:             seed,
+		Latency:          5 * time.Microsecond,
+		IntraNodeLatency: 500 * time.Nanosecond,
+		ProcsPerNode:     ppn,
+	})
+}
+
+// runHier runs an imbalanced workload and returns rank-0 elapsed virtual
+// time plus global stats.
+func runHier(t *testing.T, hierarchical bool) (time.Duration, core.Stats) {
+	t.Helper()
+	const n, ppn, total = 16, 4, 1600
+	var elapsed time.Duration
+	var g core.Stats
+	w := nodeWorld(n, ppn, 21)
+	if err := w.Run(func(p pgas.Proc) {
+		rt := core.Attach(p)
+		tc := core.NewTC(rt, core.Config{
+			MaxBodySize:          8,
+			MaxTasks:             4096,
+			ChunkSize:            4,
+			ProcsPerNode:         ppn,
+			HierarchicalStealing: hierarchical,
+		})
+		h := tc.Register(func(tc *core.TC, t *core.Task) {
+			tc.Proc().Compute(20 * time.Microsecond)
+		})
+		// Seed everything on rank 0 of each node (imbalance within and
+		// across nodes).
+		if p.Rank()%ppn == 0 {
+			task := core.NewTask(h, 8)
+			for i := 0; i < total/(n/ppn); i++ {
+				if err := tc.Add(p.Rank(), core.AffinityHigh, task); err != nil {
+					panic(err)
+				}
+			}
+		}
+		p.Barrier()
+		t0 := p.Now()
+		tc.Process()
+		p.Barrier()
+		gs := tc.GlobalStats()
+		if p.Rank() == 0 {
+			elapsed = p.Now() - t0
+			g = gs
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if g.TasksExecuted != total {
+		t.Fatalf("executed %d, want %d", g.TasksExecuted, total)
+	}
+	return elapsed, g
+}
+
+// TestHierarchicalStealingCorrectAndProbed: the policy keeps correctness
+// and actually issues node-local probes.
+func TestHierarchicalStealingCorrectAndProbed(t *testing.T) {
+	dFlat, gFlat := runHier(t, false)
+	dHier, gHier := runHier(t, true)
+	if gFlat.NearStealProbes != 0 {
+		t.Errorf("flat stealing recorded %d near probes", gFlat.NearStealProbes)
+	}
+	if gHier.NearStealProbes == 0 {
+		t.Error("hierarchical stealing never probed node-locally")
+	}
+	t.Logf("flat: %v (%d steals), hierarchical: %v (%d steals, %d near probes)",
+		dFlat, gFlat.StealsOK, dHier, gHier.StealsOK, gHier.NearStealProbes)
+	// With per-node seeding and a 10x intra/inter latency gap the
+	// hierarchical policy should not be slower by more than a whisker.
+	if dHier > dFlat*13/10 {
+		t.Errorf("hierarchical stealing much slower: %v vs %v", dHier, dFlat)
+	}
+}
+
+// TestPickVictimDistribution: victims never include self, stay in range,
+// and node-local probes stay on the node.
+func TestPickVictimDistribution(t *testing.T) {
+	const n, ppn = 8, 4
+	w := nodeWorld(n, ppn, 3)
+	if err := w.Run(func(p pgas.Proc) {
+		rt := core.Attach(p)
+		tc := core.NewTC(rt, core.Config{
+			MaxBodySize:          8,
+			MaxTasks:             64,
+			ProcsPerNode:         ppn,
+			HierarchicalStealing: true,
+		})
+		noopTask(rt, tc)
+		me := p.Rank()
+		myNode := me / ppn
+		sawNear, sawFar := false, false
+		for i := 0; i < 200; i++ {
+			v := core.PickVictimForTest(tc)
+			if v == me || v < 0 || v >= n {
+				panic(fmt.Sprintf("bad victim %d for rank %d", v, me))
+			}
+			if v/ppn == myNode {
+				sawNear = true
+			} else {
+				sawFar = true
+			}
+		}
+		if !sawNear || !sawFar {
+			panic(fmt.Sprintf("rank %d victim mix: near=%v far=%v", me, sawNear, sawFar))
+		}
+		tc.Process()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntraNodeLatencyModel: the dsim node model prices node-mates cheaply.
+func TestIntraNodeLatencyModel(t *testing.T) {
+	w := nodeWorld(4, 2, 1)
+	if err := w.Run(func(p pgas.Proc) {
+		seg := p.AllocWords(1)
+		p.Barrier()
+		if p.Rank() == 0 {
+			t0 := p.Now()
+			p.Load64(1, seg, 0) // node-mate
+			near := p.Now() - t0
+			t0 = p.Now()
+			p.Load64(2, seg, 0) // other node
+			far := p.Now() - t0
+			if near != 500*time.Nanosecond {
+				panic(fmt.Sprintf("intra-node op cost %v, want 500ns", near))
+			}
+			if far != 5*time.Microsecond {
+				panic(fmt.Sprintf("inter-node op cost %v, want 5µs", far))
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"scioto/internal/pgas"
+)
+
+// OpTimings holds the per-operation average costs of the four core task
+// collection operations measured by Table 1 of the paper.
+type OpTimings struct {
+	LocalInsert  time.Duration
+	RemoteInsert time.Duration
+	LocalGet     time.Duration
+	RemoteSteal  time.Duration
+}
+
+// String renders the timings in the paper's units (microseconds).
+func (o OpTimings) String() string {
+	us := func(d time.Duration) float64 { return float64(d) / 1e3 }
+	return fmt.Sprintf("local insert %.4fµs, remote insert %.4fµs, local get %.4fµs, remote steal %.4fµs",
+		us(o.LocalInsert), us(o.LocalGet), us(o.RemoteInsert), us(o.RemoteSteal))
+}
+
+// MeasureOps reproduces the paper's Table 1 microbenchmark: the average
+// cost of a lock-free local insert, a lock-free local get, a one-sided
+// remote insert, and a one-sided remote steal, with the given task body
+// size and steal chunk. It must be called collectively on a world with at
+// least two processes; rank 0 performs the measurements against rank 1 and
+// returns the timings (other ranks return zero timings).
+func MeasureOps(p pgas.Proc, bodySize, chunk, iters int) OpTimings {
+	if p.NProcs() < 2 {
+		panic("core: MeasureOps needs at least 2 processes")
+	}
+	if iters <= 0 {
+		iters = 1000
+	}
+	slotSize := HeaderBytes + bodySize
+	capacity := iters*chunk + iters + 8
+	q := newTaskQueue(p, ModeSplit, slotSize, capacity)
+	var s Stats
+	var out OpTimings
+
+	task := NewTask(0, bodySize)
+	wire := task.wire()
+	per := func(d time.Duration) time.Duration { return d / time.Duration(iters) }
+
+	p.Barrier()
+	if p.Rank() == 0 {
+		// Local insert: lock-free pushes at the private end.
+		t0 := p.Now()
+		for i := 0; i < iters; i++ {
+			if !q.pushPrivate(wire, &s) {
+				panic("core: microbench queue overflow")
+			}
+		}
+		out.LocalInsert = per(p.Now() - t0)
+
+		// Local get: lock-free pops of the same tasks.
+		t0 = p.Now()
+		for i := 0; i < iters; i++ {
+			if _, ok := q.popPrivate(&s); !ok {
+				panic("core: microbench queue underflow")
+			}
+		}
+		out.LocalGet = per(p.Now() - t0)
+
+		// Remote insert: one-sided locked adds into rank 1's queue.
+		t0 = p.Now()
+		for i := 0; i < iters; i++ {
+			if !q.addRemote(1, wire, &s) {
+				panic("core: microbench remote queue overflow")
+			}
+		}
+		out.RemoteInsert = per(p.Now() - t0)
+	}
+	p.Barrier()
+	if p.Rank() == 1 {
+		// Seed the shared portion of our queue so rank 0 can steal
+		// full chunks. Local adds at the shared end keep split == 0 < b.
+		for i := 0; i < iters*chunk; i++ {
+			if !q.addRemote(1, wire, &s) {
+				panic("core: microbench victim overflow")
+			}
+		}
+	}
+	p.Barrier()
+	if p.Rank() == 0 {
+		t0 := p.Now()
+		for i := 0; i < iters; i++ {
+			slots, res := q.steal(1, chunk, false, &s)
+			if res != stealOK || len(slots) != chunk {
+				panic(fmt.Sprintf("core: microbench steal failed: %v (%d slots)", res, len(slots)))
+			}
+		}
+		out.RemoteSteal = per(p.Now() - t0)
+	}
+	p.Barrier()
+	return out
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"time"
+
+	"scioto/internal/pgas"
+	"scioto/internal/trace"
+)
+
+// QueueMode selects the queue synchronization discipline.
+type QueueMode int
+
+const (
+	// ModeSplit is the paper's split queue: a lock-free private portion
+	// for the owner and a locked shared portion for thieves and remote
+	// adders, separated by a split pointer that moves work between the
+	// portions without copying.
+	ModeSplit QueueMode = iota
+	// ModeLocked is the paper's original implementation, kept as an
+	// ablation (the "No Split" series in Figure 7): every operation,
+	// including the owner's local insert and get, acquires the queue lock.
+	ModeLocked
+)
+
+// String implements fmt.Stringer.
+func (m QueueMode) String() string {
+	switch m {
+	case ModeSplit:
+		return "split"
+	case ModeLocked:
+		return "locked"
+	default:
+		return "unknown"
+	}
+}
+
+// Queue metadata word indices within the queue's word segment.
+const (
+	wBottom = 0 // steal end; advanced by thieves, decremented by adders (under lock)
+	wSplit  = 1 // private/shared boundary; raised lock-free by owner, lowered under lock
+	wTop    = 2 // owner end; owner-only
+	wDirty  = 3 // dirty counter for termination detection, incremented by thieves
+	nQWords = 4
+)
+
+// localCost models the owner-side bookkeeping cost of a local queue
+// operation that touches n payload bytes. Calibrated so a 1 kB-body local
+// insert costs ~0.5 µs, matching Table 1.
+func localCost(n int) time.Duration {
+	return 200*time.Nanosecond + time.Duration(n)*3/10
+}
+
+// taskQueue is one process's patch of a task collection: a circular array
+// of fixed-size task descriptor slots in symmetric memory, with metadata
+// words and a lock, following the layout of Section 5 of the paper.
+//
+// Indices are monotone-ish 64-bit values mapped onto the ring by modular
+// arithmetic; bottom may decrease below its initial value when tasks are
+// prepended by remote adds. The live region is [bottom, top), with
+// [bottom, split) shared and [split, top) private in ModeSplit.
+type taskQueue struct {
+	p        pgas.Proc
+	mode     QueueMode
+	slotSize int
+	capacity int
+
+	data pgas.Seg // capacity * slotSize bytes per process
+	meta pgas.Seg // nQWords words per process
+	lock pgas.LockID
+
+	tracer *trace.Recorder // nil = tracing disabled
+}
+
+// newTaskQueue collectively allocates a task queue. All processes must call
+// it with identical parameters.
+func newTaskQueue(p pgas.Proc, mode QueueMode, slotSize, capacity int) *taskQueue {
+	q := &taskQueue{
+		p:        p,
+		mode:     mode,
+		slotSize: slotSize,
+		capacity: capacity,
+		data:     p.AllocData(slotSize * capacity),
+		meta:     p.AllocWords(nQWords),
+		lock:     p.AllocLock(),
+	}
+	return q
+}
+
+// slotIndex maps a queue index onto the ring (Euclidean modulus, since
+// bottom may go negative).
+func (q *taskQueue) slotIndex(i int64) int64 {
+	m := i % int64(q.capacity)
+	if m < 0 {
+		m += int64(q.capacity)
+	}
+	return m
+}
+
+// slotOff maps a queue index to a byte offset in the data segment.
+func (q *taskQueue) slotOff(i int64) int {
+	return int(q.slotIndex(i)) * q.slotSize
+}
+
+// reset clears the queue. Caller is responsible for collective ordering
+// (typically barriers on both sides).
+func (q *taskQueue) reset() {
+	me := q.p.Rank()
+	q.p.Store64(me, q.meta, wBottom, 0)
+	q.p.Store64(me, q.meta, wSplit, 0)
+	q.p.Store64(me, q.meta, wTop, 0)
+	q.p.Store64(me, q.meta, wDirty, 0)
+}
+
+// --- Owner-side size probes (relaxed; hints unless stated otherwise) -----
+
+// privateCount is exact: both words are owner-written.
+func (q *taskQueue) privateCount() int64 {
+	return q.p.RelaxedLoad64(q.meta, wTop) - q.p.RelaxedLoad64(q.meta, wSplit)
+}
+
+// sharedCountHint may be stale; shared-portion decisions are revalidated
+// under the queue lock.
+func (q *taskQueue) sharedCountHint() int64 {
+	return q.p.RelaxedLoad64(q.meta, wSplit) - q.p.RelaxedLoad64(q.meta, wBottom)
+}
+
+// totalCountHint may be stale.
+func (q *taskQueue) totalCountHint() int64 {
+	return q.p.RelaxedLoad64(q.meta, wTop) - q.p.RelaxedLoad64(q.meta, wBottom)
+}
+
+// --- Split-mode owner fast paths -----------------------------------------
+
+// pushPrivate inserts a task descriptor at the owner end of the private
+// portion without locking. It reports false when the queue is full (after
+// an ordered refresh of the steal-end index).
+func (q *taskQueue) pushPrivate(wire []byte, s *Stats) bool {
+	me := q.p.Rank()
+	top := q.p.RelaxedLoad64(q.meta, wTop)
+	bottom := q.p.RelaxedLoad64(q.meta, wBottom)
+	if top-bottom >= int64(q.capacity) {
+		// The hint says full; refresh bottom with an ordered load in case
+		// thieves have made room.
+		bottom = q.p.Load64(me, q.meta, wBottom)
+		if top-bottom >= int64(q.capacity) {
+			return false
+		}
+	}
+	off := q.slotOff(top)
+	copy(q.p.Local(q.data)[off:off+len(wire)], wire)
+	q.p.RelaxedStore64(q.meta, wTop, top+1)
+	q.p.Charge(localCost(len(wire)))
+	s.LocalInserts++
+	return true
+}
+
+// popPrivate removes and returns the task at the owner end of the private
+// portion without locking. ok is false when the private portion is empty.
+func (q *taskQueue) popPrivate(s *Stats) (*Task, bool) {
+	top := q.p.RelaxedLoad64(q.meta, wTop)
+	split := q.p.RelaxedLoad64(q.meta, wSplit)
+	if top <= split {
+		return nil, false
+	}
+	off := q.slotOff(top - 1)
+	t := decodeTask(q.p.Local(q.data)[off : off+q.slotSize])
+	q.p.RelaxedStore64(q.meta, wTop, top-1)
+	q.p.Charge(localCost(len(t.wire())))
+	s.LocalGets++
+	return t, true
+}
+
+// maybeRelease moves surplus private tasks into the shared portion when the
+// shared portion looks empty, making work available for stealing. The split
+// pointer is raised with a single ordered store — no lock and no copying.
+// ordered forces a fresh read of the steal-end index.
+func (q *taskQueue) maybeRelease(ordered bool, s *Stats) {
+	me := q.p.Rank()
+	top := q.p.RelaxedLoad64(q.meta, wTop)
+	split := q.p.RelaxedLoad64(q.meta, wSplit)
+	if top-split < 2 {
+		return // nothing to spare
+	}
+	var bottom int64
+	if ordered {
+		bottom = q.p.Load64(me, q.meta, wBottom)
+	} else {
+		bottom = q.p.RelaxedLoad64(q.meta, wBottom)
+	}
+	if split-bottom > 0 {
+		return // shared portion still has work
+	}
+	k := (top - split) / 2
+	q.p.Store64(me, q.meta, wSplit, split+k)
+	q.tracer.Record(q.p.Now(), trace.Release, k, 0)
+	s.Releases++
+	s.TasksReleased += k
+}
+
+// reacquire moves shared-portion tasks back into the private portion when
+// the private portion has drained. It takes the queue lock because it
+// lowers the split pointer, which thieves read to bound their steals.
+// It reports whether any tasks were reclaimed.
+func (q *taskQueue) reacquire(s *Stats) bool {
+	me := q.p.Rank()
+	if q.sharedCountHint() <= 0 {
+		// Refresh: a remote add may have prepended work invisibly to the
+		// relaxed hint.
+		if q.p.Load64(me, q.meta, wSplit)-q.p.Load64(me, q.meta, wBottom) <= 0 {
+			return false
+		}
+	}
+	q.p.Lock(me, q.lock)
+	bottom := q.p.Load64(me, q.meta, wBottom)
+	split := q.p.Load64(me, q.meta, wSplit)
+	avail := split - bottom
+	if avail <= 0 {
+		q.p.Unlock(me, q.lock)
+		return false
+	}
+	k := (avail + 1) / 2
+	q.p.Store64(me, q.meta, wSplit, split-k)
+	q.p.Unlock(me, q.lock)
+	q.tracer.Record(q.p.Now(), trace.Reacquire, k, 0)
+	s.Reacquires++
+	s.TasksReacquired += k
+	return true
+}
+
+// --- Locked-mode owner paths ----------------------------------------------
+
+// pushLocked inserts at the owner end under the queue lock (ModeLocked).
+func (q *taskQueue) pushLocked(wire []byte, s *Stats) bool {
+	me := q.p.Rank()
+	q.p.Lock(me, q.lock)
+	top := q.p.Load64(me, q.meta, wTop)
+	bottom := q.p.Load64(me, q.meta, wBottom)
+	if top-bottom >= int64(q.capacity) {
+		q.p.Unlock(me, q.lock)
+		return false
+	}
+	off := q.slotOff(top)
+	copy(q.p.Local(q.data)[off:off+len(wire)], wire)
+	q.p.Store64(me, q.meta, wTop, top+1)
+	q.p.Unlock(me, q.lock)
+	q.p.Charge(localCost(len(wire)))
+	s.LocalInserts++
+	return true
+}
+
+// popLocked removes from the owner end under the queue lock (ModeLocked).
+func (q *taskQueue) popLocked(s *Stats) (*Task, bool) {
+	me := q.p.Rank()
+	q.p.Lock(me, q.lock)
+	top := q.p.Load64(me, q.meta, wTop)
+	bottom := q.p.Load64(me, q.meta, wBottom)
+	if top <= bottom {
+		q.p.Unlock(me, q.lock)
+		return nil, false
+	}
+	off := q.slotOff(top - 1)
+	t := decodeTask(q.p.Local(q.data)[off : off+q.slotSize])
+	q.p.Store64(me, q.meta, wTop, top-1)
+	q.p.Unlock(me, q.lock)
+	q.p.Charge(localCost(len(t.wire())))
+	s.LocalGets++
+	return t, true
+}
+
+// --- Remote operations -------------------------------------------------------
+
+// addRemote inserts a task descriptor into the shared (steal) end of the
+// queue on process proc, using one-sided operations under the queue lock.
+// It reports false if the target queue is full. proc may equal the caller's
+// rank, which is how local low-affinity adds reach the shared portion.
+func (q *taskQueue) addRemote(proc int, wire []byte, s *Stats) bool {
+	q.p.Lock(proc, q.lock)
+	bottom := q.p.Load64(proc, q.meta, wBottom)
+	top := q.p.Load64(proc, q.meta, wTop)
+	if top-(bottom-1) > int64(q.capacity) {
+		q.p.Unlock(proc, q.lock)
+		return false
+	}
+	newBottom := bottom - 1
+	off := q.slotOff(newBottom)
+	q.p.Put(proc, q.data, off, wire)
+	q.p.Store64(proc, q.meta, wBottom, newBottom)
+	q.p.Unlock(proc, q.lock)
+	if proc == q.p.Rank() {
+		s.LocalSharedInserts++
+	} else {
+		s.RemoteInserts++
+	}
+	return true
+}
+
+// stealResult describes the outcome of a steal attempt.
+type stealResult int
+
+const (
+	stealOK stealResult = iota
+	stealEmpty
+	stealBusy
+)
+
+// steal attempts to take up to chunk tasks from the shared end of the queue
+// on process victim. Stolen descriptors are returned as raw slot bytes
+// (slotSize each). markDirty, when true, increments the victim's dirty
+// counter (termination detection) before publishing the new steal index.
+func (q *taskQueue) steal(victim, chunk int, markDirty bool, s *Stats) ([][]byte, stealResult) {
+	s.StealAttempts++
+	if !q.p.TryLock(victim, q.lock) {
+		s.StealsBusy++
+		return nil, stealBusy
+	}
+	bottom := q.p.Load64(victim, q.meta, wBottom)
+	var limit int64
+	if q.mode == ModeSplit {
+		limit = q.p.Load64(victim, q.meta, wSplit)
+	} else {
+		limit = q.p.Load64(victim, q.meta, wTop)
+	}
+	avail := limit - bottom
+	if avail <= 0 {
+		q.p.Unlock(victim, q.lock)
+		s.StealsEmpty++
+		return nil, stealEmpty
+	}
+	k := int64(chunk)
+	if k > avail {
+		k = avail
+	}
+	// Bulk transfer: the ring layout means at most two contiguous extents.
+	buf := make([]byte, int(k)*q.slotSize)
+	first := int64(q.capacity) - q.slotIndex(bottom)
+	if first > k {
+		first = k
+	}
+	q.p.Get(buf[:int(first)*q.slotSize], victim, q.data, q.slotOff(bottom))
+	if first < k {
+		q.p.Get(buf[int(first)*q.slotSize:], victim, q.data, q.slotOff(bottom+first))
+	}
+	if markDirty {
+		q.p.FetchAdd64(victim, q.meta, wDirty, 1)
+		s.DirtyMarksSent++
+	}
+	q.p.Store64(victim, q.meta, wBottom, bottom+k)
+	q.p.Unlock(victim, q.lock)
+	out := make([][]byte, int(k))
+	for i := range out {
+		out[i] = buf[i*q.slotSize : (i+1)*q.slotSize]
+	}
+	s.StealsOK++
+	s.TasksStolen += k
+	return out, stealOK
+}
+
+// dirtyCounter reads this process's dirty counter with an ordered load.
+func (q *taskQueue) dirtyCounter() int64 {
+	return q.p.Load64(q.p.Rank(), q.meta, wDirty)
+}

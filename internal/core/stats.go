@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stats holds per-process runtime counters for one task collection. All
+// counters are cumulative across processing phases until Reset is called
+// with clearStats.
+type Stats struct {
+	TasksAdded    int64 // tasks this process added (any destination)
+	TasksExecuted int64 // tasks this process executed
+	ExecutedLocal int64 // executed tasks whose origin was this process
+	InlineExecs   int64 // tasks executed inline because a queue was full
+
+	LocalInserts       int64 // lock-free private-end inserts
+	LocalSharedInserts int64 // locked local inserts at the shared end (low affinity)
+	RemoteInserts      int64 // one-sided inserts into another process's queue
+	LocalGets          int64 // lock-free (or locked-mode) local gets
+
+	Releases        int64 // split-pointer raises
+	TasksReleased   int64
+	Reacquires      int64 // split-pointer lowerings
+	TasksReacquired int64
+
+	StealAttempts    int64
+	NearStealProbes  int64 // hierarchical stealing: node-local probes
+	StealsOK         int64
+	StealsEmpty      int64
+	StealsBusy       int64
+	TasksStolen      int64
+	DirtyMarksSent   int64
+	DirtyMarksElided int64 // marks skipped thanks to the §5.3 optimization
+
+	WavesSeen      int64
+	Votes          int64
+	BlackVotes     int64
+	TermCounterOps int64 // remote atomics issued by counter-based termination
+
+	DeferredRegistered int64 // tasks registered with AddDeferred
+	DeferredLaunched   int64 // deferred tasks this process launched via Satisfy
+
+	IdleTime time.Duration // virtual/wall time spent without local work
+	WorkTime time.Duration // time spent inside task callbacks
+}
+
+// add accumulates other into s.
+func (s *Stats) add(o *Stats) {
+	s.TasksAdded += o.TasksAdded
+	s.TasksExecuted += o.TasksExecuted
+	s.ExecutedLocal += o.ExecutedLocal
+	s.InlineExecs += o.InlineExecs
+	s.LocalInserts += o.LocalInserts
+	s.LocalSharedInserts += o.LocalSharedInserts
+	s.RemoteInserts += o.RemoteInserts
+	s.LocalGets += o.LocalGets
+	s.Releases += o.Releases
+	s.TasksReleased += o.TasksReleased
+	s.Reacquires += o.Reacquires
+	s.TasksReacquired += o.TasksReacquired
+	s.StealAttempts += o.StealAttempts
+	s.NearStealProbes += o.NearStealProbes
+	s.StealsOK += o.StealsOK
+	s.StealsEmpty += o.StealsEmpty
+	s.StealsBusy += o.StealsBusy
+	s.TasksStolen += o.TasksStolen
+	s.DirtyMarksSent += o.DirtyMarksSent
+	s.DirtyMarksElided += o.DirtyMarksElided
+	s.WavesSeen += o.WavesSeen
+	s.Votes += o.Votes
+	s.BlackVotes += o.BlackVotes
+	s.TermCounterOps += o.TermCounterOps
+	s.DeferredRegistered += o.DeferredRegistered
+	s.DeferredLaunched += o.DeferredLaunched
+	s.IdleTime += o.IdleTime
+	s.WorkTime += o.WorkTime
+}
+
+// asSlice flattens the counters for cross-process reduction. The order must
+// match fromSlice.
+func (s *Stats) asSlice() []int64 {
+	return []int64{
+		s.TasksAdded, s.TasksExecuted, s.ExecutedLocal, s.InlineExecs,
+		s.LocalInserts, s.LocalSharedInserts, s.RemoteInserts, s.LocalGets,
+		s.Releases, s.TasksReleased, s.Reacquires, s.TasksReacquired,
+		s.StealAttempts, s.NearStealProbes, s.StealsOK, s.StealsEmpty, s.StealsBusy,
+		s.TasksStolen, s.DirtyMarksSent, s.DirtyMarksElided,
+		s.WavesSeen, s.Votes, s.BlackVotes, s.TermCounterOps,
+		s.DeferredRegistered, s.DeferredLaunched,
+		int64(s.IdleTime), int64(s.WorkTime),
+	}
+}
+
+// statsWords is the number of words asSlice produces.
+const statsWords = 28
+
+// fromSlice restores counters flattened by asSlice.
+func (s *Stats) fromSlice(v []int64) {
+	s.TasksAdded, s.TasksExecuted, s.ExecutedLocal, s.InlineExecs = v[0], v[1], v[2], v[3]
+	s.LocalInserts, s.LocalSharedInserts, s.RemoteInserts, s.LocalGets = v[4], v[5], v[6], v[7]
+	s.Releases, s.TasksReleased, s.Reacquires, s.TasksReacquired = v[8], v[9], v[10], v[11]
+	s.StealAttempts, s.NearStealProbes = v[12], v[13]
+	s.StealsOK, s.StealsEmpty, s.StealsBusy = v[14], v[15], v[16]
+	s.TasksStolen, s.DirtyMarksSent, s.DirtyMarksElided = v[17], v[18], v[19]
+	s.WavesSeen, s.Votes, s.BlackVotes, s.TermCounterOps = v[20], v[21], v[22], v[23]
+	s.DeferredRegistered, s.DeferredLaunched = v[24], v[25]
+	s.IdleTime, s.WorkTime = time.Duration(v[26]), time.Duration(v[27])
+}
+
+// String renders the headline counters compactly.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exec=%d (local %d, inline %d) added=%d", s.TasksExecuted, s.ExecutedLocal, s.InlineExecs, s.TasksAdded)
+	fmt.Fprintf(&b, " steals=%d/%d (empty %d, busy %d) stolen=%d", s.StealsOK, s.StealAttempts, s.StealsEmpty, s.StealsBusy, s.TasksStolen)
+	fmt.Fprintf(&b, " rel=%d reacq=%d dirty=%d(elided %d)", s.Releases, s.Reacquires, s.DirtyMarksSent, s.DirtyMarksElided)
+	fmt.Fprintf(&b, " waves=%d votes=%d black=%d", s.WavesSeen, s.Votes, s.BlackVotes)
+	fmt.Fprintf(&b, " work=%v idle=%v", s.WorkTime, s.IdleTime)
+	return b.String()
+}

@@ -1,0 +1,163 @@
+// Package core implements the Scioto task-parallel runtime: shared
+// collections of task objects with locality-aware dynamic load balancing
+// over a one-sided (pgas) communication substrate.
+//
+// The package reproduces the system described in "Scioto: A Framework for
+// Global-View Task Parallelism" (Dinan et al., ICPP 2008):
+//
+//   - task collections distributed as per-process circular queues of
+//     fixed-size task descriptors held in symmetric (remotely accessible)
+//     memory,
+//   - split queues with a lock-free private portion and a locked shared
+//     portion, managed with release/reacquire operations that move the
+//     split pointer without copying tasks,
+//   - chunked work stealing from the shared tail of randomly chosen
+//     victims, with affinity-based task placement so low-affinity tasks
+//     are stolen first,
+//   - wave-based termination detection over a binary spanning tree with
+//     white/black token coloring and the paper's §5.3 dirty-marking
+//     elision optimization,
+//   - common local objects (CLOs) giving tasks access to a per-process
+//     instance of collectively registered objects wherever they execute.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scioto/internal/pgas"
+)
+
+// Handle is a portable reference to a collectively registered task callback.
+// Handles are small integers assigned in registration order, so a handle
+// stored in a task body or header designates the same callback on every
+// process.
+type Handle int32
+
+// CLOHandle is a portable reference to a collectively registered common
+// local object. Wherever a task executes, the handle resolves to the
+// process-local instance of the object.
+type CLOHandle int32
+
+// TaskFunc is a task execution callback. It receives the task collection
+// the task is executing on (usable to spawn subtasks or reach the runtime)
+// and the task descriptor holding the task's arguments. The descriptor is a
+// private copy; the callback may scribble on it freely.
+type TaskFunc func(tc *TC, t *Task)
+
+// Header layout inside a task descriptor slot (little-endian):
+//
+//	[0:4)   callback handle
+//	[4:8)   affinity
+//	[8:12)  body length
+//	[12:16) origin rank (creator), for locality accounting
+const (
+	hdrHandle   = 0
+	hdrAffinity = 4
+	hdrBodyLen  = 8
+	hdrOrigin   = 12
+	// HeaderBytes is the size of the standard task descriptor header.
+	HeaderBytes = 16
+)
+
+// Task is a task descriptor: a standard header plus an opaque, user-defined
+// body. The in-memory representation matches the wire representation, so
+// adding a task to a collection is a single contiguous copy.
+type Task struct {
+	buf     []byte // HeaderBytes + body capacity
+	bodyLen int
+}
+
+// NewTask creates a task descriptor with the given callback handle and body
+// size. The body is zeroed.
+func NewTask(h Handle, bodySize int) *Task {
+	if bodySize < 0 {
+		panic("core: negative task body size")
+	}
+	t := &Task{buf: make([]byte, HeaderBytes+bodySize), bodyLen: bodySize}
+	t.SetHandle(h)
+	pgas.PutI32(t.buf[hdrBodyLen:], int32(bodySize))
+	return t
+}
+
+// Handle returns the task's callback handle.
+func (t *Task) Handle() Handle { return Handle(pgas.GetI32(t.buf[hdrHandle:])) }
+
+// SetHandle sets the task's callback handle.
+func (t *Task) SetHandle(h Handle) { pgas.PutI32(t.buf[hdrHandle:], int32(h)) }
+
+// Affinity returns the task's affinity value.
+func (t *Task) Affinity() int32 { return pgas.GetI32(t.buf[hdrAffinity:]) }
+
+// setAffinity records the affinity the task was added with.
+func (t *Task) setAffinity(a int32) { pgas.PutI32(t.buf[hdrAffinity:], a) }
+
+// Origin returns the rank that created (added) the task.
+func (t *Task) Origin() int { return int(pgas.GetI32(t.buf[hdrOrigin:])) }
+
+func (t *Task) setOrigin(r int) { pgas.PutI32(t.buf[hdrOrigin:], int32(r)) }
+
+// Body returns the task's user-defined body. Callers may encode arguments
+// in any format; the contents travel with the task.
+func (t *Task) Body() []byte { return t.buf[HeaderBytes : HeaderBytes+t.bodyLen] }
+
+// BodyLen returns the length of the task body in bytes.
+func (t *Task) BodyLen() int { return t.bodyLen }
+
+// wire returns the descriptor's wire representation (header + body).
+func (t *Task) wire() []byte { return t.buf[:HeaderBytes+t.bodyLen] }
+
+// decodeTask reconstructs a task descriptor from slot bytes.
+func decodeTask(slot []byte) *Task {
+	bodyLen := int(pgas.GetI32(slot[hdrBodyLen:]))
+	if bodyLen < 0 || HeaderBytes+bodyLen > len(slot) {
+		panic(fmt.Sprintf("core: corrupt task descriptor: body length %d in %d-byte slot", bodyLen, len(slot)))
+	}
+	t := &Task{buf: make([]byte, HeaderBytes+bodyLen), bodyLen: bodyLen}
+	copy(t.buf, slot)
+	return t
+}
+
+// Runtime is the per-process attachment point for the Scioto runtime. It
+// wraps a pgas process handle and holds the process's common local objects
+// and task-collection bookkeeping. Create one per process with Attach.
+type Runtime struct {
+	p    pgas.Proc
+	clos []any
+	rng  *rand.Rand
+}
+
+// Attach initializes the Scioto runtime on the calling process. Collective:
+// all processes must attach before creating task collections.
+func Attach(p pgas.Proc) *Runtime {
+	return &Runtime{p: p, rng: p.Rand()}
+}
+
+// Proc exposes the underlying pgas process handle, for applications that
+// mix task parallelism with direct one-sided communication (the common
+// case: Global Arrays access from inside tasks).
+func (rt *Runtime) Proc() pgas.Proc { return rt.p }
+
+// Rank returns the calling process's rank.
+func (rt *Runtime) Rank() int { return rt.p.Rank() }
+
+// NProcs returns the number of processes.
+func (rt *Runtime) NProcs() int { return rt.p.NProcs() }
+
+// RegisterCLO collectively registers a common local object and returns its
+// portable handle. Every process must register its local instance in the
+// same order; the handle then resolves to the process-local instance
+// wherever a task executes (the only way tasks can produce node-local
+// results under models, like MPI, with no global address space).
+func (rt *Runtime) RegisterCLO(obj any) CLOHandle {
+	rt.clos = append(rt.clos, obj)
+	return CLOHandle(len(rt.clos) - 1)
+}
+
+// CLO resolves a common local object handle to this process's instance.
+func (rt *Runtime) CLO(h CLOHandle) any {
+	if int(h) < 0 || int(h) >= len(rt.clos) {
+		panic(fmt.Sprintf("core: CLO handle %d not registered (have %d)", h, len(rt.clos)))
+	}
+	return rt.clos[h]
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"scioto/internal/pgas"
+)
+
+func TestTaskHeaderRoundTrip(t *testing.T) {
+	tk := NewTask(7, 32)
+	tk.setAffinity(AffinityHigh)
+	tk.setOrigin(13)
+	copy(tk.Body(), "hello task body")
+	if tk.Handle() != 7 {
+		t.Errorf("handle = %d", tk.Handle())
+	}
+	if tk.Affinity() != AffinityHigh {
+		t.Errorf("affinity = %d", tk.Affinity())
+	}
+	if tk.Origin() != 13 {
+		t.Errorf("origin = %d", tk.Origin())
+	}
+	if tk.BodyLen() != 32 {
+		t.Errorf("body len = %d", tk.BodyLen())
+	}
+
+	back := decodeTask(tk.wire())
+	if back.Handle() != 7 || back.Affinity() != AffinityHigh || back.Origin() != 13 || back.BodyLen() != 32 {
+		t.Error("decodeTask lost header fields")
+	}
+	if !bytes.Equal(back.Body(), tk.Body()) {
+		t.Error("decodeTask lost body")
+	}
+	// The decoded task owns its bytes: mutating the original must not leak.
+	tk.Body()[0] = 'X'
+	if back.Body()[0] == 'X' {
+		t.Error("decoded task aliases the source buffer")
+	}
+}
+
+func TestTaskWireRoundTripQuick(t *testing.T) {
+	f := func(h int32, aff int32, origin uint8, body []byte) bool {
+		tk := NewTask(Handle(h), len(body))
+		tk.setAffinity(aff)
+		tk.setOrigin(int(origin))
+		copy(tk.Body(), body)
+		// Simulate a queue slot larger than the descriptor.
+		slot := make([]byte, len(tk.wire())+64)
+		copy(slot, tk.wire())
+		back := decodeTask(slot)
+		return back.Handle() == Handle(h) &&
+			back.Affinity() == aff &&
+			back.Origin() == int(origin) &&
+			bytes.Equal(back.Body(), body)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTaskCorruptLength(t *testing.T) {
+	tk := NewTask(0, 8)
+	slot := make([]byte, HeaderBytes+8)
+	copy(slot, tk.wire())
+	pgas.PutI32(slot[hdrBodyLen:], 10_000) // larger than the slot
+	defer func() {
+		if recover() == nil {
+			t.Error("decodeTask accepted a corrupt body length")
+		}
+	}()
+	decodeTask(slot)
+}
+
+func TestNewTaskNegativeBodyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTask accepted a negative body size")
+		}
+	}()
+	NewTask(0, -1)
+}
+
+func TestCLORegistry(t *testing.T) {
+	rt := &Runtime{}
+	type counter struct{ n int }
+	c1, c2 := &counter{}, &counter{}
+	h1 := rt.RegisterCLO(c1)
+	h2 := rt.RegisterCLO(c2)
+	if h1 == h2 {
+		t.Fatal("distinct CLOs share a handle")
+	}
+	if rt.CLO(h1) != any(c1) || rt.CLO(h2) != any(c2) {
+		t.Fatal("CLO lookup returned wrong instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unregistered CLO handle did not panic")
+		}
+	}()
+	rt.CLO(CLOHandle(99))
+}

@@ -1,0 +1,435 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"scioto/internal/pgas"
+	"scioto/internal/trace"
+)
+
+// Config parameterizes a task collection, mirroring tc_create's arguments
+// plus the knobs the paper describes or that we ablate.
+type Config struct {
+	// MaxBodySize is the largest task body (bytes) the collection can hold
+	// (tc_create's task_sz).
+	MaxBodySize int
+	// ChunkSize is the maximum number of tasks transferred by one steal
+	// operation (tc_create's chunk_sz).
+	ChunkSize int
+	// MaxTasks is the per-process queue capacity (tc_create's max_sz).
+	MaxTasks int
+	// QueueMode selects the split queue (default) or the fully locked
+	// ablation.
+	QueueMode QueueMode
+	// DisableStealing turns off dynamic load balancing, relying on the
+	// initial task placement (Section 3's "dynamic load balancing can be
+	// disabled prior to entering the task parallel region").
+	DisableStealing bool
+	// DisableColoringOpt disables the §5.3 dirty-marking elision, so every
+	// steal marks its victim dirty (ablation baseline).
+	DisableColoringOpt bool
+	// AffinityThreshold: local adds with affinity >= threshold go to the
+	// lock-free private end (executed first, stolen last); lower-affinity
+	// adds go to the shared steal end. Default 1, so the conventional
+	// affinity values (AffinityHigh=2, AffinityLow=0) split as expected.
+	AffinityThreshold int32
+	// ReleaseInterval is the number of executed tasks between ordered
+	// refreshes of the steal-end index in the release check (progress
+	// guarantee for making work stealable). Default 8.
+	ReleaseInterval int
+	// MaxDeferred is the per-process capacity of the deferred-task pool
+	// used by AddDeferred/Satisfy (inter-task dependencies). Zero disables
+	// the dependency API for this collection.
+	MaxDeferred int
+	// ProcsPerNode, when > 1, tells the scheduler that consecutive ranks
+	// share multicore nodes (matching the transport's node model).
+	ProcsPerNode int
+	// Termination selects the termination detection algorithm: the
+	// paper's token waves (default) or the eager global counter
+	// alternative kept for ablation.
+	Termination TerminationMode
+	// HierarchicalStealing, with ProcsPerNode > 1, makes idle processes
+	// alternate between node-local victims (cheap shared-memory steals)
+	// and machine-wide random victims, instead of always choosing
+	// uniformly. This is the paper's "multicore scheduling enhancements"
+	// future-work item.
+	HierarchicalStealing bool
+}
+
+// Conventional affinity values.
+const (
+	// AffinityHigh places a task at the owner-processing end of the queue:
+	// executed first locally, stolen last.
+	AffinityHigh int32 = 2
+	// AffinityLow places a task at the steal end of the queue: first to be
+	// transferred when load balancing occurs.
+	AffinityLow int32 = 0
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodySize == 0 {
+		c.MaxBodySize = 256
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 10
+	}
+	if c.MaxTasks == 0 {
+		c.MaxTasks = 1 << 14
+	}
+	if c.AffinityThreshold == 0 {
+		c.AffinityThreshold = 1
+	}
+	if c.ReleaseInterval == 0 {
+		c.ReleaseInterval = 8
+	}
+	return c
+}
+
+// ErrFull reports that a task could not be added because the destination
+// queue was at capacity outside a processing phase (inside one, full queues
+// trigger inline execution instead).
+var ErrFull = errors.New("core: task queue full")
+
+// TC is a task collection: a global-view, distributed collection of task
+// objects processed collectively in a MIMD task-parallel phase.
+type TC struct {
+	rt  *Runtime
+	cfg Config
+
+	q    *taskQueue
+	td   *termDetector
+	ctd  *ctrDetector // non-nil iff Config.Termination == TermCounter
+	deps *depPool
+
+	callbacks []TaskFunc
+
+	statsSeg pgas.Seg // scratch for GlobalStats reduction
+
+	stats      Stats
+	processing bool
+	sinceOrder int  // executed tasks since last ordered release check
+	stealNear  bool // hierarchical stealing: next probe is node-local
+
+	tracer *trace.Recorder // nil = tracing disabled
+}
+
+// NewTC collectively creates a task collection. All processes must call it
+// with an identical configuration, and must then register the same
+// callbacks in the same order.
+func NewTC(rt *Runtime, cfg Config) *TC {
+	cfg = cfg.withDefaults()
+	if cfg.MaxBodySize < 0 || cfg.ChunkSize <= 0 || cfg.MaxTasks <= 0 {
+		panic(fmt.Sprintf("core: invalid task collection config %+v", cfg))
+	}
+	tc := &TC{rt: rt, cfg: cfg}
+	slotSize := HeaderBytes + cfg.MaxBodySize
+	tc.q = newTaskQueue(rt.p, cfg.QueueMode, slotSize, cfg.MaxTasks)
+	tc.td = newTermDetector(rt.p, &tc.stats)
+	if cfg.Termination == TermCounter {
+		tc.ctd = newCtrDetector(rt.p, &tc.stats)
+	}
+	tc.statsSeg = rt.p.AllocWords(statsWords)
+	if cfg.MaxDeferred > 0 {
+		tc.deps = newDepPool(rt.p, cfg.MaxDeferred, slotSize)
+	}
+	rt.p.Barrier()
+	return tc
+}
+
+// SetTracer attaches an event recorder to this collection (nil detaches).
+// Local operation; typically every rank attaches its own recorder and the
+// deterministic dsim timeline is merged with trace.Timeline afterwards.
+func (tc *TC) SetTracer(r *trace.Recorder) {
+	tc.tracer = r
+	tc.q.tracer = r
+	tc.td.tracer = r
+}
+
+// Tracer returns the attached recorder (nil when tracing is disabled).
+func (tc *TC) Tracer() *trace.Recorder { return tc.tracer }
+
+// Runtime returns the runtime the collection is attached to.
+func (tc *TC) Runtime() *Runtime { return tc.rt }
+
+// Proc returns the underlying pgas process handle (for tasks that perform
+// one-sided communication).
+func (tc *TC) Proc() pgas.Proc { return tc.rt.p }
+
+// Config returns the collection's (defaulted) configuration.
+func (tc *TC) Config() Config { return tc.cfg }
+
+// Register collectively registers a task callback and returns its portable
+// handle. Every process must register the same callbacks in the same order.
+func (tc *TC) Register(fn TaskFunc) Handle {
+	tc.callbacks = append(tc.callbacks, fn)
+	return Handle(len(tc.callbacks) - 1)
+}
+
+// NewTask creates a task descriptor sized for this collection with the
+// given callback handle. The body size is the collection's MaxBodySize;
+// use core.NewTask directly for smaller bodies.
+func (tc *TC) NewTask(h Handle) *Task {
+	return NewTask(h, tc.cfg.MaxBodySize)
+}
+
+// Add inserts a copy of the task into the collection patch on process proc
+// with the given affinity (copy-in semantics: the task buffer is reusable
+// as soon as Add returns). High-affinity local adds use the lock-free
+// private end; everything else goes through the locked shared end. During a
+// processing phase a full destination queue triggers inline execution of
+// the task; outside one, ErrFull is returned.
+func (tc *TC) Add(proc int, affinity int32, t *Task) error {
+	if int(t.Handle()) < 0 || int(t.Handle()) >= len(tc.callbacks) {
+		return fmt.Errorf("core: task handle %d not registered", t.Handle())
+	}
+	if t.BodyLen() > tc.cfg.MaxBodySize {
+		return fmt.Errorf("core: task body %dB exceeds collection max %dB", t.BodyLen(), tc.cfg.MaxBodySize)
+	}
+	if proc < 0 || proc >= tc.rt.NProcs() {
+		return fmt.Errorf("core: add to invalid process %d", proc)
+	}
+	t.setAffinity(affinity)
+	t.setOrigin(tc.rt.Rank())
+	wire := t.wire()
+	me := tc.rt.Rank()
+
+	tc.tracer.Record(tc.rt.p.Now(), trace.TaskAdd, int64(proc), int64(affinity))
+	if tc.ctd != nil {
+		// Counter-based termination charges the outstanding count before
+		// the task becomes visible anywhere.
+		tc.ctd.noteAdd()
+	}
+	ok := false
+	switch {
+	case proc == me && tc.cfg.QueueMode == ModeLocked:
+		ok = tc.q.pushLocked(wire, &tc.stats)
+	case proc == me && affinity >= tc.cfg.AffinityThreshold:
+		ok = tc.q.pushPrivate(wire, &tc.stats)
+	default:
+		ok = tc.q.addRemote(proc, wire, &tc.stats)
+	}
+	if ok {
+		tc.stats.TasksAdded++
+		if proc != me {
+			// Moving work to another process is a load-balancing
+			// operation: our next termination token must be black.
+			tc.td.noteBalance()
+		}
+		return nil
+	}
+	if !tc.processing {
+		return ErrFull
+	}
+	// Full queue during processing: execute the task inline. Tasks are
+	// independent, so immediate execution preserves correctness while
+	// bounding queue memory (work-first fallback).
+	tc.stats.TasksAdded++
+	tc.stats.InlineExecs++
+	tc.execute(decodeTask(wire))
+	return nil
+}
+
+// execute dispatches a task to its callback.
+func (tc *TC) execute(t *Task) {
+	h := int(t.Handle())
+	if h < 0 || h >= len(tc.callbacks) {
+		panic(fmt.Sprintf("core: executing task with unregistered handle %d", h))
+	}
+	t0 := tc.rt.p.Now()
+	tc.tracer.Record(t0, trace.TaskExec, int64(h), int64(t.Origin()))
+	tc.callbacks[h](tc, t)
+	tc.stats.WorkTime += tc.rt.p.Now() - t0
+	tc.stats.TasksExecuted++
+	if t.Origin() == tc.rt.Rank() {
+		tc.stats.ExecutedLocal++
+	}
+	if tc.ctd != nil {
+		tc.ctd.noteDone()
+	}
+}
+
+// popLocal fetches the next local task: private end first; when the
+// private portion is empty, reacquire shared-portion work under the lock.
+func (tc *TC) popLocal() (*Task, bool) {
+	if tc.cfg.QueueMode == ModeLocked {
+		return tc.q.popLocked(&tc.stats)
+	}
+	if t, ok := tc.q.popPrivate(&tc.stats); ok {
+		return t, true
+	}
+	if tc.q.reacquire(&tc.stats) {
+		return tc.q.popPrivate(&tc.stats)
+	}
+	return nil, false
+}
+
+// Process collectively enters the MIMD task-parallel phase: every process
+// executes tasks from its own patch, steals from random victims when its
+// patch drains, and participates in termination detection when passive.
+// Process returns on all processes once global termination is detected.
+func (tc *TC) Process() {
+	p := tc.rt.p
+	p.Barrier()
+	tc.td.reset()
+	// Note: the counter detector is NOT reset here — seeding adds before
+	// Process have already charged it. It is cleared by NewTC and Reset.
+	p.Barrier()
+	tc.processing = true
+
+	n := tc.rt.NProcs()
+	for {
+		if t, ok := tc.popLocal(); ok {
+			tc.execute(t)
+			tc.sinceOrder++
+			if tc.cfg.QueueMode == ModeSplit {
+				tc.q.maybeRelease(tc.sinceOrder >= tc.cfg.ReleaseInterval, &tc.stats)
+				if tc.sinceOrder >= tc.cfg.ReleaseInterval {
+					tc.sinceOrder = 0
+				}
+			}
+			continue
+		}
+
+		idle0 := p.Now()
+		if !tc.cfg.DisableStealing && n > 1 {
+			victim := tc.pickVictim()
+			markDirty := tc.ctd == nil
+			if markDirty && !tc.cfg.DisableColoringOpt {
+				// §5.3: the victim only needs to be marked dirty if the
+				// thief has already voted and the victim does not vote
+				// before the thief.
+				markDirty = tc.td.hasVoted() && !IsDescendant(victim, tc.rt.Rank())
+				if !markDirty {
+					tc.stats.DirtyMarksElided++
+				}
+			}
+			slots, res := tc.q.steal(victim, tc.cfg.ChunkSize, markDirty, &tc.stats)
+			switch res {
+			case stealOK:
+				tc.tracer.Record(p.Now(), trace.StealOK, int64(victim), int64(len(slots)))
+			case stealEmpty:
+				tc.tracer.Record(p.Now(), trace.StealEmpty, int64(victim), 0)
+			case stealBusy:
+				tc.tracer.Record(p.Now(), trace.StealBusy, int64(victim), 0)
+			}
+			if res == stealOK {
+				tc.td.noteBalance()
+				tc.enqueueStolen(slots)
+				tc.stats.IdleTime += p.Now() - idle0
+				continue
+			}
+		}
+
+		// Passive: we just verified the queue is empty and failed to find
+		// work. Participate in termination detection.
+		var done bool
+		if tc.ctd != nil {
+			done = tc.ctd.idleCheck()
+		} else {
+			done = tc.td.step(true, tc.q.dirtyCounter)
+		}
+		tc.stats.IdleTime += p.Now() - idle0
+		if done {
+			break
+		}
+	}
+
+	tc.processing = false
+	p.Barrier()
+}
+
+// enqueueStolen pushes stolen slot images onto the local queue.
+func (tc *TC) enqueueStolen(slots [][]byte) {
+	for _, slot := range slots {
+		t := decodeTask(slot)
+		var ok bool
+		if tc.cfg.QueueMode == ModeLocked {
+			ok = tc.q.pushLocked(t.wire(), &tc.stats)
+		} else {
+			ok = tc.q.pushPrivate(t.wire(), &tc.stats)
+		}
+		if !ok {
+			tc.stats.InlineExecs++
+			tc.execute(t)
+		}
+	}
+}
+
+// Reset collectively clears the collection so it can be seeded and
+// processed again (tc_reset).
+func (tc *TC) Reset() {
+	tc.rt.p.Barrier()
+	tc.q.reset()
+	tc.td.reset()
+	if tc.ctd != nil {
+		tc.ctd.reset()
+	}
+	tc.sinceOrder = 0
+	tc.rt.p.Barrier()
+}
+
+// Stats returns this process's counters.
+func (tc *TC) Stats() Stats { return tc.stats }
+
+// ClearStats zeroes this process's counters (local operation).
+func (tc *TC) ClearStats() { tc.stats = Stats{} }
+
+// PendingLocal estimates the number of tasks currently in this process's
+// patch (exact when no concurrent remote activity).
+func (tc *TC) PendingLocal() int64 { return tc.q.totalCountHint() }
+
+// GlobalStats collectively reduces all processes' counters and returns the
+// sum (valid on every process). Must be called by all processes together,
+// outside a processing phase.
+func (tc *TC) GlobalStats() Stats {
+	p := tc.rt.p
+	seg := tc.statsSeg
+	mine := tc.stats.asSlice()
+	for i, v := range mine {
+		p.Store64(p.Rank(), seg, i, v)
+	}
+	p.Barrier()
+	var total Stats
+	acc := make([]int64, statsWords)
+	for r := 0; r < p.NProcs(); r++ {
+		for i := range acc {
+			acc[i] += p.Load64(r, seg, i)
+		}
+	}
+	total.fromSlice(acc)
+	p.Barrier()
+	return total
+}
+
+// pickVictim chooses a steal target. Uniform random by default; with
+// hierarchical stealing enabled, probes alternate between a random
+// node-mate (cheap intra-node transfer) and a random machine-wide victim
+// (so imbalance still diffuses globally).
+func (tc *TC) pickVictim() int {
+	p := tc.rt.p
+	n := tc.rt.NProcs()
+	me := tc.rt.Rank()
+	ppn := tc.cfg.ProcsPerNode
+	if tc.cfg.HierarchicalStealing && ppn > 1 {
+		tc.stealNear = !tc.stealNear
+		nodeBase := (me / ppn) * ppn
+		nodeSize := ppn
+		if nodeBase+nodeSize > n {
+			nodeSize = n - nodeBase
+		}
+		if tc.stealNear && nodeSize > 1 {
+			v := nodeBase + p.Rand().Intn(nodeSize-1)
+			if v >= me {
+				v++
+			}
+			tc.stats.NearStealProbes++
+			return v
+		}
+	}
+	v := p.Rand().Intn(n - 1)
+	if v >= me {
+		v++
+	}
+	return v
+}

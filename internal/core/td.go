@@ -1,0 +1,267 @@
+package core
+
+import (
+	"scioto/internal/pgas"
+	"scioto/internal/trace"
+)
+
+// Termination detection, following Section 5.2 of the paper: a wave-based
+// algorithm in the style of Francez and Rodeh. A binary spanning tree is
+// mapped onto the process space (rank r's children are 2r+1 and 2r+2). The
+// root starts a token wave that is split on the way down the tree; as
+// processes become passive they combine their children's tokens with their
+// own color and pass the result up. Tokens are white unless the process (or
+// one of its children) performed a load-balancing operation since its last
+// vote, or a thief marked the process dirty; a black token at the root
+// forces another wave, a white one means global termination.
+//
+// The §5.3 token coloring optimization is implemented in TC.processLoop:
+// a thief skips marking its victim dirty when the thief has not yet voted
+// in the wave it knows about, or when the victim votes before the thief
+// (i.e. the victim is a descendant of the thief in the spanning tree).
+//
+// Word-cell protocol (one word segment per process):
+//
+//	cell 0 (down):  wave number written by the parent; termSignal means
+//	                global termination; 0 means empty.
+//	cell 1 (up[0]): vote from the left child: wave*4 + 2 + color.
+//	cell 2 (up[1]): vote from the right child.
+//
+// Votes encode the wave so a slow parent cannot confuse waves; down cells
+// only ever increase (waves are numbered from 1).
+const (
+	tdDown  = 0
+	tdUpL   = 1
+	tdUpR   = 2
+	nTDCell = 3
+
+	termSignal = -1
+)
+
+const (
+	colorWhite int64 = 0
+	colorBlack int64 = 1
+)
+
+// encodeVote packs a wave number and color into an up-cell value.
+// Zero is reserved for "no vote yet".
+func encodeVote(wave int64, color int64) int64 { return wave*4 + 2 + color }
+
+// decodeVote unpacks an up-cell value.
+func decodeVote(v int64) (wave int64, color int64) { return (v - 2) / 4, (v - 2) % 4 }
+
+// IsDescendant reports whether rank v is a (possibly indirect) descendant
+// of rank t in the binary spanning tree, i.e. whether v votes before t
+// (the paper's votes-before relation "v -> t"). A rank is not its own
+// descendant.
+func IsDescendant(v, t int) bool {
+	if v <= t {
+		return false
+	}
+	for v > t {
+		v = (v - 1) / 2
+	}
+	return v == t
+}
+
+// termDetector is the per-process termination detection state for one
+// processing phase of a task collection.
+type termDetector struct {
+	p   pgas.Proc
+	seg pgas.Seg
+
+	parent   int
+	children []int
+
+	wave      int64 // wave this process is currently participating in (0 = none yet)
+	forwarded bool  // wave has been forwarded to children
+	voted     bool  // this process has voted in 'wave'
+
+	// Color state. balancedSinceVote is set by successful steals and remote
+	// adds; dirtySeen tracks the last observed value of the queue's dirty
+	// counter.
+	balancedSinceVote bool
+	dirtySeen         int64
+
+	terminated bool
+
+	stats  *Stats
+	tracer *trace.Recorder // nil = tracing disabled
+}
+
+// newTermDetector collectively allocates the detector's word segment.
+func newTermDetector(p pgas.Proc, stats *Stats) *termDetector {
+	td := &termDetector{
+		p:     p,
+		seg:   p.AllocWords(nTDCell),
+		stats: stats,
+	}
+	me := p.Rank()
+	if me > 0 {
+		td.parent = (me - 1) / 2
+	} else {
+		td.parent = -1
+	}
+	for _, c := range []int{2*me + 1, 2*me + 2} {
+		if c < p.NProcs() {
+			td.children = append(td.children, c)
+		}
+	}
+	return td
+}
+
+// reset prepares the detector for a new processing phase. Collective with
+// barriers on both sides (handled by the TC).
+func (td *termDetector) reset() {
+	me := td.p.Rank()
+	td.p.Store64(me, td.seg, tdDown, 0)
+	td.p.Store64(me, td.seg, tdUpL, 0)
+	td.p.Store64(me, td.seg, tdUpR, 0)
+	td.wave = 0
+	td.forwarded = false
+	td.voted = false
+	td.balancedSinceVote = false
+	td.dirtySeen = 0
+	td.terminated = false
+}
+
+// noteBalance records that this process performed a load-balancing
+// operation (a successful steal or a remote add) since its last vote,
+// forcing its next token to be black.
+func (td *termDetector) noteBalance() { td.balancedSinceVote = true }
+
+// hasVoted reports whether this process has cast a vote in the most recent
+// wave it has observed (the thief-side input to the coloring optimization).
+func (td *termDetector) hasVoted() bool { return td.voted }
+
+// upCellOf returns the up-cell index on the parent that this rank writes.
+func (td *termDetector) upCellOf(rank int) int {
+	if rank%2 == 1 {
+		return tdUpL
+	}
+	return tdUpR
+}
+
+// step advances the detector. passive must be true iff the caller is idle
+// with an empty queue, and the caller must have checked its queue for work
+// immediately before calling (votes must reflect a fresh emptiness check).
+// queueDirty supplies an ordered read of the queue's dirty counter, taken
+// lazily only when a vote is about to be cast.
+//
+// It returns true once global termination has been detected.
+func (td *termDetector) step(passive bool, queueDirty func() int64) bool {
+	if td.terminated {
+		return true
+	}
+	me := td.p.Rank()
+	n := td.p.NProcs()
+
+	if n == 1 {
+		// Sole process: passivity is termination.
+		if passive {
+			td.terminated = true
+		}
+		return td.terminated
+	}
+
+	if me == 0 {
+		// Root: start the first wave upon first becoming passive.
+		if td.wave == 0 && passive {
+			td.startWave(1)
+		}
+	} else {
+		// Observe the down cell: a new wave or the termination signal.
+		down := td.p.Load64(me, td.seg, tdDown)
+		if down == termSignal {
+			td.propagateDown(termSignal)
+			td.tracer.Record(td.p.Now(), trace.Terminate, td.wave, 0)
+			td.terminated = true
+			return true
+		}
+		if down > td.wave {
+			td.wave = down
+			td.forwarded = false
+			td.voted = false
+			td.stats.WavesSeen++
+			td.tracer.Record(td.p.Now(), trace.WaveDown, down, 0)
+		}
+		if td.wave > 0 && !td.forwarded {
+			td.propagateDown(td.wave)
+			td.forwarded = true
+		}
+	}
+
+	if td.wave == 0 || td.voted || !passive {
+		return false
+	}
+
+	// Collect children's votes for this wave.
+	color := colorWhite
+	for _, c := range td.children {
+		v := td.p.Load64(me, td.seg, td.upCellOf(c))
+		if v == 0 {
+			return false // child has not voted yet
+		}
+		w, cl := decodeVote(v)
+		if w < td.wave {
+			return false // stale vote from a previous wave
+		}
+		if w > td.wave {
+			// A child cannot be ahead of its parent's wave.
+			panic("core: termination detection wave skew")
+		}
+		if cl == colorBlack {
+			color = colorBlack
+		}
+	}
+
+	// Fold in our own color: load balancing since last vote, or a dirty
+	// mark left by a thief. The dirty counter is read with an ordered load
+	// after the caller's queue-emptiness check, so a steal that emptied
+	// our queue is guaranteed to be visible here.
+	dirty := queueDirty()
+	if td.balancedSinceVote || dirty != td.dirtySeen {
+		color = colorBlack
+	}
+	td.dirtySeen = dirty
+	td.balancedSinceVote = false
+
+	if me == 0 {
+		// Root completes the wave.
+		if color == colorWhite {
+			td.propagateDown(termSignal)
+			td.tracer.Record(td.p.Now(), trace.Terminate, td.wave, 0)
+			td.terminated = true
+			td.voted = true
+			return true
+		}
+		td.startWave(td.wave + 1)
+		return false
+	}
+
+	// Cast our vote upward.
+	td.p.Store64(td.parent, td.seg, td.upCellOf(me), encodeVote(td.wave, color))
+	td.tracer.Record(td.p.Now(), trace.Vote, td.wave, color)
+	td.voted = true
+	td.stats.Votes++
+	if color == colorBlack {
+		td.stats.BlackVotes++
+	}
+	return false
+}
+
+// startWave (root only) begins wave w.
+func (td *termDetector) startWave(w int64) {
+	td.wave = w
+	td.voted = false
+	td.stats.WavesSeen++
+	td.propagateDown(w)
+}
+
+// propagateDown writes a wave number (or the termination signal) into the
+// children's down cells.
+func (td *termDetector) propagateDown(v int64) {
+	for _, c := range td.children {
+		td.p.Store64(c, td.seg, tdDown, v)
+	}
+}

@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scioto/internal/core"
+	"scioto/internal/pgas"
+	"scioto/internal/pgas/dsim"
+)
+
+// TestCounterTerminationCounts: the counter-based detector terminates with
+// every task executed, across seeding patterns and dynamic spawning.
+func TestCounterTerminationCounts(t *testing.T) {
+	const n = 5
+	forBothTransports(t, n, func(tr pgas.Transport, p pgas.Proc) {
+		rt := core.Attach(p)
+		tc := core.NewTC(rt, core.Config{
+			MaxBodySize: 8,
+			MaxTasks:    4096,
+			ChunkSize:   3,
+			Termination: core.TermCounter,
+		})
+		var h core.Handle
+		h = tc.Register(func(tc *core.TC, t *core.Task) {
+			d := pgas.GetI64(t.Body())
+			tc.Proc().Compute(2 * time.Microsecond)
+			if d < 4 {
+				child := core.NewTask(h, 8)
+				pgas.PutI64(child.Body(), d+1)
+				for i := 0; i < 2; i++ {
+					dst := tc.Proc().Rand().Intn(tc.Runtime().NProcs())
+					if err := tc.Add(dst, core.AffinityHigh, child); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+		if p.Rank() == 0 {
+			root := core.NewTask(h, 8)
+			if err := tc.Add(0, core.AffinityHigh, root); err != nil {
+				panic(err)
+			}
+		}
+		tc.Process()
+		g := tc.GlobalStats()
+		if want := int64(1<<5 - 1); g.TasksExecuted != want {
+			panic(fmt.Sprintf("executed %d, want %d", g.TasksExecuted, want))
+		}
+		if g.TermCounterOps == 0 {
+			panic("counter-based termination issued no counter operations")
+		}
+		if g.WavesSeen != 0 {
+			panic("wave detector ran in counter mode")
+		}
+	})
+}
+
+// TestCounterTerminationAdversarial: the seed sweep that hunts early
+// termination, in counter mode.
+func TestCounterTerminationAdversarial(t *testing.T) {
+	const n = 6
+	for seed := int64(0); seed < 8; seed++ {
+		w := dsim.NewWorld(dsim.Config{NProcs: n, Seed: seed})
+		var executed, added int64
+		if err := w.Run(func(p pgas.Proc) {
+			rt := core.Attach(p)
+			tc := core.NewTC(rt, core.Config{
+				MaxBodySize: 16,
+				MaxTasks:    1 << 12,
+				ChunkSize:   2,
+				Termination: core.TermCounter,
+			})
+			var h core.Handle
+			h = tc.Register(func(tc *core.TC, t *core.Task) {
+				depth := pgas.GetI64(t.Body())
+				tc.Proc().Compute(time.Duration(tc.Proc().Rand().Intn(2000)) * time.Nanosecond)
+				if depth >= 5 {
+					return
+				}
+				kids := tc.Proc().Rand().Intn(4)
+				child := core.NewTask(h, 16)
+				pgas.PutI64(child.Body(), depth+1)
+				for i := 0; i < kids; i++ {
+					dst := tc.Proc().Rand().Intn(tc.Runtime().NProcs())
+					if err := tc.Add(dst, int32(i%3), child); err != nil {
+						panic(err)
+					}
+				}
+			})
+			if p.Rank() == 0 {
+				root := core.NewTask(h, 16)
+				for i := 0; i < 6; i++ {
+					if err := tc.Add(i%n, core.AffinityHigh, root); err != nil {
+						panic(err)
+					}
+				}
+			}
+			tc.Process()
+			g := tc.GlobalStats()
+			if p.Rank() == 0 {
+				executed, added = g.TasksExecuted, g.TasksAdded
+			}
+		}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if executed != added || executed < 6 {
+			t.Fatalf("seed %d: executed %d of %d", seed, executed, added)
+		}
+	}
+}
+
+// TestTerminationModesAgree: both detectors process identical workloads to
+// identical executed counts, and the counter mode pays per-task counter
+// traffic the wave mode avoids.
+func TestTerminationModesAgree(t *testing.T) {
+	const n = 6
+	const total = 300
+	run := func(mode core.TerminationMode) core.Stats {
+		var g core.Stats
+		w := dsim.NewWorld(dsim.Config{NProcs: n, Seed: 9})
+		if err := w.Run(func(p pgas.Proc) {
+			rt := core.Attach(p)
+			tc := core.NewTC(rt, core.Config{
+				MaxBodySize: 8, MaxTasks: 1024, ChunkSize: 4, Termination: mode,
+			})
+			h := noopTask(rt, tc)
+			if p.Rank() == 0 {
+				task := core.NewTask(h, 8)
+				for i := 0; i < total; i++ {
+					if err := tc.Add(0, core.AffinityHigh, task); err != nil {
+						panic(err)
+					}
+				}
+			}
+			tc.Process()
+			gs := tc.GlobalStats()
+			if p.Rank() == 0 {
+				g = gs
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	wave := run(core.TermWave)
+	ctr := run(core.TermCounter)
+	if wave.TasksExecuted != total || ctr.TasksExecuted != total {
+		t.Fatalf("executed wave=%d counter=%d, want %d", wave.TasksExecuted, ctr.TasksExecuted, total)
+	}
+	if wave.TermCounterOps != 0 {
+		t.Error("wave mode touched the termination counter")
+	}
+	// Eager add-increments alone are one op per task.
+	if ctr.TermCounterOps < total {
+		t.Errorf("counter mode issued %d counter ops for %d tasks", ctr.TermCounterOps, total)
+	}
+	t.Logf("wave: votes=%d waves=%d; counter: ops=%d", wave.Votes, wave.WavesSeen, ctr.TermCounterOps)
+}

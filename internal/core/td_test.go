@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsDescendant(t *testing.T) {
+	cases := []struct {
+		v, t int
+		want bool
+	}{
+		{0, 0, false}, // not its own descendant
+		{1, 0, true},
+		{2, 0, true},
+		{3, 1, true}, // 3 = 2*1+1
+		{4, 1, true}, // 4 = 2*1+2
+		{5, 2, true},
+		{6, 2, true},
+		{3, 2, false},
+		{5, 1, false},
+		{0, 1, false}, // ancestor, not descendant
+		{7, 3, true},  // 7 = 2*3+1
+		{15, 3, true}, // 15 -> 7 -> 3
+		{15, 1, true}, // 15 -> 7 -> 3 -> 1
+		{14, 0, true}, // everything descends from the root
+		{14, 1, false},
+		{14, 2, true},
+	}
+	for _, c := range cases {
+		if got := IsDescendant(c.v, c.t); got != c.want {
+			t.Errorf("IsDescendant(%d, %d) = %v, want %v", c.v, c.t, got, c.want)
+		}
+	}
+}
+
+// Property: v is a descendant of t iff t appears on v's path to the root,
+// and everything except the root descends from the root.
+func TestIsDescendantQuick(t *testing.T) {
+	f := func(vRaw, tRaw uint16) bool {
+		v := int(vRaw % 4096)
+		tt := int(tRaw % 4096)
+		// Reference: walk v's ancestor chain.
+		want := false
+		for a := v; a > 0; {
+			a = (a - 1) / 2
+			if a == tt {
+				want = true
+				break
+			}
+		}
+		return IsDescendant(v, tt) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the descendant relation is transitive and antisymmetric.
+func TestDescendantOrderProperties(t *testing.T) {
+	const n = 64
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if IsDescendant(a, b) && IsDescendant(b, a) {
+				t.Fatalf("antisymmetry violated at (%d,%d)", a, b)
+			}
+			for c := 0; c < n; c++ {
+				if IsDescendant(a, b) && IsDescendant(b, c) && !IsDescendant(a, c) {
+					t.Fatalf("transitivity violated at (%d,%d,%d)", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestVoteEncoding(t *testing.T) {
+	for wave := int64(1); wave < 100; wave += 7 {
+		for _, color := range []int64{colorWhite, colorBlack} {
+			v := encodeVote(wave, color)
+			if v == 0 {
+				t.Fatalf("vote (%d,%d) encodes to the reserved empty value", wave, color)
+			}
+			w, c := decodeVote(v)
+			if w != wave || c != color {
+				t.Errorf("round trip (%d,%d) -> (%d,%d)", wave, color, w, c)
+			}
+		}
+	}
+}

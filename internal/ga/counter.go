@@ -1,0 +1,40 @@
+package ga
+
+import (
+	"scioto/internal/pgas"
+)
+
+// Counter is a shared global task counter in the style of NGA_Read_inc: a
+// single word hosted on one process, advanced with a remote atomic
+// fetch-and-add. The paper's original SCF and TCE implementations use this
+// mechanism for dynamic load balancing — every process repeatedly draws
+// "the next task index" from the counter. It is locality-oblivious and its
+// host process becomes a hot spot at scale, which is exactly the behaviour
+// Figures 5 and 6 contrast with Scioto's distributed load balancing.
+type Counter struct {
+	p    pgas.Proc
+	seg  pgas.Seg
+	host int
+}
+
+// NewCounter collectively creates a counter hosted on the given rank.
+func NewCounter(p pgas.Proc, host int) *Counter {
+	return &Counter{p: p, seg: p.AllocWords(1), host: host}
+}
+
+// Next returns the next value (starting from 0) with a remote atomic
+// fetch-and-increment.
+func (c *Counter) Next() int64 {
+	return c.p.FetchAdd64(c.host, c.seg, 0, 1)
+}
+
+// Reset sets the counter back to zero. Collective ordering (barriers) is
+// the caller's responsibility.
+func (c *Counter) Reset() {
+	c.p.Store64(c.host, c.seg, 0, 0)
+}
+
+// Value reads the counter without advancing it.
+func (c *Counter) Value() int64 {
+	return c.p.Load64(c.host, c.seg, 0)
+}

@@ -1,0 +1,47 @@
+package ga
+
+import (
+	"fmt"
+
+	"scioto/internal/linalg"
+)
+
+// Dgemm computes c = a*b collectively with the owner-computes rule: every
+// process produces the output blocks it owns, fetching the needed operand
+// blocks with one-sided gets (the GA_Dgemm usage the paper's matmul example
+// builds its task-parallel version on). Block shapes must tile compatibly:
+// a is M x K, b is K x N, c is M x N, with a.BlockCols == b.BlockRows,
+// c.BlockRows == a.BlockRows and c.BlockCols == b.BlockCols. Callers must
+// barrier before reading c.
+func Dgemm(c, a, b *Array) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("ga: Dgemm shapes %dx%d * %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if a.BlockCols != b.BlockRows || c.BlockRows != a.BlockRows || c.BlockCols != b.BlockCols {
+		panic("ga: Dgemm block shapes incompatible")
+	}
+	me := c.p.Rank()
+	abuf := make([]float64, a.blockCap)
+	bbuf := make([]float64, b.blockCap)
+	out := make([]float64, c.blockCap)
+	for bi := 0; bi < c.nbr; bi++ {
+		for bj := 0; bj < c.nbc; bj++ {
+			if c.Owner(bi, bj) != me {
+				continue
+			}
+			cr, cc := c.BlockDims(bi, bj)
+			for i := range out[:cr*cc] {
+				out[i] = 0
+			}
+			for bk := 0; bk < a.nbc; bk++ {
+				ar, ac := a.GetBlock(bi, bk, abuf)
+				br, bc := b.GetBlock(bk, bj, bbuf)
+				if ac != br || ar != cr || bc != cc {
+					panic("ga: Dgemm inner block mismatch")
+				}
+				linalg.GemmBlock(out, abuf, bbuf, ar, ac, bc)
+			}
+			c.PutBlock(bi, bj, out)
+		}
+	}
+}

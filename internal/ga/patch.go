@@ -1,0 +1,149 @@
+package ga
+
+import (
+	"fmt"
+)
+
+// Arbitrary rectangular patch access in the style of NGA_Get / NGA_Put /
+// NGA_Acc: the requested region [ilo, ihi) x [jlo, jhi) may span any set of
+// blocks and any set of owners; the implementation decomposes it into
+// per-block transfers (each a single one-sided operation, plus per-row
+// packing when the patch covers a block only partially).
+
+// checkPatch validates patch bounds.
+func (a *Array) checkPatch(ilo, ihi, jlo, jhi int) {
+	if ilo < 0 || jlo < 0 || ihi > a.Rows || jhi > a.Cols || ilo >= ihi || jlo >= jhi {
+		panic(fmt.Sprintf("ga: invalid patch [%d:%d)x[%d:%d) of %dx%d array", ilo, ihi, jlo, jhi, a.Rows, a.Cols))
+	}
+}
+
+// patchBlocks invokes fn for every block intersecting the patch, with the
+// intersection both in array coordinates and block-local coordinates.
+func (a *Array) patchBlocks(ilo, ihi, jlo, jhi int, fn func(bi, bj, rLo, rHi, cLo, cHi int)) {
+	for bi := ilo / a.BlockRows; bi*a.BlockRows < ihi; bi++ {
+		for bj := jlo / a.BlockCols; bj*a.BlockCols < jhi; bj++ {
+			rLo := max(ilo, bi*a.BlockRows)
+			rHi := min(ihi, (bi+1)*a.BlockRows)
+			br, bc := a.BlockDims(bi, bj)
+			if rHi > bi*a.BlockRows+br {
+				rHi = bi*a.BlockRows + br
+			}
+			cLo := max(jlo, bj*a.BlockCols)
+			cHi := min(jhi, (bj+1)*a.BlockCols)
+			if cHi > bj*a.BlockCols+bc {
+				cHi = bj*a.BlockCols + bc
+			}
+			if rLo < rHi && cLo < cHi {
+				fn(bi, bj, rLo, rHi, cLo, cHi)
+			}
+		}
+	}
+}
+
+// GetPatch fetches the rectangular patch [ilo, ihi) x [jlo, jhi) into dst
+// (row-major, (ihi-ilo) x (jhi-jlo)).
+func (a *Array) GetPatch(ilo, ihi, jlo, jhi int, dst []float64) {
+	a.checkPatch(ilo, ihi, jlo, jhi)
+	cols := jhi - jlo
+	if len(dst) < (ihi-ilo)*cols {
+		panic("ga: GetPatch dst too short")
+	}
+	blk := make([]float64, a.blockCap)
+	a.patchBlocks(ilo, ihi, jlo, jhi, func(bi, bj, rLo, rHi, cLo, cHi int) {
+		_, bc := a.GetBlock(bi, bj, blk)
+		for r := rLo; r < rHi; r++ {
+			lr := r - bi*a.BlockRows
+			src := blk[lr*bc+(cLo-bj*a.BlockCols) : lr*bc+(cHi-bj*a.BlockCols)]
+			copy(dst[(r-ilo)*cols+(cLo-jlo):], src)
+		}
+	})
+}
+
+// PutPatch stores src (row-major, (ihi-ilo) x (jhi-jlo)) into the patch.
+// Partial-block writes read-modify-write the block; concurrent PutPatch
+// calls touching the same block require caller synchronization, exactly as
+// with NGA_Put.
+func (a *Array) PutPatch(ilo, ihi, jlo, jhi int, src []float64) {
+	a.checkPatch(ilo, ihi, jlo, jhi)
+	cols := jhi - jlo
+	if len(src) < (ihi-ilo)*cols {
+		panic("ga: PutPatch src too short")
+	}
+	blk := make([]float64, a.blockCap)
+	a.patchBlocks(ilo, ihi, jlo, jhi, func(bi, bj, rLo, rHi, cLo, cHi int) {
+		br, bc := a.BlockDims(bi, bj)
+		full := rLo == bi*a.BlockRows && rHi == bi*a.BlockRows+br &&
+			cLo == bj*a.BlockCols && cHi == bj*a.BlockCols+bc
+		if !full {
+			a.GetBlock(bi, bj, blk)
+		}
+		for r := rLo; r < rHi; r++ {
+			lr := r - bi*a.BlockRows
+			copy(blk[lr*bc+(cLo-bj*a.BlockCols):lr*bc+(cHi-bj*a.BlockCols)],
+				src[(r-ilo)*cols+(cLo-jlo):(r-ilo)*cols+(cHi-jlo)])
+		}
+		a.PutBlock(bi, bj, blk)
+	})
+}
+
+// AccPatch atomically accumulates src into the patch, block by block (each
+// block contribution is one atomic accumulate; the patch as a whole is not
+// atomic, matching NGA_Acc semantics).
+func (a *Array) AccPatch(ilo, ihi, jlo, jhi int, src []float64) {
+	a.checkPatch(ilo, ihi, jlo, jhi)
+	cols := jhi - jlo
+	if len(src) < (ihi-ilo)*cols {
+		panic("ga: AccPatch src too short")
+	}
+	blk := make([]float64, a.blockCap)
+	a.patchBlocks(ilo, ihi, jlo, jhi, func(bi, bj, rLo, rHi, cLo, cHi int) {
+		_, bc := a.BlockDims(bi, bj)
+		n := a.blockLen(bi, bj)
+		for i := 0; i < n; i++ {
+			blk[i] = 0
+		}
+		for r := rLo; r < rHi; r++ {
+			lr := r - bi*a.BlockRows
+			copy(blk[lr*bc+(cLo-bj*a.BlockCols):lr*bc+(cHi-bj*a.BlockCols)],
+				src[(r-ilo)*cols+(cLo-jlo):(r-ilo)*cols+(cHi-jlo)])
+		}
+		a.AccBlock(bi, bj, blk)
+	})
+}
+
+// Copy copies src into dst (same shape required; block layouts may
+// differ). Collective when all processes call it; each process copies the
+// block rows it owns in dst.
+func Copy(dst, src *Array) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("ga: Copy shape mismatch %dx%d vs %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	me := dst.p.Rank()
+	buf := make([]float64, dst.blockCap)
+	for bi := 0; bi < dst.nbr; bi++ {
+		for bj := 0; bj < dst.nbc; bj++ {
+			if dst.Owner(bi, bj) != me {
+				continue
+			}
+			iLo := bi * dst.BlockRows
+			jLo := bj * dst.BlockCols
+			r, c := dst.BlockDims(bi, bj)
+			src.GetPatch(iLo, iLo+r, jLo, jLo+c, buf)
+			dst.PutBlock(bi, bj, buf)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

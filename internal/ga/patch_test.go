@@ -1,0 +1,184 @@
+package ga_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scioto/internal/ga"
+	"scioto/internal/linalg"
+	"scioto/internal/pgas"
+)
+
+// TestPatchRoundTrip: PutPatch then GetPatch is the identity for random
+// patches spanning block boundaries.
+func TestPatchRoundTrip(t *testing.T) {
+	forBothTransports(t, 3, func(p pgas.Proc) {
+		a := ga.New(p, 11, 13, 3, 4)
+		p.Barrier()
+		if p.Rank() == 0 {
+			rng := rand.New(rand.NewSource(6))
+			for trial := 0; trial < 30; trial++ {
+				ilo := rng.Intn(10)
+				ihi := ilo + 1 + rng.Intn(11-ilo)
+				jlo := rng.Intn(12)
+				jhi := jlo + 1 + rng.Intn(13-jlo)
+				src := make([]float64, (ihi-ilo)*(jhi-jlo))
+				for i := range src {
+					src[i] = float64(trial*1000 + i)
+				}
+				a.PutPatch(ilo, ihi, jlo, jhi, src)
+				dst := make([]float64, len(src))
+				a.GetPatch(ilo, ihi, jlo, jhi, dst)
+				for i := range src {
+					if dst[i] != src[i] {
+						panic(fmt.Sprintf("trial %d patch [%d:%d)x[%d:%d): element %d = %v, want %v",
+							trial, ilo, ihi, jlo, jhi, i, dst[i], src[i]))
+					}
+				}
+			}
+		}
+		p.Barrier()
+	})
+}
+
+// TestPatchMatchesElementAccess: GetPatch agrees with element Gets after a
+// scatter.
+func TestPatchMatchesElementAccess(t *testing.T) {
+	forBothTransports(t, 2, func(p pgas.Proc) {
+		a := ga.New(p, 9, 7, 4, 3)
+		if p.Rank() == 0 {
+			m := make([]float64, 63)
+			for i := range m {
+				m[i] = float64(i) * 1.25
+			}
+			a.ScatterFrom(m)
+		}
+		p.Barrier()
+		patch := make([]float64, 3*4)
+		a.GetPatch(2, 5, 1, 5, patch)
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 4; c++ {
+				if got, want := patch[r*4+c], a.Get(2+r, 1+c); got != want {
+					panic(fmt.Sprintf("patch(%d,%d) = %v, want %v", r, c, got, want))
+				}
+			}
+		}
+	})
+}
+
+// TestAccPatchSums: concurrent partial-block accumulates land exactly.
+func TestAccPatchSums(t *testing.T) {
+	const n = 4
+	forBothTransports(t, n, func(p pgas.Proc) {
+		a := ga.New(p, 8, 8, 3, 3)
+		p.Barrier()
+		src := make([]float64, 2*8)
+		for i := range src {
+			src[i] = 0.5
+		}
+		// Everyone accumulates into rows 3..5 (spanning block row 1 and 2).
+		for rep := 0; rep < 10; rep++ {
+			a.AccPatch(3, 5, 0, 8, src)
+		}
+		p.Barrier()
+		m := a.Gather()
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				want := 0.0
+				if i >= 3 && i < 5 {
+					want = 0.5 * n * 10
+				}
+				if m[i*8+j] != want {
+					panic(fmt.Sprintf("(%d,%d) = %v, want %v", i, j, m[i*8+j], want))
+				}
+			}
+		}
+	})
+}
+
+// TestPatchValidation: malformed patches panic.
+func TestPatchValidation(t *testing.T) {
+	forBothTransports(t, 1, func(p pgas.Proc) {
+		a := ga.New(p, 4, 4, 2, 2)
+		for _, bad := range [][4]int{{-1, 2, 0, 2}, {0, 5, 0, 2}, {2, 2, 0, 2}, {0, 2, 3, 2}} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						panic(fmt.Sprintf("patch %v accepted", bad))
+					}
+				}()
+				a.GetPatch(bad[0], bad[1], bad[2], bad[3], make([]float64, 16))
+			}()
+		}
+	})
+}
+
+// TestCopyBetweenLayouts: Copy relayouts data across different block
+// shapes.
+func TestCopyBetweenLayouts(t *testing.T) {
+	forBothTransports(t, 3, func(p pgas.Proc) {
+		src := ga.New(p, 10, 10, 3, 4)
+		dst := ga.New(p, 10, 10, 5, 2)
+		if p.Rank() == 0 {
+			m := make([]float64, 100)
+			for i := range m {
+				m[i] = float64(i * i % 97)
+			}
+			src.ScatterFrom(m)
+		}
+		p.Barrier()
+		ga.Copy(dst, src)
+		p.Barrier()
+		got := dst.Gather()
+		want := src.Gather()
+		for i := range want {
+			if got[i] != want[i] {
+				panic(fmt.Sprintf("copy element %d = %v, want %v", i, got[i], want[i]))
+			}
+		}
+	})
+}
+
+// TestDgemmMatchesDense: the collective distributed multiply agrees with
+// the dense reference for awkward shapes.
+func TestDgemmMatchesDense(t *testing.T) {
+	shapes := []struct{ m, k, n, br, bk, bc int }{
+		{8, 8, 8, 4, 4, 4},
+		{9, 7, 5, 3, 2, 2},
+		{6, 10, 4, 2, 3, 4},
+	}
+	forBothTransports(t, 3, func(p pgas.Proc) {
+		rng := rand.New(rand.NewSource(12))
+		for _, s := range shapes {
+			A := ga.New(p, s.m, s.k, s.br, s.bk)
+			B := ga.New(p, s.k, s.n, s.bk, s.bc)
+			C := ga.New(p, s.m, s.n, s.br, s.bc)
+			if p.Rank() == 0 {
+				am := make([]float64, s.m*s.k)
+				bm := make([]float64, s.k*s.n)
+				for i := range am {
+					am[i] = rng.NormFloat64()
+				}
+				for i := range bm {
+					bm[i] = rng.NormFloat64()
+				}
+				A.ScatterFrom(am)
+				B.ScatterFrom(bm)
+			}
+			p.Barrier()
+			ga.Dgemm(C, A, B)
+			p.Barrier()
+			if p.Rank() == 0 {
+				a := linalg.FromSlice(s.m, s.k, A.Gather())
+				b := linalg.FromSlice(s.k, s.n, B.Gather())
+				got := linalg.FromSlice(s.m, s.n, C.Gather())
+				want := linalg.MatMul(a, b)
+				if d := linalg.MaxAbsDiff(got, want); d > 1e-10 {
+					panic(fmt.Sprintf("shape %+v: dgemm off by %v", s, d))
+				}
+			}
+			p.Barrier()
+		}
+	})
+}

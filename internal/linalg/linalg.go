@@ -1,0 +1,300 @@
+// Package linalg provides the small dense linear-algebra kernel set the SCF
+// application needs: row-major matrices, multiplication, symmetric
+// eigendecomposition (cyclic Jacobi), and norms. Everything is written from
+// scratch on float64 slices — the reproduction's stand-in for the LAPACK
+// routines the original quantum-chemistry codes call.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat allocates a zero rows x cols matrix.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major, length rows*cols) without copying.
+func FromSlice(rows, cols int, data []float64) *Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("linalg: FromSlice %dx%d needs %d elements, got %d", rows, cols, rows*cols, len(data)))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose.
+func (m *Mat) T() *Mat {
+	t := NewMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// MatMul returns a*b.
+func MatMul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: MatMul %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			crow := c.Data[i*c.Cols : (i+1)*c.Cols]
+			for j := range brow {
+				crow[j] += aik * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// GemmBlock computes C += A*B for row-major blocks: A is m x k, B is k x n,
+// C is m x n. It is the inner kernel of the TCE contraction and the matmul
+// example.
+func GemmBlock(c, a, b []float64, m, k, n int) {
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("linalg: GemmBlock slice too short")
+	}
+	for i := 0; i < m; i++ {
+		for kk := 0; kk < k; kk++ {
+			aik := a[i*k+kk]
+			if aik == 0 {
+				continue
+			}
+			brow := b[kk*n : kk*n+n]
+			crow := c[i*n : i*n+n]
+			for j := range brow {
+				crow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference.
+func MaxAbsDiff(a, b *Mat) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("linalg: MaxAbsDiff shape mismatch")
+	}
+	max := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// FrobeniusNorm returns the Frobenius norm.
+func (m *Mat) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// IsSymmetric reports whether the matrix is symmetric to within tol.
+func (m *Mat) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EigenSym computes the eigendecomposition of a symmetric matrix with the
+// cyclic Jacobi method. It returns the eigenvalues in ascending order and
+// the matrix of corresponding eigenvectors as columns (a = v * diag(w) * vᵀ).
+// The input is not modified.
+func EigenSym(a *Mat) (w []float64, v *Mat) {
+	n := a.Rows
+	if n != a.Cols {
+		panic("linalg: EigenSym needs a square matrix")
+	}
+	m := a.Clone()
+	v = NewMat(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				// Rotation angle per Golub & Van Loan.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation: m = Jᵀ m J; v = v J.
+				for k := 0; k < n; k++ {
+					mkp, mkq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*mkp-s*mkq)
+					m.Set(k, q, s*mkp+c*mkq)
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*mpk-s*mqk)
+					m.Set(q, k, s*mpk+c*mqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	w = make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = m.At(i, i)
+	}
+	// Sort ascending, permuting eigenvector columns alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort: n is small for SCF systems
+		for j := i; j > 0 && w[idx[j]] < w[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	ws := make([]float64, n)
+	vs := NewMat(n, n)
+	for col, src := range idx {
+		ws[col] = w[src]
+		for row := 0; row < n; row++ {
+			vs.Set(row, col, v.At(row, src))
+		}
+	}
+	return ws, vs
+}
+
+// SolveLinear solves the square system a x = b by Gaussian elimination with
+// partial pivoting. a and b are not modified. It returns false when the
+// system is singular to working precision.
+func SolveLinear(a *Mat, b []float64) ([]float64, bool) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("linalg: SolveLinear needs a square system")
+	}
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m.At(r, col)) > math.Abs(m.At(piv, col)) {
+				piv = r
+			}
+		}
+		if math.Abs(m.At(piv, col)) < 1e-14 {
+			return nil, false
+		}
+		if piv != col {
+			for c := 0; c < n; c++ {
+				v1, v2 := m.At(col, c), m.At(piv, c)
+				m.Set(col, c, v2)
+				m.Set(piv, c, v1)
+			}
+			x[col], x[piv] = x[piv], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m.Set(r, c, m.At(r, c)-f*m.At(col, c))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		sum := x[r]
+		for c := r + 1; c < n; c++ {
+			sum -= m.At(r, c) * x[c]
+		}
+		x[r] = sum / m.At(r, r)
+	}
+	return x, true
+}
+
+// SolveSymOrtho transforms a generalized symmetric eigenproblem F C = S C e
+// with overlap S into a standard one via symmetric orthogonalization
+// (Löwdin): X = S^(-1/2); returns eigenvalues and C = X * C'. Used by the
+// SCF application when the basis is non-orthogonal.
+func SolveSymOrtho(f, s *Mat) (w []float64, c *Mat) {
+	// S = U diag(σ) Uᵀ  →  X = U diag(σ^-1/2) Uᵀ.
+	sw, su := EigenSym(s)
+	n := s.Rows
+	x := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				if sw[k] <= 1e-12 {
+					panic("linalg: overlap matrix is singular")
+				}
+				sum += su.At(i, k) * su.At(j, k) / math.Sqrt(sw[k])
+			}
+			x.Set(i, j, sum)
+		}
+	}
+	fp := MatMul(MatMul(x.T(), f), x)
+	w, cp := EigenSym(fp)
+	return w, MatMul(x, cp)
+}

@@ -1,0 +1,203 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSym(rng *rand.Rand, n int) *Mat {
+	m := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomSym(rng, 5)
+	id := NewMat(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	if d := MaxAbsDiff(MatMul(a, id), a); d != 0 {
+		t.Errorf("a*I differs from a by %v", d)
+	}
+	if d := MaxAbsDiff(MatMul(id, a), a); d != 0 {
+		t.Errorf("I*a differs from a by %v", d)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if d := MaxAbsDiff(c, want); d != 0 {
+		t.Errorf("MatMul known-answer off by %v", d)
+	}
+}
+
+func TestGemmBlockMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a, b := NewMat(m, k), NewMat(k, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		want := MatMul(a, b)
+		c := make([]float64, m*n)
+		GemmBlock(c, a.Data, b.Data, m, k, n)
+		if d := MaxAbsDiff(FromSlice(m, n, c), want); d > 1e-12 {
+			t.Errorf("GemmBlock differs from MatMul by %v", d)
+		}
+		// Accumulation: doubling via a second call.
+		GemmBlock(c, a.Data, b.Data, m, k, n)
+		for i := range c {
+			if math.Abs(c[i]-2*want.Data[i]) > 1e-12 {
+				t.Fatalf("GemmBlock accumulate wrong at %d", i)
+			}
+		}
+	}
+}
+
+func TestTransposeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := NewMat(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.Float64()
+		}
+		return MaxAbsDiff(m.T().T(), m) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		a := randomSym(rng, n)
+		w, v := EigenSym(a)
+		// a ≈ v diag(w) vᵀ
+		d := NewMat(n, n)
+		for i := 0; i < n; i++ {
+			d.Set(i, i, w[i])
+		}
+		rec := MatMul(MatMul(v, d), v.T())
+		if diff := MaxAbsDiff(rec, a); diff > 1e-9 {
+			t.Errorf("n=%d: reconstruction error %v", n, diff)
+		}
+		// eigenvalues ascending
+		for i := 1; i < n; i++ {
+			if w[i] < w[i-1] {
+				t.Errorf("n=%d: eigenvalues not ascending: %v", n, w)
+			}
+		}
+		// eigenvectors orthonormal
+		vtv := MatMul(v.T(), v)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(vtv.At(i, j)-want) > 1e-9 {
+					t.Errorf("n=%d: vᵀv[%d,%d] = %v", n, i, j, vtv.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestEigenSymKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := FromSlice(2, 2, []float64{2, 1, 1, 2})
+	w, _ := EigenSym(a)
+	if math.Abs(w[0]-1) > 1e-12 || math.Abs(w[1]-3) > 1e-12 {
+		t.Errorf("eigenvalues = %v, want [1 3]", w)
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := FromSlice(3, 3, []float64{5, 0, 0, 0, -2, 0, 0, 0, 1})
+	w, _ := EigenSym(a)
+	want := []float64{-2, 1, 5}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Errorf("w = %v, want %v", w, want)
+		}
+	}
+}
+
+func TestEigenTraceInvariantQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := randomSym(rng, n)
+		w, _ := EigenSym(a)
+		tr, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			tr += a.At(i, i)
+			sum += w[i]
+		}
+		return math.Abs(tr-sum) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveSymOrtho(t *testing.T) {
+	// Generalized problem F C = S C e must satisfy the residual equation.
+	rng := rand.New(rand.NewSource(4))
+	n := 6
+	f := randomSym(rng, n)
+	// Build a well-conditioned SPD overlap: S = I + 0.1*QQᵀ-ish.
+	s := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		s.Set(i, i, 1)
+		for j := i + 1; j < n; j++ {
+			v := 0.1 * rng.NormFloat64()
+			s.Set(i, j, v)
+			s.Set(j, i, v)
+		}
+	}
+	w, c := SolveSymOrtho(f, s)
+	fc := MatMul(f, c)
+	sc := MatMul(s, c)
+	for col := 0; col < n; col++ {
+		for row := 0; row < n; row++ {
+			if math.Abs(fc.At(row, col)-w[col]*sc.At(row, col)) > 1e-8 {
+				t.Fatalf("generalized eigen residual too large at (%d,%d)", row, col)
+			}
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 2, 1})
+	if !a.IsSymmetric(0) {
+		t.Error("symmetric matrix misreported")
+	}
+	b := FromSlice(2, 2, []float64{1, 2, 3, 1})
+	if b.IsSymmetric(0.5) {
+		t.Error("asymmetric matrix accepted")
+	}
+	c := FromSlice(1, 2, []float64{1, 2})
+	if c.IsSymmetric(10) {
+		t.Error("non-square matrix reported symmetric")
+	}
+}

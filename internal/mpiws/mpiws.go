@@ -1,0 +1,299 @@
+// Package mpiws implements the paper's comparison baseline for UTS: a
+// work-stealing load balancer over two-sided (MPI-style) message passing,
+// in the manner of Dinan et al., "Dynamic load balancing of unbalanced
+// computations using message passing" (IPDPS 2007).
+//
+// Because the communication is two-sided, a busy process must explicitly
+// poll for incoming steal requests every PollEvery tree nodes and service
+// them itself — the overhead Scioto's one-sided steals eliminate, and the
+// principal cause of the performance gap in Figures 7 and 8. Idle processes
+// send steal requests to random victims and poll for the response while
+// continuing to answer other requests. Global termination uses Dijkstra's
+// ring-based token algorithm: a process that grants work to a lower-ranked
+// process turns black; a white token completing the ring at an idle rank 0
+// proves termination.
+package mpiws
+
+import (
+	"time"
+
+	"scioto/internal/pgas"
+	"scioto/internal/uts"
+)
+
+// Message tags.
+const (
+	tagReq   int32 = 1 // steal request (empty payload)
+	tagWork  int32 = 2 // steal response: k encoded nodes, empty = reject
+	tagToken int32 = 3 // termination token (1 byte: 0 white, 1 black)
+	tagTerm  int32 = 4 // global termination broadcast
+)
+
+const (
+	white byte = 0
+	black byte = 1
+)
+
+// Config parameterizes an MPI-style UTS run.
+type Config struct {
+	Tree uts.Params
+	// PerNodeCost is the modeled per-node processing cost (see
+	// uts.DriverConfig).
+	PerNodeCost time.Duration
+	// Chunk is the maximum number of nodes granted per steal.
+	Chunk int
+	// PollEvery is the number of nodes processed between polls for
+	// incoming steal requests. The paper's MPI implementation must poll
+	// explicitly; smaller values answer thieves faster but cost more.
+	PollEvery int
+	// MinKeep is the minimum stack size below which steal requests are
+	// rejected.
+	MinKeep int
+	// MaxNodes aborts runaway traversals (0 = no limit).
+	MaxNodes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Chunk == 0 {
+		c.Chunk = 10
+	}
+	if c.PollEvery == 0 {
+		c.PollEvery = 8
+	}
+	if c.MinKeep == 0 {
+		c.MinKeep = 2
+	}
+	return c
+}
+
+// runner is the per-process state machine.
+type runner struct {
+	p   pgas.Proc
+	cfg Config
+
+	stack []uts.Node
+	stats uts.Stats
+
+	color      byte
+	haveToken  bool
+	tokenColor byte
+	terminated bool
+	overflow   bool
+
+	// Baseline-specific counters, for the polling-overhead analysis.
+	polls    int64
+	grants   int64
+	rejects  int64
+	requests int64
+}
+
+// Run traverses the tree with message-passing work stealing and returns the
+// globally reduced statistics (valid on every rank) plus this rank's poll
+// count (the explicit polling overhead Scioto avoids).
+func Run(p pgas.Proc, cfg Config) (uts.Stats, int64, error) {
+	cfg = cfg.withDefaults()
+	r := &runner{p: p, cfg: cfg}
+	p.Barrier()
+	if p.Rank() == 0 {
+		r.stack = append(r.stack, cfg.Tree.Root())
+		if p.NProcs() > 1 {
+			// Rank 0 holds the termination token initially. It is black so
+			// the first evaluation starts a genuine round rather than
+			// declaring termination before the token has circulated.
+			r.haveToken = true
+			r.tokenColor = black
+		}
+	}
+	r.mainLoop()
+	p.Barrier()
+	global := uts.ReduceStats(p, r.stats)
+	return global, r.polls, nil
+}
+
+func (r *runner) mainLoop() {
+	n := r.p.NProcs()
+	if n == 1 {
+		for len(r.stack) > 0 && !r.overflow {
+			r.processOne()
+		}
+		return
+	}
+	for !r.terminated && !r.overflow {
+		if len(r.stack) > 0 {
+			for i := 0; i < r.cfg.PollEvery && len(r.stack) > 0 && !r.overflow; i++ {
+				r.processOne()
+			}
+			r.pollRequests()
+			r.pollTerm()
+		} else {
+			r.idleStep()
+		}
+	}
+	if r.overflow && !r.terminated {
+		// Abort path: tell everyone to stop so no peer spins waiting for
+		// grants from us.
+		for dst := 0; dst < n; dst++ {
+			if dst != r.p.Rank() {
+				r.p.Send(dst, tagTerm, nil)
+			}
+		}
+	}
+	// Drain: answer lingering requests with rejects so no peer waits on a
+	// grant from us after we saw termination. Best effort; peers also
+	// watch for tagTerm.
+	for {
+		if _, src, ok := r.p.TryRecv(pgas.AnySource, tagReq); ok {
+			r.p.Send(src, tagWork, nil)
+			continue
+		}
+		break
+	}
+}
+
+// stackOpCost models the bookkeeping cost of one local stack operation on
+// a node descriptor, kept consistent with the Scioto queue's local-insert
+// cost model so the two load balancers are compared fairly (both maintain
+// a local work store; only the *synchronization* around it differs).
+const stackOpCost = 200*time.Nanosecond + uts.NodeBytes*3/10*time.Nanosecond
+
+// processOne pops and visits one node, pushing its children.
+func (r *runner) processOne() {
+	top := r.stack[len(r.stack)-1]
+	r.stack = r.stack[:len(r.stack)-1]
+	c := r.stats.Visit(r.cfg.Tree, top)
+	if r.cfg.MaxNodes > 0 && r.stats.Nodes > r.cfg.MaxNodes {
+		r.overflow = true
+		return
+	}
+	if r.cfg.PerNodeCost > 0 {
+		r.p.Compute(r.cfg.PerNodeCost)
+	}
+	r.p.Charge(time.Duration(1+c) * stackOpCost) // one pop plus c pushes
+	for i := 0; i < c; i++ {
+		r.stack = append(r.stack, uts.Child(top, i))
+	}
+}
+
+// pollRequests services pending steal requests: grant from the bottom
+// (oldest, largest subtrees) of the stack, or reject.
+func (r *runner) pollRequests() {
+	for {
+		r.polls++
+		_, src, ok := r.p.TryRecv(pgas.AnySource, tagReq)
+		if !ok {
+			return
+		}
+		r.requests++
+		if len(r.stack) > r.cfg.MinKeep {
+			k := r.cfg.Chunk
+			if max := (len(r.stack) - r.cfg.MinKeep + 1) / 2; k > max {
+				k = max
+			}
+			buf := make([]byte, k*uts.NodeBytes)
+			for i := 0; i < k; i++ {
+				r.stack[i].Encode(buf[i*uts.NodeBytes:])
+			}
+			r.stack = append(r.stack[:0], r.stack[k:]...)
+			r.p.Send(src, tagWork, buf)
+			r.grants++
+			if src < r.p.Rank() {
+				// Dijkstra: work sent behind the token's sweep direction
+				// may reactivate an already-passed process.
+				r.color = black
+			}
+		} else {
+			r.p.Send(src, tagWork, nil)
+			r.rejects++
+		}
+	}
+}
+
+// pollTerm absorbs a termination broadcast or an arriving token (held until
+// we are idle).
+func (r *runner) pollTerm() {
+	if _, _, ok := r.p.TryRecv(pgas.AnySource, tagTerm); ok {
+		r.terminated = true
+		return
+	}
+	if data, _, ok := r.p.TryRecv(pgas.AnySource, tagToken); ok {
+		r.haveToken = true
+		r.tokenColor = data[0]
+	}
+}
+
+// idleStep advances the idle protocol: token handling plus one steal
+// attempt.
+func (r *runner) idleStep() {
+	r.pollRequests()
+	r.pollTerm()
+	if r.terminated {
+		return
+	}
+	if r.haveToken {
+		r.handleToken()
+		if r.terminated {
+			return
+		}
+	}
+	r.tryStealOnce()
+}
+
+// handleToken forwards (or, at rank 0, evaluates) the termination token.
+// Called only when idle.
+func (r *runner) handleToken() {
+	me := r.p.Rank()
+	n := r.p.NProcs()
+	if me == 0 {
+		if r.tokenColor == white && r.color == white {
+			// A white token completed the ring while everyone (including
+			// us) was idle: global termination.
+			for dst := 1; dst < n; dst++ {
+				r.p.Send(dst, tagTerm, nil)
+			}
+			r.terminated = true
+			r.haveToken = false
+			return
+		}
+		// Failed round: start a fresh white one.
+		r.color = white
+		r.tokenColor = white
+	}
+	out := r.tokenColor
+	if r.color == black {
+		out = black
+	}
+	r.p.Send((me+1)%n, tagToken, []byte{out})
+	r.haveToken = false
+	r.color = white
+}
+
+// tryStealOnce requests work from one random victim and waits for the
+// response, servicing other traffic meanwhile.
+func (r *runner) tryStealOnce() {
+	n := r.p.NProcs()
+	victim := r.p.Rand().Intn(n - 1)
+	if victim >= r.p.Rank() {
+		victim++
+	}
+	r.p.Send(victim, tagReq, nil)
+	for {
+		if data, _, ok := r.p.TryRecv(victim, tagWork); ok {
+			for off := 0; off+uts.NodeBytes <= len(data); off += uts.NodeBytes {
+				r.stack = append(r.stack, uts.DecodeNode(data[off:]))
+			}
+			return
+		}
+		r.polls++
+		r.pollRequests()
+		if _, _, ok := r.p.TryRecv(pgas.AnySource, tagTerm); ok {
+			r.terminated = true
+			return
+		}
+		if data, _, ok := r.p.TryRecv(pgas.AnySource, tagToken); ok {
+			r.haveToken = true
+			r.tokenColor = data[0]
+			// Keep waiting for the response; the token is handled once the
+			// steal attempt resolves.
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package mpiws_test
+
+import (
+	"testing"
+	"time"
+
+	"scioto/internal/mpiws"
+	"scioto/internal/pgas"
+	"scioto/internal/pgas/dsim"
+	"scioto/internal/pgas/shm"
+	"scioto/internal/uts"
+)
+
+// TestMatchesSequential: message-passing work stealing enumerates exactly
+// the sequential counts on both transports and several P.
+func TestMatchesSequential(t *testing.T) {
+	want, err := uts.Sequential(uts.TreeSmall, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mpiws.Config{
+		Tree:        uts.TreeSmall,
+		PerNodeCost: 300 * time.Nanosecond,
+		Chunk:       5,
+		PollEvery:   8,
+	}
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		worlds := map[string]pgas.World{
+			"shm":  shm.NewWorld(shm.Config{NProcs: n, Seed: 13}),
+			"dsim": dsim.NewWorld(dsim.Config{NProcs: n, Seed: 13}),
+		}
+		for name, w := range worlds {
+			err := w.Run(func(p pgas.Proc) {
+				got, _, err := mpiws.Run(p, cfg)
+				if err != nil {
+					panic(err)
+				}
+				if got != want {
+					panic("mpiws traversal mismatch")
+				}
+			})
+			if err != nil {
+				t.Fatalf("P=%d %s: %v", n, name, err)
+			}
+		}
+	}
+}
+
+// TestPollingHappens: busy processes must poll (the overhead the paper's
+// Scioto comparison highlights).
+func TestPollingHappens(t *testing.T) {
+	w := dsim.NewWorld(dsim.Config{NProcs: 4, Seed: 13})
+	if err := w.Run(func(p pgas.Proc) {
+		_, polls, err := mpiws.Run(p, mpiws.Config{Tree: uts.TreeSmall, Chunk: 5})
+		if err != nil {
+			panic(err)
+		}
+		if p.Rank() == 0 && polls == 0 {
+			panic("rank 0 never polled")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinomialAndChunks: correctness across tree kinds and chunk sizes.
+func TestBinomialAndChunks(t *testing.T) {
+	tree := uts.Params{Kind: uts.Binomial, RootSeed: 11, B0: 20, Q: 0.2, M: 4}
+	want, err := uts.Sequential(tree, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 4, 32} {
+		w := dsim.NewWorld(dsim.Config{NProcs: 5, Seed: 17})
+		if err := w.Run(func(p pgas.Proc) {
+			got, _, err := mpiws.Run(p, mpiws.Config{Tree: tree, Chunk: chunk})
+			if err != nil {
+				panic(err)
+			}
+			if got != want {
+				panic("mismatch")
+			}
+		}); err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+	}
+}
+
+// TestRepeatedRunsDeterministicOnDsim: same seed, same result and timing.
+func TestRepeatedRunsDeterministicOnDsim(t *testing.T) {
+	run := func() (uts.Stats, time.Duration) {
+		var s uts.Stats
+		var d time.Duration
+		w := dsim.NewWorld(dsim.Config{NProcs: 4, Seed: 21})
+		if err := w.Run(func(p pgas.Proc) {
+			got, _, err := mpiws.Run(p, mpiws.Config{Tree: uts.TreeSmall, PerNodeCost: 500 * time.Nanosecond})
+			if err != nil {
+				panic(err)
+			}
+			if p.Rank() == 0 {
+				s = got
+				d = p.Now()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return s, d
+	}
+	s1, d1 := run()
+	s2, d2 := run()
+	if s1 != s2 || d1 != d2 {
+		t.Errorf("nondeterministic: (%+v, %v) vs (%+v, %v)", s1, d1, s2, d2)
+	}
+}

@@ -1,0 +1,67 @@
+package pgas
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Float64 values stored in data segments use little-endian IEEE-754 encoding.
+// These helpers are shared by the transports (AccF64) and by packages, such
+// as ga, that lay out numeric arrays in data segments.
+
+// F64Bytes is the number of bytes a float64 occupies in a data segment.
+const F64Bytes = 8
+
+// PutF64 stores v at b[0:8].
+func PutF64(b []byte, v float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+}
+
+// GetF64 loads the float64 stored at b[0:8].
+func GetF64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// PutF64Slice encodes vals into b, which must be at least 8*len(vals) bytes.
+func PutF64Slice(b []byte, vals []float64) {
+	for i, v := range vals {
+		PutF64(b[i*F64Bytes:], v)
+	}
+}
+
+// GetF64Slice decodes len(dst) float64 values from b into dst.
+func GetF64Slice(dst []float64, b []byte) {
+	for i := range dst {
+		dst[i] = GetF64(b[i*F64Bytes:])
+	}
+}
+
+// AccF64Bytes adds vals element-wise into the encoded float64 array at the
+// start of b. It is the common implementation of Proc.AccF64; callers must
+// hold whatever lock makes the read-modify-write atomic.
+func AccF64Bytes(b []byte, vals []float64) {
+	for i, v := range vals {
+		off := i * F64Bytes
+		PutF64(b[off:], GetF64(b[off:])+v)
+	}
+}
+
+// PutI64 stores v at b[0:8] (little-endian two's complement).
+func PutI64(b []byte, v int64) {
+	binary.LittleEndian.PutUint64(b, uint64(v))
+}
+
+// GetI64 loads the int64 stored at b[0:8].
+func GetI64(b []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+// PutI32 stores v at b[0:4].
+func PutI32(b []byte, v int32) {
+	binary.LittleEndian.PutUint32(b, uint32(v))
+}
+
+// GetI32 loads the int32 stored at b[0:4].
+func GetI32(b []byte) int32 {
+	return int32(binary.LittleEndian.Uint32(b))
+}

@@ -1,0 +1,85 @@
+package pgas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestF64RoundTrip(t *testing.T) {
+	vals := []float64{0, 1, -1, math.Pi, math.MaxFloat64, math.SmallestNonzeroFloat64, math.Inf(1), math.Inf(-1)}
+	b := make([]byte, F64Bytes)
+	for _, v := range vals {
+		PutF64(b, v)
+		if got := GetF64(b); got != v {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+	// NaN round-trips to NaN.
+	PutF64(b, math.NaN())
+	if !math.IsNaN(GetF64(b)) {
+		t.Error("NaN did not round trip")
+	}
+}
+
+func TestF64RoundTripQuick(t *testing.T) {
+	f := func(v float64) bool {
+		b := make([]byte, F64Bytes)
+		PutF64(b, v)
+		return GetF64(b) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestF64SliceRoundTripQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		b := make([]byte, len(vals)*F64Bytes)
+		PutF64Slice(b, vals)
+		got := make([]float64, len(vals))
+		GetF64Slice(got, b)
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccF64Bytes(t *testing.T) {
+	b := make([]byte, 3*F64Bytes)
+	PutF64Slice(b, []float64{1, 2, 3})
+	AccF64Bytes(b, []float64{10, 20, 30})
+	got := make([]float64, 3)
+	GetF64Slice(got, b)
+	want := []float64{11, 22, 33}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("acc[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestI64I32RoundTripQuick(t *testing.T) {
+	f64 := func(v int64) bool {
+		b := make([]byte, 8)
+		PutI64(b, v)
+		return GetI64(b) == v
+	}
+	if err := quick.Check(f64, nil); err != nil {
+		t.Error(err)
+	}
+	f32 := func(v int32) bool {
+		b := make([]byte, 4)
+		PutI32(b, v)
+		return GetI32(b) == v
+	}
+	if err := quick.Check(f32, nil); err != nil {
+		t.Error(err)
+	}
+}

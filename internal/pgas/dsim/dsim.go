@@ -1,0 +1,272 @@
+// Package dsim implements the pgas interface as a deterministic
+// discrete-event simulation of a distributed-memory machine.
+//
+// Every simulated process runs in its own goroutine, but execution is
+// cooperative: a scheduler resumes exactly one process at a time — always the
+// runnable process with the smallest virtual clock (ties broken by rank) —
+// so the simulation is single-threaded in effect and fully deterministic.
+//
+// Correctness of the virtual-time semantics follows from the min-clock rule:
+// a process performs a globally visible operation only while it holds the
+// scheduler token, and it receives the token only when its clock is the
+// global minimum. Hence all shared-state mutations are applied in
+// non-decreasing virtual-time order, and a message sent at virtual time t
+// can never be delivered "into the past" of any receiver: every other
+// process's clock is already >= t when the send executes.
+//
+// Local, unshared work (Proc.Compute, private queue-slot writes, relaxed
+// word operations) advances the local clock without yielding the token, so
+// fine-grained task execution is cheap to simulate: a process only pays a
+// scheduler handshake when it touches globally visible state. Relaxed reads
+// observe shared state as of the process's last yield point, which models a
+// relaxed memory system: they are hints that must be revalidated under a
+// lock, exactly as in the real runtime.
+//
+// The cost model charges:
+//
+//   - LocalOpCost for an ordered operation on the process's own memory,
+//   - Latency + PerByte*n for a one-sided operation on remote memory,
+//   - MsgLatency + PerByte*n for two-sided message delivery,
+//   - backoff (PollInterval, doubling up to MaxBackoff) per lock retry,
+//
+// and scales Proc.Compute durations by a per-rank speed factor to model
+// heterogeneous processors (the paper's half-Opteron, half-Xeon cluster).
+package dsim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"scioto/internal/pgas"
+)
+
+// Config parameterizes a simulated machine.
+type Config struct {
+	// NProcs is the number of simulated processes.
+	NProcs int
+	// Latency is the base virtual-time cost of a one-sided operation that
+	// targets remote memory.
+	Latency time.Duration
+	// MsgLatency is the virtual-time delivery delay of a two-sided message.
+	MsgLatency time.Duration
+	// PerByte is the bandwidth term added per transferred byte.
+	PerByte time.Duration
+	// LocalOpCost is the cost of an ordered operation on local memory.
+	LocalOpCost time.Duration
+	// PollInterval is the initial lock-retry backoff and the cost charged
+	// per message poll.
+	PollInterval time.Duration
+	// MaxBackoff caps the exponential lock-retry backoff.
+	MaxBackoff time.Duration
+	// ProcsPerNode, when > 1, groups consecutive ranks onto multicore
+	// nodes: ranks r and q share a node iff r/ProcsPerNode == q/ProcsPerNode.
+	// One-sided operations between node-mates cost IntraNodeLatency
+	// instead of Latency (shared-memory transfer instead of NIC).
+	ProcsPerNode int
+	// IntraNodeLatency is the one-sided cost between node-mates when
+	// ProcsPerNode > 1. Zero leaves intra-node costs at the network price.
+	IntraNodeLatency time.Duration
+	// Occupancy, when nonzero, models serialization at the target of
+	// remote one-sided operations (NIC/memory-controller occupancy): each
+	// remote operation against a process occupies that process's interface
+	// for Occupancy + PerByte*n, and operations arriving while it is busy
+	// queue behind it. This is what turns a shared global counter into a
+	// hot spot at scale.
+	Occupancy time.Duration
+	// SpeedFactor, when non-nil, returns the computation cost multiplier
+	// for a rank (1.0 = nominal, larger = slower processor).
+	SpeedFactor func(rank int) float64
+	// Seed seeds the per-process random sources.
+	Seed int64
+	// MaxVirtualTime aborts the simulation if any clock exceeds it
+	// (a runaway guard); zero means no limit.
+	MaxVirtualTime time.Duration
+}
+
+// withDefaults fills unset fields with the cluster calibration defaults.
+func (c Config) withDefaults() Config {
+	if c.Latency == 0 {
+		c.Latency = 4400 * time.Nanosecond
+	}
+	if c.MsgLatency == 0 {
+		c.MsgLatency = 6 * time.Microsecond
+	}
+	if c.LocalOpCost == 0 {
+		c.LocalOpCost = 80 * time.Nanosecond
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 1 * time.Microsecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 16 * time.Microsecond
+	}
+	return c
+}
+
+type procState int
+
+const (
+	stateRunnable procState = iota
+	stateWaiting            // blocked in Recv; woken by a matching send
+	stateDone
+)
+
+// resumeMsg is sent from the engine to a process goroutine.
+type resumeMsg struct {
+	abort bool
+}
+
+type message struct {
+	from    int
+	tag     int32
+	data    []byte
+	arrival time.Duration
+}
+
+type world struct {
+	cfg Config
+
+	procs []*proc
+
+	dataSegs [][][]byte
+	wordSegs [][][]int64
+	locks    []lockSet
+
+	// busyUntil[r] is the virtual time until which process r's network
+	// interface is occupied by remote operations (Occupancy model).
+	busyUntil []time.Duration
+
+	err error
+}
+
+// lockSet holds one lock instance per process.
+type lockSet struct {
+	held  []bool
+	owner []int
+}
+
+// errAborted is panicked into process goroutines to unwind them when the
+// simulation is aborted after another process failed.
+type abortPanic struct{}
+
+// NewWorld creates a simulated machine with the given configuration.
+func NewWorld(cfg Config) pgas.World {
+	if cfg.NProcs <= 0 {
+		panic("dsim: NProcs must be positive")
+	}
+	cfg = cfg.withDefaults()
+	w := &world{cfg: cfg}
+	w.busyUntil = make([]time.Duration, cfg.NProcs)
+	return w
+}
+
+func (w *world) NProcs() int { return w.cfg.NProcs }
+
+func (w *world) Run(body func(p pgas.Proc)) error {
+	n := w.cfg.NProcs
+	w.procs = make([]*proc, n)
+	yieldCh := make(chan int) // proc -> engine: "rank r has yielded"
+	for r := 0; r < n; r++ {
+		speed := 1.0
+		if w.cfg.SpeedFactor != nil {
+			speed = w.cfg.SpeedFactor(r)
+		}
+		w.procs[r] = &proc{
+			w:        w,
+			rank:     r,
+			speed:    speed,
+			resumeCh: make(chan resumeMsg),
+			yieldCh:  yieldCh,
+			rng:      rand.New(rand.NewSource(w.cfg.Seed*7919 + int64(r) + 1)),
+		}
+	}
+	for r := 0; r < n; r++ {
+		p := w.procs[r]
+		go func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(abortPanic); !ok {
+						buf := make([]byte, 16<<10)
+						sn := runtime.Stack(buf, false)
+						p.err = fmt.Errorf("dsim: rank %d panicked at vt=%v: %v\n%s",
+							p.rank, p.clock, rec, buf[:sn])
+					}
+				}
+				p.state = stateDone
+				p.yieldCh <- p.rank
+			}()
+			// Wait for the first token before touching anything.
+			m := <-p.resumeCh
+			if m.abort {
+				panic(abortPanic{})
+			}
+			body(p)
+		}()
+	}
+	return w.schedule(yieldCh)
+}
+
+// schedule is the engine loop: repeatedly resume the runnable process with
+// the minimum clock and wait for it to yield.
+func (w *world) schedule(yieldCh chan int) error {
+	live := w.cfg.NProcs
+	aborting := false
+	for live > 0 {
+		// Pick the runnable process with the smallest (clock, rank).
+		var next *proc
+		for _, p := range w.procs {
+			if p.state != stateRunnable {
+				continue
+			}
+			if next == nil || p.clock < next.clock {
+				next = p
+			}
+		}
+		if next == nil {
+			// No runnable process. All remaining live processes are
+			// blocked in Recv: a communication deadlock (or the tail of
+			// an abort).
+			if !aborting {
+				w.err = w.deadlockError()
+				aborting = true
+			}
+			for _, p := range w.procs {
+				if p.state == stateWaiting {
+					p.state = stateRunnable
+					p.abort = true
+				}
+			}
+			continue
+		}
+		if w.cfg.MaxVirtualTime > 0 && next.clock > w.cfg.MaxVirtualTime && !aborting {
+			w.err = fmt.Errorf("dsim: virtual time %v exceeded MaxVirtualTime %v", next.clock, w.cfg.MaxVirtualTime)
+			aborting = true
+		}
+		if aborting {
+			next.abort = true
+		}
+		next.resumeCh <- resumeMsg{abort: next.abort}
+		r := <-yieldCh
+		p := w.procs[r]
+		if p.state == stateDone {
+			live--
+			if p.err != nil && w.err == nil {
+				w.err = p.err
+				aborting = true
+			}
+		}
+	}
+	return w.err
+}
+
+func (w *world) deadlockError() error {
+	msg := "dsim: deadlock — all live processes blocked in Recv:"
+	for _, p := range w.procs {
+		if p.state == stateWaiting {
+			msg += fmt.Sprintf(" [rank %d vt=%v from=%d tag=%d]", p.rank, p.clock, p.waitFrom, p.waitTag)
+		}
+	}
+	return fmt.Errorf("%s", msg)
+}

@@ -1,0 +1,391 @@
+package dsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scioto/internal/pgas"
+)
+
+// proc is a simulated process. All of its methods must be called from the
+// process's own goroutine, while it holds the scheduler token.
+type proc struct {
+	w     *world
+	rank  int
+	speed float64
+	rng   *rand.Rand
+
+	clock time.Duration
+	state procState
+	abort bool
+	err   error
+
+	resumeCh chan resumeMsg
+	yieldCh  chan int
+
+	// Recv wait descriptor, valid while state == stateWaiting.
+	waitFrom int
+	waitTag  int32
+
+	inbox []message
+
+	dataCount int
+	wordCount int
+	lockCount int
+
+	barGen int
+}
+
+var _ pgas.Proc = (*proc)(nil)
+
+func (p *proc) Rank() int   { return p.rank }
+func (p *proc) NProcs() int { return p.w.cfg.NProcs }
+
+// yield hands the token back to the engine and blocks until this process is
+// next resumed (i.e. until its clock is the global minimum among runnable
+// processes).
+func (p *proc) yield() {
+	p.yieldCh <- p.rank
+	m := <-p.resumeCh
+	if m.abort {
+		panic(abortPanic{})
+	}
+}
+
+// advance adds d to the local clock without yielding.
+func (p *proc) advance(d time.Duration) { p.clock += d }
+
+// ordered charges cost and yields, so that when it returns this process may
+// perform a globally visible operation at the current virtual time.
+func (p *proc) ordered(cost time.Duration) {
+	p.advance(cost)
+	p.yield()
+}
+
+// orderedRemote charges the cost of a one-sided operation of n payload
+// bytes targeting the given process and yields so the caller may perform
+// it. When the Occupancy model is enabled and the target is remote, the
+// operation additionally queues behind other remote operations occupying
+// the target's interface, and then occupies it itself — the serialization
+// that makes hot objects (a shared counter, a popular victim's queue lock)
+// scale poorly.
+func (p *proc) orderedRemote(target, n int) {
+	p.ordered(p.opCost(target, n))
+	if target == p.rank || p.w.cfg.Occupancy == 0 {
+		return
+	}
+	for {
+		busy := p.w.busyUntil[target]
+		if p.clock >= busy {
+			break
+		}
+		p.clock = busy
+		p.yield()
+	}
+	p.w.busyUntil[target] = p.clock + p.w.cfg.Occupancy + time.Duration(n)*p.w.cfg.PerByte
+}
+
+// opCost is the cost of a one-sided operation of n payload bytes targeting
+// the given process.
+func (p *proc) opCost(target, n int) time.Duration {
+	if target == p.rank {
+		return p.w.cfg.LocalOpCost
+	}
+	if c := p.w.cfg; c.ProcsPerNode > 1 && c.IntraNodeLatency > 0 &&
+		target/c.ProcsPerNode == p.rank/c.ProcsPerNode {
+		return c.IntraNodeLatency + time.Duration(n)*c.PerByte
+	}
+	return p.w.cfg.Latency + time.Duration(n)*p.w.cfg.PerByte
+}
+
+// --- Collective allocation -------------------------------------------------
+
+// Collective allocations are performed lazily by whichever process arrives
+// first; all processes must allocate in the same order with equal sizes.
+
+func (p *proc) AllocData(nbytes int) pgas.Seg {
+	p.ordered(p.w.cfg.LocalOpCost)
+	seg := p.dataCount
+	w := p.w
+	if seg == len(w.dataSegs) {
+		inst := make([][]byte, w.cfg.NProcs)
+		for i := range inst {
+			inst[i] = make([]byte, nbytes)
+		}
+		w.dataSegs = append(w.dataSegs, inst)
+	} else if got := len(w.dataSegs[seg][0]); got != nbytes {
+		panic(fmt.Sprintf("dsim: collective AllocData size mismatch on rank %d: %d vs %d", p.rank, nbytes, got))
+	}
+	p.dataCount++
+	return pgas.Seg(seg)
+}
+
+func (p *proc) AllocWords(nwords int) pgas.Seg {
+	p.ordered(p.w.cfg.LocalOpCost)
+	seg := p.wordCount
+	w := p.w
+	if seg == len(w.wordSegs) {
+		inst := make([][]int64, w.cfg.NProcs)
+		for i := range inst {
+			inst[i] = make([]int64, nwords)
+		}
+		w.wordSegs = append(w.wordSegs, inst)
+	} else if got := len(w.wordSegs[seg][0]); got != nwords {
+		panic(fmt.Sprintf("dsim: collective AllocWords size mismatch on rank %d: %d vs %d", p.rank, nwords, got))
+	}
+	p.wordCount++
+	return pgas.Seg(seg)
+}
+
+func (p *proc) AllocLock() pgas.LockID {
+	p.ordered(p.w.cfg.LocalOpCost)
+	id := p.lockCount
+	w := p.w
+	if id == len(w.locks) {
+		w.locks = append(w.locks, lockSet{
+			held:  make([]bool, w.cfg.NProcs),
+			owner: make([]int, w.cfg.NProcs),
+		})
+	}
+	p.lockCount++
+	return pgas.LockID(id)
+}
+
+// --- Data segments ----------------------------------------------------------
+
+func (p *proc) Get(dst []byte, proc int, seg pgas.Seg, off int) {
+	p.orderedRemote(proc, len(dst))
+	copy(dst, p.w.dataSegs[seg][proc][off:off+len(dst)])
+}
+
+func (p *proc) Put(proc int, seg pgas.Seg, off int, src []byte) {
+	p.orderedRemote(proc, len(src))
+	copy(p.w.dataSegs[seg][proc][off:off+len(src)], src)
+}
+
+func (p *proc) AccF64(proc int, seg pgas.Seg, off int, vals []float64) {
+	p.orderedRemote(proc, len(vals)*pgas.F64Bytes)
+	pgas.AccF64Bytes(p.w.dataSegs[seg][proc][off:], vals)
+}
+
+func (p *proc) Local(seg pgas.Seg) []byte { return p.w.dataSegs[seg][p.rank] }
+
+// --- Word segments ----------------------------------------------------------
+
+func (p *proc) Load64(proc int, seg pgas.Seg, idx int) int64 {
+	p.orderedRemote(proc, 8)
+	return p.w.wordSegs[seg][proc][idx]
+}
+
+func (p *proc) Store64(proc int, seg pgas.Seg, idx int, val int64) {
+	p.orderedRemote(proc, 8)
+	p.w.wordSegs[seg][proc][idx] = val
+}
+
+func (p *proc) FetchAdd64(proc int, seg pgas.Seg, idx int, delta int64) int64 {
+	p.orderedRemote(proc, 8)
+	old := p.w.wordSegs[seg][proc][idx]
+	p.w.wordSegs[seg][proc][idx] = old + delta
+	return old
+}
+
+func (p *proc) CAS64(proc int, seg pgas.Seg, idx int, old, new int64) bool {
+	p.orderedRemote(proc, 8)
+	cell := &p.w.wordSegs[seg][proc][idx]
+	if *cell != old {
+		return false
+	}
+	*cell = new
+	return true
+}
+
+// RelaxedLoad64 observes the process's own word as of its last yield point
+// (no token handshake), modeling a relaxed-memory read. The value must be
+// treated as a hint unless remote processes never write the word.
+func (p *proc) RelaxedLoad64(seg pgas.Seg, idx int) int64 {
+	return p.w.wordSegs[seg][p.rank][idx]
+}
+
+// RelaxedStore64 writes the process's own word without yielding. It must
+// only be used for words that remote processes never access; use
+// Store64(Rank(), ...) for owner words that thieves read.
+func (p *proc) RelaxedStore64(seg pgas.Seg, idx int, val int64) {
+	p.w.wordSegs[seg][p.rank][idx] = val
+}
+
+// --- Locks -------------------------------------------------------------------
+
+func (p *proc) Lock(proc int, id pgas.LockID) {
+	backoff := p.w.cfg.PollInterval
+	for {
+		p.orderedRemote(proc, 8)
+		ls := &p.w.locks[id]
+		if !ls.held[proc] {
+			ls.held[proc] = true
+			ls.owner[proc] = p.rank
+			return
+		}
+		// Remote spinning: each retry is another network round trip after
+		// an exponential backoff.
+		p.advance(backoff)
+		backoff *= 2
+		if backoff > p.w.cfg.MaxBackoff {
+			backoff = p.w.cfg.MaxBackoff
+		}
+	}
+}
+
+func (p *proc) TryLock(proc int, id pgas.LockID) bool {
+	p.orderedRemote(proc, 8)
+	ls := &p.w.locks[id]
+	if ls.held[proc] {
+		return false
+	}
+	ls.held[proc] = true
+	ls.owner[proc] = p.rank
+	return true
+}
+
+func (p *proc) Unlock(proc int, id pgas.LockID) {
+	p.orderedRemote(proc, 8)
+	ls := &p.w.locks[id]
+	if !ls.held[proc] || ls.owner[proc] != p.rank {
+		panic(fmt.Sprintf("dsim: rank %d unlocking lock %d@%d it does not hold", p.rank, id, proc))
+	}
+	ls.held[proc] = false
+}
+
+// --- Two-sided messages -------------------------------------------------------
+
+func (p *proc) Send(to int, tag int32, data []byte) {
+	n := len(data)
+	// The sender is occupied for the injection overhead; the message
+	// arrives at the receiver one message latency after the send started.
+	arrival := p.clock + p.w.cfg.MsgLatency + time.Duration(n)*p.w.cfg.PerByte
+	p.ordered(p.w.cfg.LocalOpCost)
+	cp := make([]byte, n)
+	copy(cp, data)
+	dst := p.w.procs[to]
+	dst.inbox = append(dst.inbox, message{from: p.rank, tag: tag, data: cp, arrival: arrival})
+	if dst.state == stateWaiting && dst.matches(len(dst.inbox)-1) {
+		if dst.clock < arrival {
+			dst.clock = arrival
+		}
+		dst.state = stateRunnable
+	}
+}
+
+// matches reports whether inbox message i satisfies the wait descriptor.
+func (p *proc) matches(i int) bool {
+	m := p.inbox[i]
+	return (p.waitFrom == pgas.AnySource || m.from == p.waitFrom) && m.tag == p.waitTag
+}
+
+// takeMatching removes and returns the first inbox message matching
+// (from, tag) that has arrived by the local clock. ok reports success.
+func (p *proc) takeMatching(from int, tag int32) (message, bool) {
+	for i, m := range p.inbox {
+		if (from == pgas.AnySource || m.from == from) && m.tag == tag && m.arrival <= p.clock {
+			p.inbox = append(p.inbox[:i], p.inbox[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+func (p *proc) Recv(from int, tag int32) ([]byte, int) {
+	p.ordered(p.w.cfg.LocalOpCost)
+	if m, ok := p.takeMatching(from, tag); ok {
+		return m.data, m.from
+	}
+	// Block: deschedule until a matching message wakes us. Messages already
+	// in flight (arrival > clock) also count — wait for the earliest one.
+	if m, ok := p.earliestInFlight(from, tag); ok {
+		p.clock = m.arrival
+		p.yield()
+		m2, ok2 := p.takeMatching(from, tag)
+		if !ok2 {
+			panic("dsim: in-flight message vanished")
+		}
+		return m2.data, m2.from
+	}
+	p.waitFrom = from
+	p.waitTag = tag
+	p.state = stateWaiting
+	p.yield() // engine will not resume us until a sender wakes us
+	m, ok := p.takeMatching(from, tag)
+	if !ok {
+		panic("dsim: woken without a matching message")
+	}
+	return m.data, m.from
+}
+
+// earliestInFlight finds the matching message with the smallest arrival
+// time strictly in the future.
+func (p *proc) earliestInFlight(from int, tag int32) (message, bool) {
+	best := -1
+	for i, m := range p.inbox {
+		if (from == pgas.AnySource || m.from == from) && m.tag == tag {
+			if best < 0 || m.arrival < p.inbox[best].arrival {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return message{}, false
+	}
+	return p.inbox[best], true
+}
+
+func (p *proc) TryRecv(from int, tag int32) ([]byte, int, bool) {
+	// A poll costs PollInterval of CPU time (the paper's "explicit polling
+	// operations" under MPI work stealing).
+	p.ordered(p.w.cfg.PollInterval)
+	if m, ok := p.takeMatching(from, tag); ok {
+		return m.data, m.from, true
+	}
+	return nil, -1, false
+}
+
+// --- Barrier -------------------------------------------------------------------
+
+// barrierTagBase is the reserved internal tag space for dissemination
+// barrier rounds; the generation parity keeps adjacent barriers separate.
+const barrierTagBase int32 = -(1 << 20)
+
+// Barrier is a dissemination barrier over two-sided messages: ceil(log2 P)
+// rounds, each a send to rank+2^k and a receive from rank-2^k. Its modeled
+// cost is therefore ~log2(P) message latencies, matching an MPI barrier.
+func (p *proc) Barrier() {
+	n := p.w.cfg.NProcs
+	if n == 1 {
+		p.ordered(p.w.cfg.LocalOpCost)
+		return
+	}
+	gen := int32(p.barGen & 1)
+	p.barGen++
+	round := int32(0)
+	for dist := 1; dist < n; dist *= 2 {
+		to := (p.rank + dist) % n
+		from := (p.rank - dist + n) % n
+		tag := barrierTagBase - gen*64 - round
+		p.Send(to, tag, nil)
+		p.Recv(from, tag)
+		round++
+	}
+}
+
+// --- Time and computation --------------------------------------------------------
+
+func (p *proc) Compute(d time.Duration) {
+	p.advance(time.Duration(float64(d) * p.speed))
+}
+
+func (p *proc) Charge(d time.Duration) {
+	p.advance(time.Duration(float64(d) * p.speed))
+}
+
+func (p *proc) Now() time.Duration { return p.clock }
+
+func (p *proc) Rand() *rand.Rand { return p.rng }

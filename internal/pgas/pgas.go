@@ -1,0 +1,169 @@
+// Package pgas defines the one-sided communication interface that the Scioto
+// runtime and its applications are written against.
+//
+// The interface mirrors the subset of ARMCI that the original Scioto
+// implementation uses: a symmetric heap of remotely accessible memory
+// segments, contiguous one-sided Get/Put transfers, atomic word operations
+// (fetch-and-add, compare-and-swap, swap), remote locks, barriers, and a
+// small two-sided message layer (standing in for MPI point-to-point, used by
+// the UTS-MPI work-stealing baseline).
+//
+// Two transports implement the interface:
+//
+//   - pgas/shm: real concurrency. Every simulated process is a goroutine and
+//     all operations are performed with real atomics and mutexes. Optionally
+//     a calibrated latency is injected on remote operations. This transport
+//     is used for correctness testing (including under the race detector)
+//     and for measuring the true cost of individual operations.
+//
+//   - pgas/dsim: deterministic discrete-event simulation in virtual time.
+//     Every process is a goroutine scheduled cooperatively in virtual-time
+//     order. Remote operations charge a configurable latency and bandwidth
+//     cost, and per-process speed factors model heterogeneous clusters. This
+//     transport reproduces the paper's scaling experiments (up to 512
+//     processes) on any host.
+//
+// Memory model. Each process owns, for every collectively allocated segment,
+// a local instance of that segment (a "symmetric" allocation, as in ARMCI or
+// SHMEM). A datum is addressed by the triple (process, segment, offset).
+// Data segments hold bytes and are accessed with bulk Get/Put/AccF64; word
+// segments hold 64-bit integers and are accessed with atomic operations.
+// Bulk data operations are not atomic with respect to one another except as
+// documented; callers synchronize with locks, exactly as ARMCI programs do.
+package pgas
+
+import (
+	"math/rand"
+	"time"
+)
+
+// AnySource may be passed as the source rank to Recv and TryRecv to accept a
+// message from any sender.
+const AnySource = -1
+
+// Seg identifies a collectively allocated memory segment. Segment handles
+// are small integers assigned in collective allocation order, so every
+// process holds the same handle for the same logical segment.
+type Seg int
+
+// LockID identifies a collectively allocated lock. Each process hosts one
+// instance of every lock; Lock(p, id) acquires the instance hosted on
+// process p.
+type LockID int
+
+// World represents a group of processes executing a SPMD program.
+type World interface {
+	// NProcs reports the number of processes in the world.
+	NProcs() int
+
+	// Run launches the SPMD body on every process and returns once all
+	// processes have returned from it. It returns the first error produced
+	// by a panicking process, or nil.
+	Run(body func(p Proc)) error
+}
+
+// Proc is the per-process handle through which a SPMD body performs all
+// communication. A Proc must only be used from the goroutine that received
+// it from World.Run.
+type Proc interface {
+	// Rank reports this process's rank in [0, NProcs).
+	Rank() int
+	// NProcs reports the number of processes in the world.
+	NProcs() int
+
+	// Barrier blocks until all processes have entered the barrier. On the
+	// dsim transport the barrier is a dissemination barrier whose cost is
+	// charged in virtual time.
+	Barrier()
+
+	// AllocData collectively allocates a data segment of nbytes bytes on
+	// every process and returns its handle. All processes must call
+	// AllocData with equal sizes in the same order.
+	AllocData(nbytes int) Seg
+	// AllocWords collectively allocates a word segment of nwords 64-bit
+	// cells on every process and returns its handle.
+	AllocWords(nwords int) Seg
+	// AllocLock collectively allocates a lock (one instance per process).
+	AllocLock() LockID
+
+	// Get copies len(dst) bytes starting at offset off of data segment seg
+	// on process proc into dst.
+	Get(dst []byte, proc int, seg Seg, off int)
+	// Put copies src into data segment seg on process proc at offset off.
+	Put(proc int, seg Seg, off int, src []byte)
+	// AccF64 atomically adds vals element-wise into the float64 values
+	// stored (in native encoding, see Float64Slice) at byte offset off of
+	// data segment seg on process proc. The accumulate is atomic with
+	// respect to other AccF64 calls targeting the same process, mirroring
+	// ARMCI_Acc.
+	AccF64(proc int, seg Seg, off int, vals []float64)
+	// Local returns this process's own instance of data segment seg for
+	// direct access. The caller must guarantee, at the application
+	// protocol level, that no remote operation concurrently accesses the
+	// bytes it touches.
+	Local(seg Seg) []byte
+
+	// Load64 atomically reads word idx of word segment seg on process proc.
+	Load64(proc int, seg Seg, idx int) int64
+	// Store64 atomically writes word idx of word segment seg on process proc.
+	Store64(proc int, seg Seg, idx int, val int64)
+	// FetchAdd64 atomically adds delta to the word and returns the previous
+	// value.
+	FetchAdd64(proc int, seg Seg, idx int, delta int64) int64
+	// CAS64 atomically compares-and-swaps the word, reporting success.
+	CAS64(proc int, seg Seg, idx int, old, new int64) bool
+
+	// RelaxedLoad64 reads word idx of this process's own instance of seg
+	// without establishing a global ordering. It is intended for owner-side
+	// fast paths on words that remote processes either never write or that
+	// the caller treats as a hint to be re-validated under a lock.
+	RelaxedLoad64(seg Seg, idx int) int64
+	// RelaxedStore64 writes word idx of this process's own instance of seg
+	// without establishing a global ordering. It must only be used for
+	// words that remote processes never write.
+	RelaxedStore64(seg Seg, idx int, val int64)
+
+	// Lock acquires lock id on process proc; Unlock releases it. Locks are
+	// not reentrant.
+	Lock(proc int, id LockID)
+	// TryLock attempts to acquire lock id on process proc without spinning,
+	// reporting success.
+	TryLock(proc int, id LockID) bool
+	// Unlock releases lock id on process proc.
+	Unlock(proc int, id LockID)
+
+	// Send delivers data (copied) to process to with the given tag.
+	Send(to int, tag int32, data []byte)
+	// Recv blocks until a message with the given tag from the given source
+	// (or AnySource) is available and returns its payload and source rank.
+	Recv(from int, tag int32) (data []byte, source int)
+	// TryRecv is the non-blocking form of Recv; ok reports whether a
+	// message was available.
+	TryRecv(from int, tag int32) (data []byte, source int, ok bool)
+
+	// Compute models d units of local computation. On dsim the process's
+	// virtual clock advances by d scaled by the process's speed factor; on
+	// shm the process spins for (a scaled-down fraction of) d.
+	Compute(d time.Duration)
+	// Charge accounts d units of local bookkeeping cost without performing
+	// work: on dsim the virtual clock advances (scaled by the speed
+	// factor); on shm it is a no-op, because the real bookkeeping being
+	// modeled already consumed real time. Runtime-internal code uses
+	// Charge so that modeled costs appear in virtual-time results without
+	// distorting wall-clock measurements.
+	Charge(d time.Duration)
+	// Now reports elapsed time since World.Run began: virtual time on dsim,
+	// wall-clock time on shm.
+	Now() time.Duration
+	// Rand returns this process's deterministic random source.
+	Rand() *rand.Rand
+}
+
+// Transport names a pgas implementation, for command-line selection.
+type Transport string
+
+// Transports selectable by tools and benchmarks.
+const (
+	TransportSHM  Transport = "shm"
+	TransportDSim Transport = "dsim"
+)

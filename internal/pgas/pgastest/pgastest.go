@@ -1,0 +1,638 @@
+// Package pgastest provides a transport-agnostic conformance suite for pgas
+// implementations. Both the shm and dsim transports must pass every test in
+// the suite, which pins down the semantics the Scioto runtime depends on:
+// symmetric allocation, one-sided transfer correctness, atomicity of word
+// operations and accumulates, lock mutual exclusion, barrier synchronization,
+// and message ordering.
+package pgastest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"scioto/internal/pgas"
+)
+
+// Factory creates a fresh world with n processes for a subtest.
+type Factory func(n int) pgas.World
+
+// RunConformance runs the full conformance suite against worlds produced by
+// the factory.
+func RunConformance(t *testing.T, newWorld Factory) {
+	t.Helper()
+	t.Run("PutGetRoundTrip", func(t *testing.T) { testPutGet(t, newWorld) })
+	t.Run("SymmetricAlloc", func(t *testing.T) { testSymmetricAlloc(t, newWorld) })
+	t.Run("FetchAddAtomicity", func(t *testing.T) { testFetchAdd(t, newWorld) })
+	t.Run("CASExchange", func(t *testing.T) { testCAS(t, newWorld) })
+	t.Run("AccF64Atomicity", func(t *testing.T) { testAccF64(t, newWorld) })
+	t.Run("LockMutualExclusion", func(t *testing.T) { testLockMutex(t, newWorld) })
+	t.Run("TryLock", func(t *testing.T) { testTryLock(t, newWorld) })
+	t.Run("BarrierSeparatesPhases", func(t *testing.T) { testBarrierPhases(t, newWorld) })
+	t.Run("BarrierManyRounds", func(t *testing.T) { testBarrierRounds(t, newWorld) })
+	t.Run("SendRecvPingPong", func(t *testing.T) { testPingPong(t, newWorld) })
+	t.Run("SendRecvAnySource", func(t *testing.T) { testAnySource(t, newWorld) })
+	t.Run("TryRecv", func(t *testing.T) { testTryRecv(t, newWorld) })
+	t.Run("MessageOrderPerPair", func(t *testing.T) { testMessageOrder(t, newWorld) })
+	t.Run("RelaxedOwnerWords", func(t *testing.T) { testRelaxedWords(t, newWorld) })
+	t.Run("SingleProc", func(t *testing.T) { testSingleProc(t, newWorld) })
+	t.Run("PanicPropagates", func(t *testing.T) { testPanicPropagates(t, newWorld) })
+	t.Run("RandDeterministicPerRank", func(t *testing.T) { testRand(t, newWorld) })
+}
+
+func run(t *testing.T, w pgas.World, body func(p pgas.Proc)) {
+	t.Helper()
+	if err := w.Run(body); err != nil {
+		t.Fatalf("world run failed: %v", err)
+	}
+}
+
+// testPutGet: every rank writes a distinctive pattern into its right
+// neighbor's segment; after a barrier, everyone validates its own memory and
+// reads back its own contribution from the neighbor.
+func testPutGet(t *testing.T, f Factory) {
+	const n = 4
+	const size = 1 << 10
+	w := f(n)
+	run(t, w, func(p pgas.Proc) {
+		seg := p.AllocData(size)
+		right := (p.Rank() + 1) % n
+		pat := make([]byte, size)
+		for i := range pat {
+			pat[i] = byte((p.Rank()*31 + i) % 251)
+		}
+		p.Put(right, seg, 0, pat)
+		p.Barrier()
+		// Validate what the left neighbor wrote into us.
+		left := (p.Rank() - 1 + n) % n
+		want := make([]byte, size)
+		for i := range want {
+			want[i] = byte((left*31 + i) % 251)
+		}
+		if !bytes.Equal(p.Local(seg), want) {
+			panic(fmt.Sprintf("rank %d: local segment does not match left neighbor's pattern", p.Rank()))
+		}
+		// Read back our own contribution from the neighbor.
+		got := make([]byte, size)
+		p.Get(got, right, seg, 0)
+		if !bytes.Equal(got, pat) {
+			panic(fmt.Sprintf("rank %d: Get from %d returned wrong bytes", p.Rank(), right))
+		}
+	})
+}
+
+// testSymmetricAlloc: interleaved data/word/lock allocations yield identical
+// handles on every rank, and offsets address independent per-rank instances.
+func testSymmetricAlloc(t *testing.T, f Factory) {
+	const n = 3
+	w := f(n)
+	run(t, w, func(p pgas.Proc) {
+		d0 := p.AllocData(64)
+		w0 := p.AllocWords(8)
+		d1 := p.AllocData(128)
+		l0 := p.AllocLock()
+		w1 := p.AllocWords(4)
+		if d0 != 0 || d1 != 1 || w0 != 0 || w1 != 1 || l0 != 0 {
+			panic(fmt.Sprintf("rank %d: unexpected handles d0=%d d1=%d w0=%d w1=%d l0=%d",
+				p.Rank(), d0, d1, w0, w1, l0))
+		}
+		p.Store64(p.Rank(), w0, 0, int64(100+p.Rank()))
+		p.Barrier()
+		for r := 0; r < n; r++ {
+			if got := p.Load64(r, w0, 0); got != int64(100+r) {
+				panic(fmt.Sprintf("rank %d: word seg instance %d holds %d", p.Rank(), r, got))
+			}
+		}
+	})
+}
+
+// testFetchAdd: all ranks hammer a counter on rank 0; the total and the set
+// of observed pre-values must both be exact.
+func testFetchAdd(t *testing.T, f Factory) {
+	const n = 4
+	const perRank = 100
+	w := f(n)
+	seen := make([][]int64, n)
+	run(t, w, func(p pgas.Proc) {
+		ws := p.AllocWords(1)
+		mine := make([]int64, 0, perRank)
+		for i := 0; i < perRank; i++ {
+			mine = append(mine, p.FetchAdd64(0, ws, 0, 1))
+		}
+		seen[p.Rank()] = mine
+		p.Barrier()
+		if p.Rank() == 0 {
+			if got := p.Load64(0, ws, 0); got != n*perRank {
+				panic(fmt.Sprintf("counter = %d, want %d", got, n*perRank))
+			}
+		}
+	})
+	// Every pre-value in [0, n*perRank) must be observed exactly once.
+	all := make(map[int64]bool)
+	for r := range seen {
+		for _, v := range seen[r] {
+			if all[v] {
+				t.Fatalf("pre-value %d observed twice", v)
+			}
+			all[v] = true
+		}
+	}
+	if len(all) != n*perRank {
+		t.Fatalf("observed %d distinct pre-values, want %d", len(all), n*perRank)
+	}
+}
+
+func testCAS(t *testing.T, f Factory) {
+	const n = 4
+	w := f(n)
+	var winners int64
+	run(t, w, func(p pgas.Proc) {
+		ws := p.AllocWords(2)
+		p.Barrier()
+		if p.CAS64(0, ws, 0, 0, int64(p.Rank()+1)) {
+			p.FetchAdd64(0, ws, 1, 1)
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			winners = p.Load64(0, ws, 1)
+			v := p.Load64(0, ws, 0)
+			if v < 1 || v > n {
+				panic(fmt.Sprintf("CAS result %d out of range", v))
+			}
+		}
+	})
+	if winners != 1 {
+		t.Fatalf("CAS winners = %d, want exactly 1", winners)
+	}
+}
+
+// testAccF64: concurrent accumulates into one float64 array must sum exactly
+// (each contribution is a power of two so float addition is exact).
+func testAccF64(t *testing.T, f Factory) {
+	const n = 4
+	const vecLen = 16
+	const reps = 50
+	w := f(n)
+	run(t, w, func(p pgas.Proc) {
+		seg := p.AllocData(vecLen * pgas.F64Bytes)
+		contrib := make([]float64, vecLen)
+		for i := range contrib {
+			contrib[i] = 0.25 // power of two: exact under fp addition
+		}
+		p.Barrier()
+		for r := 0; r < reps; r++ {
+			p.AccF64(0, seg, 0, contrib)
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			got := make([]float64, vecLen)
+			pgas.GetF64Slice(got, p.Local(seg))
+			want := 0.25 * n * reps
+			for i, v := range got {
+				if v != want {
+					panic(fmt.Sprintf("acc[%d] = %v, want %v", i, v, want))
+				}
+			}
+		}
+	})
+}
+
+// testLockMutex: a lock-protected read-modify-write on a data segment must
+// not lose updates.
+func testLockMutex(t *testing.T, f Factory) {
+	const n = 4
+	const reps = 50
+	w := f(n)
+	run(t, w, func(p pgas.Proc) {
+		seg := p.AllocData(8)
+		lk := p.AllocLock()
+		p.Barrier()
+		buf := make([]byte, 8)
+		for i := 0; i < reps; i++ {
+			p.Lock(0, lk)
+			p.Get(buf, 0, seg, 0)
+			pgas.PutI64(buf, pgas.GetI64(buf)+1)
+			p.Put(0, seg, 0, buf)
+			p.Unlock(0, lk)
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			if got := pgas.GetI64(p.Local(seg)); got != n*reps {
+				panic(fmt.Sprintf("locked counter = %d, want %d", got, n*reps))
+			}
+		}
+	})
+}
+
+func testTryLock(t *testing.T, f Factory) {
+	w := f(2)
+	run(t, w, func(p pgas.Proc) {
+		lk := p.AllocLock()
+		ws := p.AllocWords(1)
+		if p.Rank() == 0 {
+			p.Lock(0, lk)
+			p.Store64(0, ws, 0, 1) // signal: lock held
+			// Hold until rank 1 reports its TryLock failed.
+			for p.Load64(0, ws, 0) != 2 {
+				p.Compute(time.Microsecond)
+			}
+			p.Unlock(0, lk)
+		} else {
+			for p.Load64(0, ws, 0) != 1 {
+				p.Compute(time.Microsecond)
+			}
+			if p.TryLock(0, lk) {
+				panic("TryLock succeeded while lock held")
+			}
+			p.Store64(0, ws, 0, 2)
+			p.Lock(0, lk) // must eventually succeed after rank 0 unlocks
+			p.Unlock(0, lk)
+		}
+	})
+}
+
+// testBarrierPhases: writes before a barrier must be visible after it.
+func testBarrierPhases(t *testing.T, f Factory) {
+	const n = 5
+	const phases = 10
+	w := f(n)
+	run(t, w, func(p pgas.Proc) {
+		ws := p.AllocWords(phases)
+		for ph := 0; ph < phases; ph++ {
+			p.Store64(p.Rank(), ws, ph, int64(ph*1000+p.Rank()))
+			p.Barrier()
+			for r := 0; r < n; r++ {
+				if got := p.Load64(r, ws, ph); got != int64(ph*1000+r) {
+					panic(fmt.Sprintf("rank %d phase %d: stale read %d from rank %d", p.Rank(), ph, got, r))
+				}
+			}
+			p.Barrier()
+		}
+	})
+}
+
+func testBarrierRounds(t *testing.T, f Factory) {
+	for _, n := range []int{1, 2, 3, 7, 8} {
+		w := f(n)
+		run(t, w, func(p pgas.Proc) {
+			for i := 0; i < 20; i++ {
+				p.Barrier()
+			}
+		})
+	}
+}
+
+func testPingPong(t *testing.T, f Factory) {
+	w := f(2)
+	run(t, w, func(p pgas.Proc) {
+		const rounds = 20
+		if p.Rank() == 0 {
+			for i := 0; i < rounds; i++ {
+				p.Send(1, 7, []byte{byte(i)})
+				data, src := p.Recv(1, 8)
+				if src != 1 || len(data) != 1 || data[0] != byte(i+1) {
+					panic(fmt.Sprintf("round %d: bad pong %v from %d", i, data, src))
+				}
+			}
+		} else {
+			for i := 0; i < rounds; i++ {
+				data, src := p.Recv(0, 7)
+				if src != 0 || data[0] != byte(i) {
+					panic(fmt.Sprintf("round %d: bad ping %v", i, data))
+				}
+				p.Send(0, 8, []byte{byte(i + 1)})
+			}
+		}
+	})
+}
+
+func testAnySource(t *testing.T, f Factory) {
+	const n = 5
+	w := f(n)
+	run(t, w, func(p pgas.Proc) {
+		if p.Rank() == 0 {
+			got := make(map[int]bool)
+			for i := 0; i < n-1; i++ {
+				data, src := p.Recv(pgas.AnySource, 3)
+				if int(data[0]) != src {
+					panic(fmt.Sprintf("payload %d does not match source %d", data[0], src))
+				}
+				if got[src] {
+					panic(fmt.Sprintf("duplicate message from %d", src))
+				}
+				got[src] = true
+			}
+		} else {
+			p.Send(0, 3, []byte{byte(p.Rank())})
+		}
+	})
+}
+
+func testTryRecv(t *testing.T, f Factory) {
+	w := f(2)
+	run(t, w, func(p pgas.Proc) {
+		ws := p.AllocWords(1)
+		if p.Rank() == 0 {
+			if _, _, ok := p.TryRecv(pgas.AnySource, 9); ok {
+				panic("TryRecv returned a message before any send")
+			}
+			p.Store64(0, ws, 0, 1) // tell rank 1 to send
+			var data []byte
+			var ok bool
+			for !ok {
+				p.Compute(time.Microsecond)
+				data, _, ok = p.TryRecv(1, 9)
+			}
+			if string(data) != "hello" {
+				panic("wrong payload " + string(data))
+			}
+		} else {
+			for p.Load64(0, ws, 0) != 1 {
+				p.Compute(time.Microsecond)
+			}
+			p.Send(0, 9, []byte("hello"))
+		}
+	})
+}
+
+// testMessageOrder: messages between one (sender, receiver, tag) triple are
+// received in send order.
+func testMessageOrder(t *testing.T, f Factory) {
+	w := f(2)
+	const k = 50
+	run(t, w, func(p pgas.Proc) {
+		if p.Rank() == 0 {
+			for i := 0; i < k; i++ {
+				p.Send(1, 4, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				data, _ := p.Recv(0, 4)
+				if data[0] != byte(i) {
+					panic(fmt.Sprintf("message %d arrived out of order (got %d)", i, data[0]))
+				}
+			}
+		}
+	})
+}
+
+// testRelaxedWords: owner-private words written with RelaxedStore64 are
+// observed by the owner's RelaxedLoad64, and ordered stores are observed
+// remotely.
+func testRelaxedWords(t *testing.T, f Factory) {
+	w := f(2)
+	run(t, w, func(p pgas.Proc) {
+		ws := p.AllocWords(2)
+		p.RelaxedStore64(ws, 0, int64(p.Rank())*10+5)
+		if got := p.RelaxedLoad64(ws, 0); got != int64(p.Rank())*10+5 {
+			panic(fmt.Sprintf("relaxed round trip got %d", got))
+		}
+		p.Store64(p.Rank(), ws, 1, int64(p.Rank())+100)
+		p.Barrier()
+		other := 1 - p.Rank()
+		if got := p.Load64(other, ws, 1); got != int64(other)+100 {
+			panic(fmt.Sprintf("ordered word from %d = %d", other, got))
+		}
+	})
+}
+
+func testSingleProc(t *testing.T, f Factory) {
+	w := f(1)
+	run(t, w, func(p pgas.Proc) {
+		if p.NProcs() != 1 || p.Rank() != 0 {
+			panic("bad world shape")
+		}
+		seg := p.AllocData(16)
+		ws := p.AllocWords(1)
+		p.Barrier()
+		p.Put(0, seg, 0, []byte("abcdefgh"))
+		got := make([]byte, 8)
+		p.Get(got, 0, seg, 0)
+		if string(got) != "abcdefgh" {
+			panic("single-proc put/get failed")
+		}
+		p.FetchAdd64(0, ws, 0, 42)
+		if p.Load64(0, ws, 0) != 42 {
+			panic("single-proc fetch-add failed")
+		}
+		p.Barrier()
+	})
+}
+
+func testPanicPropagates(t *testing.T, f Factory) {
+	w := f(2)
+	err := w.Run(func(p pgas.Proc) {
+		if p.Rank() == 1 {
+			panic("deliberate failure")
+		}
+		// Rank 0 does bounded local work and returns; it must not hang.
+		p.Compute(time.Millisecond)
+	})
+	if err == nil {
+		t.Fatal("expected an error from a panicking rank")
+	}
+}
+
+func testRand(t *testing.T, f Factory) {
+	const n = 3
+	draw := func() [n]int64 {
+		var out [n]int64
+		w := f(n)
+		if err := w.Run(func(p pgas.Proc) {
+			out[p.Rank()] = p.Rand().Int63()
+		}); err != nil {
+			t.Fatalf("rand world failed: %v", err)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	if a != b {
+		t.Fatalf("per-rank random streams are not reproducible: %v vs %v", a, b)
+	}
+	if a[0] == a[1] || a[1] == a[2] {
+		t.Fatalf("ranks share a random stream: %v", a)
+	}
+}
+
+// RunEdgeCases runs the secondary conformance suite: degenerate sizes,
+// self-targeting operations, tag spaces, offset arithmetic, and lock
+// independence.
+func RunEdgeCases(t *testing.T, newWorld Factory) {
+	t.Helper()
+	t.Run("ZeroLengthTransfers", func(t *testing.T) { testZeroLength(t, newWorld) })
+	t.Run("SendToSelf", func(t *testing.T) { testSendToSelf(t, newWorld) })
+	t.Run("TagIsolation", func(t *testing.T) { testTagIsolation(t, newWorld) })
+	t.Run("OffsetArithmetic", func(t *testing.T) { testOffsets(t, newWorld) })
+	t.Run("LockIndependence", func(t *testing.T) { testLockIndependence(t, newWorld) })
+	t.Run("ManySegments", func(t *testing.T) { testManySegments(t, newWorld) })
+	t.Run("ConcurrentWorlds", func(t *testing.T) { testConcurrentWorlds(t, newWorld) })
+	t.Run("EmptyAcc", func(t *testing.T) { testEmptyAcc(t, newWorld) })
+}
+
+func testZeroLength(t *testing.T, f Factory) {
+	w := f(2)
+	run(t, w, func(p pgas.Proc) {
+		seg := p.AllocData(8)
+		p.Put(1-p.Rank(), seg, 4, nil)
+		p.Get(nil, 1-p.Rank(), seg, 8) // offset at end, zero bytes: legal
+		p.Send(1-p.Rank(), 2, nil)
+		data, src := p.Recv(1-p.Rank(), 2)
+		if len(data) != 0 || src != 1-p.Rank() {
+			panic("zero-length message mangled")
+		}
+	})
+}
+
+func testSendToSelf(t *testing.T, f Factory) {
+	w := f(2)
+	run(t, w, func(p pgas.Proc) {
+		p.Send(p.Rank(), 5, []byte{42})
+		data, src := p.Recv(p.Rank(), 5)
+		if src != p.Rank() || data[0] != 42 {
+			panic("self-send failed")
+		}
+		// One-sided to self must work too.
+		ws := p.AllocWords(1)
+		p.FetchAdd64(p.Rank(), ws, 0, 7)
+		if p.Load64(p.Rank(), ws, 0) != 7 {
+			panic("self fetch-add failed")
+		}
+	})
+}
+
+func testTagIsolation(t *testing.T, f Factory) {
+	w := f(2)
+	run(t, w, func(p pgas.Proc) {
+		if p.Rank() == 0 {
+			// Send three tags out of the order the receiver collects them.
+			p.Send(1, 30, []byte{30})
+			p.Send(1, 10, []byte{10})
+			p.Send(1, -1000000, []byte{99})
+		} else {
+			if d, _ := p.Recv(0, 10); d[0] != 10 {
+				panic("tag 10 mismatched")
+			}
+			if d, _ := p.Recv(0, -1000000); d[0] != 99 {
+				panic("negative tag mismatched")
+			}
+			if d, _ := p.Recv(0, 30); d[0] != 30 {
+				panic("tag 30 mismatched")
+			}
+		}
+	})
+}
+
+func testOffsets(t *testing.T, f Factory) {
+	w := f(2)
+	run(t, w, func(p pgas.Proc) {
+		const n = 256
+		seg := p.AllocData(n)
+		p.Barrier()
+		if p.Rank() == 0 {
+			// Write single bytes at scattered offsets on rank 1.
+			for _, off := range []int{0, 1, 7, 8, 127, 255} {
+				p.Put(1, seg, off, []byte{byte(off)})
+			}
+		}
+		p.Barrier()
+		if p.Rank() == 1 {
+			loc := p.Local(seg)
+			for _, off := range []int{0, 1, 7, 8, 127, 255} {
+				if loc[off] != byte(off) {
+					panic(fmt.Sprintf("offset %d holds %d", off, loc[off]))
+				}
+			}
+		}
+	})
+}
+
+func testLockIndependence(t *testing.T, f Factory) {
+	w := f(3)
+	run(t, w, func(p pgas.Proc) {
+		a := p.AllocLock()
+		b := p.AllocLock()
+		p.Barrier()
+		if p.Rank() == 0 {
+			// Holding lock a on proc 1 must not block lock b on proc 1 or
+			// lock a on proc 2.
+			p.Lock(1, a)
+			if !p.TryLock(1, b) {
+				panic("distinct lock ids interfere")
+			}
+			if !p.TryLock(2, a) {
+				panic("same lock id on distinct hosts interferes")
+			}
+			p.Unlock(1, a)
+			p.Unlock(1, b)
+			p.Unlock(2, a)
+		}
+		p.Barrier()
+	})
+}
+
+func testManySegments(t *testing.T, f Factory) {
+	w := f(2)
+	run(t, w, func(p pgas.Proc) {
+		const k = 40
+		segs := make([]pgas.Seg, k)
+		for i := range segs {
+			segs[i] = p.AllocData(16)
+		}
+		p.Barrier()
+		for i, s := range segs {
+			p.Put(1-p.Rank(), s, 0, []byte{byte(i), byte(p.Rank())})
+		}
+		p.Barrier()
+		for i, s := range segs {
+			loc := p.Local(s)
+			if loc[0] != byte(i) || loc[1] != byte(1-p.Rank()) {
+				panic(fmt.Sprintf("segment %d cross-talk: %v", i, loc[:2]))
+			}
+		}
+	})
+}
+
+// testConcurrentWorlds: two independent worlds running interleaved must not
+// share any state.
+func testConcurrentWorlds(t *testing.T, f Factory) {
+	done := make(chan error, 2)
+	for inst := 0; inst < 2; inst++ {
+		inst := inst
+		go func() {
+			w := f(3)
+			done <- w.Run(func(p pgas.Proc) {
+				ws := p.AllocWords(1)
+				for i := 0; i < 50; i++ {
+					p.FetchAdd64(0, ws, 0, int64(inst+1))
+				}
+				p.Barrier()
+				if p.Rank() == 0 {
+					want := int64(3 * 50 * (inst + 1))
+					if got := p.Load64(0, ws, 0); got != want {
+						panic(fmt.Sprintf("world %d: counter %d, want %d", inst, got, want))
+					}
+				}
+			})
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent world failed: %v", err)
+		}
+	}
+}
+
+func testEmptyAcc(t *testing.T, f Factory) {
+	w := f(2)
+	run(t, w, func(p pgas.Proc) {
+		seg := p.AllocData(16)
+		p.AccF64(1-p.Rank(), seg, 0, nil) // zero-element accumulate: no-op
+		p.Barrier()
+		for _, b := range p.Local(seg) {
+			if b != 0 {
+				panic("empty accumulate wrote data")
+			}
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package shm
+
+import (
+	"sync"
+
+	"scioto/internal/pgas"
+)
+
+// message is a delivered two-sided message.
+type message struct {
+	from int
+	tag  int32
+	data []byte
+}
+
+// mailbox is a per-process queue of incoming messages with tag/source
+// matching, standing in for MPI point-to-point delivery.
+type mailbox struct {
+	mu   sync.Mutex
+	cv   *sync.Cond
+	msgs []message
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cv = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) push(m message) {
+	b.mu.Lock()
+	b.msgs = append(b.msgs, m)
+	b.cv.Broadcast()
+	b.mu.Unlock()
+}
+
+// pop removes and returns the first message matching (from, tag). If block
+// is true it waits for one; otherwise a zero message with from = -1 is
+// returned when nothing matches. from may be pgas.AnySource.
+func (b *mailbox) pop(from int, tag int32, block bool) message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.msgs {
+			if (from == pgas.AnySource || m.from == from) && m.tag == tag {
+				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+				return m
+			}
+		}
+		if !block {
+			return message{from: -1}
+		}
+		b.cv.Wait()
+	}
+}

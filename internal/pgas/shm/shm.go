@@ -1,0 +1,333 @@
+// Package shm implements the pgas interface with real shared-memory
+// concurrency: every simulated process is a goroutine and all communication
+// primitives are built from sync and sync/atomic. It is the transport used
+// for correctness testing (including under the race detector) and for
+// measuring the true cost of individual Scioto queue operations (Table 1).
+//
+// An optional calibrated latency can be injected on remote operations so
+// that single-host runs reproduce the local/remote cost ratio of the
+// paper's InfiniBand cluster.
+package shm
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scioto/internal/pgas"
+)
+
+// Config parameterizes a shared-memory world.
+type Config struct {
+	// NProcs is the number of simulated processes (goroutines).
+	NProcs int
+	// RemoteLatency, when nonzero, is busy-waited on every operation that
+	// targets a process other than the caller, emulating network latency.
+	RemoteLatency time.Duration
+	// RemotePerByte, when nonzero, adds a bandwidth term to injected
+	// latency: RemotePerByte per transferred byte.
+	RemotePerByte time.Duration
+	// ComputeScale scales durations passed to Proc.Compute before spinning.
+	// Zero means 1.0. Values below 1 shrink simulated application work so
+	// large workloads run quickly while preserving relative costs.
+	ComputeScale float64
+	// SpeedFactor, when non-nil, returns the relative cost multiplier for
+	// computation on the given rank (1.0 = nominal; larger = slower CPU).
+	// It models heterogeneous clusters.
+	SpeedFactor func(rank int) float64
+	// Seed seeds the per-process random sources.
+	Seed int64
+}
+
+type world struct {
+	cfg Config
+
+	allocMu  sync.Mutex
+	dataSegs [][][]byte  // [seg][proc]bytes
+	wordSegs [][][]int64 // [seg][proc]words
+	locks    [][]*sync.Mutex
+
+	accMu []sync.Mutex // per-process accumulate lock (ARMCI_Acc atomicity)
+
+	boxes []*mailbox
+
+	barMu  sync.Mutex
+	barCnt int
+	barGen int
+	barCv  *sync.Cond
+
+	start time.Time
+}
+
+// NewWorld creates a shared-memory world with the given configuration.
+func NewWorld(cfg Config) pgas.World {
+	if cfg.NProcs <= 0 {
+		panic("shm: NProcs must be positive")
+	}
+	if cfg.ComputeScale == 0 {
+		cfg.ComputeScale = 1.0
+	}
+	w := &world{cfg: cfg}
+	w.barCv = sync.NewCond(&w.barMu)
+	w.accMu = make([]sync.Mutex, cfg.NProcs)
+	w.boxes = make([]*mailbox, cfg.NProcs)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+func (w *world) NProcs() int { return w.cfg.NProcs }
+
+func (w *world) Run(body func(p pgas.Proc)) error {
+	w.start = time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, w.cfg.NProcs)
+	for r := 0; r < w.cfg.NProcs; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					buf := make([]byte, 16<<10)
+					n := runtime.Stack(buf, false)
+					errs[rank] = fmt.Errorf("shm: rank %d panicked: %v\n%s", rank, rec, buf[:n])
+					// Surface the failure immediately: sibling ranks may
+					// be blocked in collectives this rank will never
+					// reach, so the error must not wait for Run to return.
+					fmt.Fprintf(os.Stderr, "%v\n", errs[rank])
+				}
+			}()
+			speed := 1.0
+			if w.cfg.SpeedFactor != nil {
+				speed = w.cfg.SpeedFactor(rank)
+			}
+			p := &proc{
+				w:     w,
+				rank:  rank,
+				speed: speed,
+				rng:   rand.New(rand.NewSource(w.cfg.Seed*7919 + int64(rank) + 1)),
+			}
+			body(p)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type proc struct {
+	w     *world
+	rank  int
+	speed float64
+	rng   *rand.Rand
+
+	// Per-process collective allocation counters. Collective allocation
+	// calls must occur in the same order on every process; each process's
+	// i-th call maps to global segment/lock i.
+	dataCount int
+	wordCount int
+	lockCount int
+}
+
+var _ pgas.Proc = (*proc)(nil)
+
+func (p *proc) Rank() int   { return p.rank }
+func (p *proc) NProcs() int { return p.w.cfg.NProcs }
+
+func (p *proc) Barrier() {
+	w := p.w
+	w.barMu.Lock()
+	gen := w.barGen
+	w.barCnt++
+	if w.barCnt == w.cfg.NProcs {
+		w.barCnt = 0
+		w.barGen++
+		w.barCv.Broadcast()
+	} else {
+		for gen == w.barGen {
+			w.barCv.Wait()
+		}
+	}
+	w.barMu.Unlock()
+}
+
+// Collective allocation: the first process to request allocation index i
+// creates instances for all processes; later arrivals attach. Sizes must
+// agree across processes.
+
+func (p *proc) AllocData(nbytes int) pgas.Seg {
+	w := p.w
+	w.allocMu.Lock()
+	defer w.allocMu.Unlock()
+	seg := p.dataCount
+	if seg == len(w.dataSegs) {
+		inst := make([][]byte, w.cfg.NProcs)
+		for i := range inst {
+			inst[i] = make([]byte, nbytes)
+		}
+		w.dataSegs = append(w.dataSegs, inst)
+	} else if got := len(w.dataSegs[seg][0]); got != nbytes {
+		panic(fmt.Sprintf("shm: collective AllocData size mismatch on rank %d: %d vs %d", p.rank, nbytes, got))
+	}
+	p.dataCount++
+	return pgas.Seg(seg)
+}
+
+func (p *proc) AllocWords(nwords int) pgas.Seg {
+	w := p.w
+	w.allocMu.Lock()
+	defer w.allocMu.Unlock()
+	seg := p.wordCount
+	if seg == len(w.wordSegs) {
+		inst := make([][]int64, w.cfg.NProcs)
+		for i := range inst {
+			inst[i] = make([]int64, nwords)
+		}
+		w.wordSegs = append(w.wordSegs, inst)
+	} else if got := len(w.wordSegs[seg][0]); got != nwords {
+		panic(fmt.Sprintf("shm: collective AllocWords size mismatch on rank %d: %d vs %d", p.rank, nwords, got))
+	}
+	p.wordCount++
+	return pgas.Seg(seg)
+}
+
+func (p *proc) AllocLock() pgas.LockID {
+	w := p.w
+	w.allocMu.Lock()
+	defer w.allocMu.Unlock()
+	id := p.lockCount
+	if id == len(w.locks) {
+		inst := make([]*sync.Mutex, w.cfg.NProcs)
+		for i := range inst {
+			inst[i] = new(sync.Mutex)
+		}
+		w.locks = append(w.locks, inst)
+	}
+	p.lockCount++
+	return pgas.LockID(id)
+}
+
+func (p *proc) netDelay(proc, nbytes int) {
+	if proc == p.rank {
+		return
+	}
+	d := p.w.cfg.RemoteLatency + time.Duration(nbytes)*p.w.cfg.RemotePerByte
+	if d > 0 {
+		spin(d)
+	}
+}
+
+func (p *proc) Get(dst []byte, proc int, seg pgas.Seg, off int) {
+	p.netDelay(proc, len(dst))
+	copy(dst, p.w.dataSegs[seg][proc][off:off+len(dst)])
+}
+
+func (p *proc) Put(proc int, seg pgas.Seg, off int, src []byte) {
+	p.netDelay(proc, len(src))
+	copy(p.w.dataSegs[seg][proc][off:off+len(src)], src)
+}
+
+func (p *proc) AccF64(proc int, seg pgas.Seg, off int, vals []float64) {
+	p.netDelay(proc, len(vals)*pgas.F64Bytes)
+	mu := &p.w.accMu[proc]
+	mu.Lock()
+	pgas.AccF64Bytes(p.w.dataSegs[seg][proc][off:], vals)
+	mu.Unlock()
+}
+
+func (p *proc) Local(seg pgas.Seg) []byte { return p.w.dataSegs[seg][p.rank] }
+
+func (p *proc) Load64(proc int, seg pgas.Seg, idx int) int64 {
+	p.netDelay(proc, 8)
+	return atomic.LoadInt64(&p.w.wordSegs[seg][proc][idx])
+}
+
+func (p *proc) Store64(proc int, seg pgas.Seg, idx int, val int64) {
+	p.netDelay(proc, 8)
+	atomic.StoreInt64(&p.w.wordSegs[seg][proc][idx], val)
+}
+
+func (p *proc) FetchAdd64(proc int, seg pgas.Seg, idx int, delta int64) int64 {
+	p.netDelay(proc, 8)
+	return atomic.AddInt64(&p.w.wordSegs[seg][proc][idx], delta) - delta
+}
+
+func (p *proc) CAS64(proc int, seg pgas.Seg, idx int, old, new int64) bool {
+	p.netDelay(proc, 8)
+	return atomic.CompareAndSwapInt64(&p.w.wordSegs[seg][proc][idx], old, new)
+}
+
+func (p *proc) RelaxedLoad64(seg pgas.Seg, idx int) int64 {
+	return atomic.LoadInt64(&p.w.wordSegs[seg][p.rank][idx])
+}
+
+func (p *proc) RelaxedStore64(seg pgas.Seg, idx int, val int64) {
+	atomic.StoreInt64(&p.w.wordSegs[seg][p.rank][idx], val)
+}
+
+func (p *proc) Lock(proc int, id pgas.LockID) {
+	p.netDelay(proc, 8)
+	p.w.locks[id][proc].Lock()
+}
+
+func (p *proc) TryLock(proc int, id pgas.LockID) bool {
+	p.netDelay(proc, 8)
+	return p.w.locks[id][proc].TryLock()
+}
+
+func (p *proc) Unlock(proc int, id pgas.LockID) {
+	p.netDelay(proc, 8)
+	p.w.locks[id][proc].Unlock()
+}
+
+func (p *proc) Send(to int, tag int32, data []byte) {
+	p.netDelay(to, len(data))
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	p.w.boxes[to].push(message{from: p.rank, tag: tag, data: cp})
+}
+
+func (p *proc) Recv(from int, tag int32) ([]byte, int) {
+	m := p.w.boxes[p.rank].pop(from, tag, true)
+	return m.data, m.from
+}
+
+func (p *proc) TryRecv(from int, tag int32) ([]byte, int, bool) {
+	m := p.w.boxes[p.rank].pop(from, tag, false)
+	if m.data == nil && m.from < 0 {
+		return nil, -1, false
+	}
+	return m.data, m.from, true
+}
+
+func (p *proc) Compute(d time.Duration) {
+	scaled := time.Duration(float64(d) * p.w.cfg.ComputeScale * p.speed)
+	if scaled > 0 {
+		spin(scaled)
+	}
+}
+
+// Charge is a no-op on the shm transport: modeled bookkeeping costs are
+// already paid in real time by the real bookkeeping they describe.
+func (p *proc) Charge(time.Duration) {}
+
+func (p *proc) Now() time.Duration { return time.Since(p.w.start) }
+func (p *proc) Rand() *rand.Rand   { return p.rng }
+
+// spin busy-waits for d. Busy waiting (rather than sleeping) models a
+// process that is occupied issuing a blocking one-sided operation, and is
+// accurate at microsecond granularity where timer sleeps are not.
+func spin(d time.Duration) {
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+}

@@ -1,0 +1,78 @@
+package shm_test
+
+import (
+	"testing"
+	"time"
+
+	"scioto/internal/pgas"
+	"scioto/internal/pgas/pgastest"
+	"scioto/internal/pgas/shm"
+)
+
+func TestConformance(t *testing.T) {
+	pgastest.RunConformance(t, func(n int) pgas.World {
+		return shm.NewWorld(shm.Config{NProcs: n, Seed: 1})
+	})
+}
+
+func TestConformanceWithInjectedLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency injection spins; skipped in -short")
+	}
+	pgastest.RunConformance(t, func(n int) pgas.World {
+		return shm.NewWorld(shm.Config{
+			NProcs:        n,
+			Seed:          1,
+			RemoteLatency: 2 * time.Microsecond,
+		})
+	})
+}
+
+// TestHeterogeneousCompute checks that SpeedFactor scales spin time in the
+// right direction.
+func TestHeterogeneousCompute(t *testing.T) {
+	w := shm.NewWorld(shm.Config{
+		NProcs: 2,
+		Seed:   1,
+		SpeedFactor: func(rank int) float64 {
+			if rank == 0 {
+				return 1.0
+			}
+			return 3.0
+		},
+	})
+	var took [2]time.Duration
+	if err := w.Run(func(p pgas.Proc) {
+		t0 := time.Now()
+		for i := 0; i < 50; i++ {
+			p.Compute(100 * time.Microsecond)
+		}
+		took[p.Rank()] = time.Since(t0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if took[1] <= took[0] {
+		t.Errorf("slow rank (%v) did not take longer than fast rank (%v)", took[1], took[0])
+	}
+}
+
+// TestNowAdvances checks the wall clock is monotone and positive.
+func TestNowAdvances(t *testing.T) {
+	w := shm.NewWorld(shm.Config{NProcs: 1, Seed: 1})
+	if err := w.Run(func(p pgas.Proc) {
+		a := p.Now()
+		p.Compute(200 * time.Microsecond)
+		b := p.Now()
+		if b < a {
+			t.Errorf("Now went backwards: %v then %v", a, b)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	pgastest.RunEdgeCases(t, func(n int) pgas.World {
+		return shm.NewWorld(shm.Config{NProcs: n, Seed: 2})
+	})
+}

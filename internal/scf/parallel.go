@@ -1,0 +1,212 @@
+package scf
+
+import (
+	"fmt"
+	"time"
+
+	"scioto/internal/core"
+	"scioto/internal/ga"
+	"scioto/internal/linalg"
+	"scioto/internal/pgas"
+)
+
+// Method selects the dynamic load-balancing scheme for the Fock build.
+type Method int
+
+const (
+	// MethodCounter is the paper's "SCF-Original" scheme: a replicated
+	// task list walked with a shared global counter (NGA_Read_inc). It is
+	// locality-oblivious and the counter host becomes a bottleneck.
+	MethodCounter Method = iota
+	// MethodScioto seeds one task per locally-owned Fock block into a
+	// Scioto task collection with high affinity and lets work stealing
+	// absorb the screening-induced imbalance.
+	MethodScioto
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodCounter:
+		return "counter"
+	case MethodScioto:
+		return "scioto"
+	default:
+		return "unknown"
+	}
+}
+
+// RunConfig parameterizes a parallel SCF run.
+type RunConfig struct {
+	Sys     SystemConfig
+	Method  Method
+	MaxIter int
+	ConvTol float64
+	// PerIntegral is the modeled cost charged per evaluated integral (the
+	// real Gaussian integral cost the synthetic formula stands in for).
+	// Zero means 100ns.
+	PerIntegral time.Duration
+	// TC configures the Scioto task collection (MethodScioto only).
+	TC core.Config
+}
+
+// Result reports a parallel SCF run.
+type Result struct {
+	SCF SCFResult
+	// FockTime is the virtual/wall time this process spent inside Fock
+	// build phases (the dynamically load-balanced part).
+	FockTime time.Duration
+	// Elapsed is the total loop time on this process.
+	Elapsed time.Duration
+	// TaskStats holds Scioto counters (MethodScioto only).
+	TaskStats core.Stats
+}
+
+// fockTaskBody is the wire layout of a Fock block task: two int32 block
+// indices.
+const fockTaskBody = 8
+
+// Run executes the SCF loop with the Fock build distributed by the chosen
+// method. Collective. The returned energy is identical on every process.
+func Run(p pgas.Proc, cfg RunConfig) (Result, error) {
+	if cfg.PerIntegral == 0 {
+		cfg.PerIntegral = 100 * time.Nanosecond
+	}
+	opts := defaultOpts()
+	if cfg.MaxIter > 0 {
+		opts.maxIter = cfg.MaxIter
+	}
+	if cfg.ConvTol > 0 {
+		opts.convTol = cfg.ConvTol
+	}
+
+	sys := NewSystem(cfg.Sys) // deterministic: identical on every process
+	bs := sys.Cfg.BlockSize
+
+	dGA := ga.New(p, sys.N, sys.N, bs, bs)
+	gGA := ga.New(p, sys.N, sys.N, bs, bs)
+
+	var res Result
+	start := p.Now()
+
+	// Scioto setup (shared across iterations; the collection is reset and
+	// reseeded each Fock build — the paper's phase-based usage).
+	var rt *core.Runtime
+	var tc *core.TC
+	var handle core.Handle
+	buildSeg := p.AllocWords(1) // integral-count reduction per build
+	if cfg.Method == MethodScioto {
+		rt = core.Attach(p)
+		tcCfg := cfg.TC
+		tcCfg.MaxBodySize = fockTaskBody
+		if tcCfg.MaxTasks == 0 {
+			tcCfg.MaxTasks = sys.NB*sys.NB + 16
+		}
+		tc = core.NewTC(rt, tcCfg)
+		handle = tc.Register(func(tc *core.TC, t *core.Task) {
+			bi := int(pgas.GetI32(t.Body()))
+			bj := int(pgas.GetI32(t.Body()[4:]))
+			n := runFockBlock(tc.Proc(), sys, dGA, gGA, bi, bj, cfg.PerIntegral)
+			tc.Proc().FetchAdd64(0, buildSeg, 0, n)
+		})
+	}
+	var counter *ga.Counter
+	if cfg.Method == MethodCounter {
+		counter = ga.NewCounter(p, 0)
+	}
+
+	// Replicated density loop state: every rank drives an identical,
+	// deterministic loop object so densities stay replicated without
+	// broadcasts of the post-processing results.
+	loop := sys.newLoop(opts)
+	for it := 0; it < opts.maxIter; it++ {
+		// Publish the density and clear the Fock accumulator.
+		if p.Rank() == 0 {
+			dGA.ScatterFrom(loop.density().Data)
+			p.Store64(0, buildSeg, 0, 0)
+			if counter != nil {
+				counter.Reset()
+			}
+		}
+		gGA.ZeroLocal()
+		p.Barrier()
+
+		// Distributed Fock build.
+		t0 := p.Now()
+		switch cfg.Method {
+		case MethodCounter:
+			total := sys.NB * sys.NB
+			for {
+				idx := int(counter.Next())
+				if idx >= total {
+					break
+				}
+				n := runFockBlock(p, sys, dGA, gGA, idx/sys.NB, idx%sys.NB, cfg.PerIntegral)
+				p.FetchAdd64(0, buildSeg, 0, n)
+			}
+		case MethodScioto:
+			task := core.NewTask(handle, fockTaskBody)
+			for bi := 0; bi < sys.NB; bi++ {
+				for bj := 0; bj < sys.NB; bj++ {
+					if gGA.Owner(bi, bj) != p.Rank() {
+						continue
+					}
+					pgas.PutI32(task.Body(), int32(bi))
+					pgas.PutI32(task.Body()[4:], int32(bj))
+					if err := tc.Add(p.Rank(), core.AffinityHigh, task); err != nil {
+						return res, fmt.Errorf("scf: seed fock task: %w", err)
+					}
+				}
+			}
+			tc.Process()
+			tc.Reset()
+		default:
+			return res, fmt.Errorf("scf: unknown method %d", cfg.Method)
+		}
+		p.Barrier()
+		res.FockTime += p.Now() - t0
+		res.SCF.Integrals += p.Load64(0, buildSeg, 0)
+
+		// Replicated post-processing: every rank gathers G and performs an
+		// identical, deterministic DIIS step.
+		g := linalg.FromSlice(sys.N, sys.N, gGA.Gather())
+		e, done := loop.step(g)
+		res.SCF.History = append(res.SCF.History, e)
+		res.SCF.Iterations = it + 1
+		res.SCF.Energy = e
+		if done {
+			res.SCF.Converged = true
+			break
+		}
+		p.Barrier()
+	}
+	p.Barrier()
+	res.Elapsed = p.Now() - start
+	if tc != nil {
+		res.TaskStats = tc.Stats()
+	}
+	return res, nil
+}
+
+// runFockBlock computes Fock block (bi, bj), fetching density blocks from
+// the Global Array on demand and accumulating the result into the G array.
+// It returns the number of integrals evaluated and charges the modeled
+// integral cost.
+func runFockBlock(p pgas.Proc, sys *System, dGA, gGA *ga.Array, bi, bj int, perIntegral time.Duration) int64 {
+	bs := sys.Cfg.BlockSize
+	cache := make(map[[2]int][]float64)
+	getD := func(bk, bl int) []float64 {
+		key := [2]int{bk, bl}
+		if blk, ok := cache[key]; ok {
+			return blk
+		}
+		blk := make([]float64, bs*bs)
+		dGA.GetBlock(bk, bl, blk)
+		cache[key] = blk
+		return blk
+	}
+	out := make([]float64, bs*bs)
+	n := sys.FockBlock(bi, bj, out, getD)
+	p.Compute(time.Duration(n) * perIntegral)
+	gGA.AccBlock(bi, bj, out)
+	return n
+}

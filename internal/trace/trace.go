@@ -1,0 +1,167 @@
+// Package trace records per-process runtime events (task executions,
+// steals, split-pointer movements, termination-detection votes) with
+// virtual/wall timestamps, for schedule debugging and for the ablation
+// analyses in EXPERIMENTS.md. Recording is allocation-cheap (events are
+// appended to a preallocated slice) and disabled by default — the runtime
+// only records into a Recorder the user attaches.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds recorded by the Scioto runtime.
+const (
+	TaskExec   Kind = iota // arg1 = callback handle, arg2 = origin rank
+	TaskAdd                // arg1 = destination rank, arg2 = affinity
+	StealOK                // arg1 = victim, arg2 = tasks stolen
+	StealEmpty             // arg1 = victim
+	StealBusy              // arg1 = victim
+	Release                // arg1 = tasks released
+	Reacquire              // arg1 = tasks reacquired
+	Vote                   // arg1 = wave, arg2 = color (0 white, 1 black)
+	WaveDown               // arg1 = wave
+	Terminate              //
+	UserEvent              // free-form application event
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case TaskExec:
+		return "exec"
+	case TaskAdd:
+		return "add"
+	case StealOK:
+		return "steal"
+	case StealEmpty:
+		return "steal-empty"
+	case StealBusy:
+		return "steal-busy"
+	case Release:
+		return "release"
+	case Reacquire:
+		return "reacquire"
+	case Vote:
+		return "vote"
+	case WaveDown:
+		return "wave"
+	case Terminate:
+		return "terminate"
+	case UserEvent:
+		return "user"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At         time.Duration
+	Kind       Kind
+	Arg1, Arg2 int64
+}
+
+// Recorder collects events for one process. A nil *Recorder is a valid,
+// disabled recorder: every method is a no-op, so runtime code records
+// unconditionally.
+type Recorder struct {
+	rank   int
+	events []Event
+	limit  int
+}
+
+// NewRecorder creates a recorder for the given rank retaining up to limit
+// events (0 means 1<<16). Events past the limit are dropped (the count of
+// drops is queryable via Dropped).
+func NewRecorder(rank, limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1 << 16
+	}
+	return &Recorder{rank: rank, events: make([]Event, 0, 1024), limit: limit}
+}
+
+// Record appends an event. Safe on a nil recorder.
+func (r *Recorder) Record(at time.Duration, kind Kind, arg1, arg2 int64) {
+	if r == nil || len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, Event{At: at, Kind: kind, Arg1: arg1, Arg2: arg2})
+}
+
+// Rank reports the recorder's rank.
+func (r *Recorder) Rank() int {
+	if r == nil {
+		return -1
+	}
+	return r.rank
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Counts tallies events per kind.
+func (r *Recorder) Counts() map[Kind]int {
+	out := make(map[Kind]int)
+	if r == nil {
+		return out
+	}
+	for _, e := range r.events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Summary renders a one-line per-kind tally.
+func (r *Recorder) Summary() string {
+	if r == nil {
+		return "trace disabled"
+	}
+	counts := r.Counts()
+	s := fmt.Sprintf("rank %d:", r.rank)
+	for k := Kind(0); k < numKinds; k++ {
+		if n := counts[k]; n > 0 {
+			s += fmt.Sprintf(" %s=%d", k, n)
+		}
+	}
+	return s
+}
+
+// Timeline merges multiple recorders into a time-ordered textual dump,
+// suitable for diffing deterministic dsim runs.
+func Timeline(w io.Writer, recs []*Recorder) {
+	type row struct {
+		rank int
+		ev   Event
+	}
+	var rows []row
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		for _, e := range r.Events() {
+			rows = append(rows, row{rank: r.rank, ev: e})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].ev.At != rows[j].ev.At {
+			return rows[i].ev.At < rows[j].ev.At
+		}
+		return rows[i].rank < rows[j].rank
+	})
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12v rank%-3d %-12s %d %d\n", r.ev.At, r.rank, r.ev.Kind, r.ev.Arg1, r.ev.Arg2)
+	}
+}

@@ -1,0 +1,80 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scioto/internal/trace"
+)
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *trace.Recorder
+	r.Record(0, trace.TaskExec, 1, 2) // must not panic
+	if r.Events() != nil {
+		t.Error("nil recorder has events")
+	}
+	if r.Rank() != -1 {
+		t.Error("nil recorder rank")
+	}
+	if r.Summary() != "trace disabled" {
+		t.Errorf("nil summary %q", r.Summary())
+	}
+	if len(r.Counts()) != 0 {
+		t.Error("nil counts")
+	}
+}
+
+func TestRecordAndCounts(t *testing.T) {
+	r := trace.NewRecorder(3, 0)
+	r.Record(time.Microsecond, trace.TaskExec, 7, 0)
+	r.Record(2*time.Microsecond, trace.TaskExec, 7, 1)
+	r.Record(3*time.Microsecond, trace.StealOK, 1, 4)
+	c := r.Counts()
+	if c[trace.TaskExec] != 2 || c[trace.StealOK] != 1 {
+		t.Errorf("counts %v", c)
+	}
+	evs := r.Events()
+	if len(evs) != 3 || evs[0].At != time.Microsecond || evs[2].Arg2 != 4 {
+		t.Errorf("events %v", evs)
+	}
+	if !strings.Contains(r.Summary(), "exec=2") || !strings.Contains(r.Summary(), "steal=1") {
+		t.Errorf("summary %q", r.Summary())
+	}
+}
+
+func TestLimitDropsExcess(t *testing.T) {
+	r := trace.NewRecorder(0, 5)
+	for i := 0; i < 10; i++ {
+		r.Record(time.Duration(i), trace.UserEvent, int64(i), 0)
+	}
+	if len(r.Events()) != 5 {
+		t.Errorf("retained %d events, want 5", len(r.Events()))
+	}
+}
+
+func TestTimelineMergeOrder(t *testing.T) {
+	r0 := trace.NewRecorder(0, 0)
+	r1 := trace.NewRecorder(1, 0)
+	r0.Record(3*time.Microsecond, trace.TaskExec, 0, 0)
+	r1.Record(1*time.Microsecond, trace.StealOK, 0, 2)
+	r0.Record(1*time.Microsecond, trace.Release, 4, 0)
+	var b strings.Builder
+	trace.Timeline(&b, []*trace.Recorder{r0, r1, nil})
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline lines: %v", lines)
+	}
+	// Time-ordered, rank-tiebroken: (1µs rank0 release), (1µs rank1 steal), (3µs rank0 exec).
+	if !strings.Contains(lines[0], "release") || !strings.Contains(lines[1], "steal") || !strings.Contains(lines[2], "exec") {
+		t.Errorf("timeline order wrong:\n%s", b.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := trace.Kind(0); k < 32; k++ {
+		if trace.Kind.String(k) == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+}

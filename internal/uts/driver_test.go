@@ -1,0 +1,116 @@
+package uts_test
+
+import (
+	"testing"
+	"time"
+
+	"scioto/internal/core"
+	"scioto/internal/pgas"
+	"scioto/internal/pgas/dsim"
+	"scioto/internal/pgas/shm"
+	"scioto/internal/uts"
+)
+
+// TestSciotoMatchesSequential: the parallel traversal must enumerate exactly
+// the sequential node/leaf counts on both transports and several P.
+func TestSciotoMatchesSequential(t *testing.T) {
+	want, err := uts.Sequential(uts.TreeSmall, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tree: %+v", want)
+	cfg := uts.DriverConfig{
+		Tree:        uts.TreeSmall,
+		PerNodeCost: 300 * time.Nanosecond,
+		TC:          core.Config{ChunkSize: 5, MaxTasks: 1 << 15},
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		worlds := map[string]pgas.World{
+			"shm":  shm.NewWorld(shm.Config{NProcs: n, Seed: 9}),
+			"dsim": dsim.NewWorld(dsim.Config{NProcs: n, Seed: 9}),
+		}
+		for name, w := range worlds {
+			err := w.Run(func(p pgas.Proc) {
+				got, _, err := uts.RunScioto(p, cfg)
+				if err != nil {
+					panic(err)
+				}
+				if got != want {
+					panic("parallel traversal mismatch")
+				}
+			})
+			if err != nil {
+				t.Fatalf("P=%d %s: %v", n, name, err)
+			}
+		}
+	}
+}
+
+// TestSciotoLockedQueue: the no-split ablation also enumerates correctly.
+func TestSciotoLockedQueue(t *testing.T) {
+	want, err := uts.Sequential(uts.TreeSmall, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uts.DriverConfig{
+		Tree: uts.TreeSmall,
+		TC:   core.Config{ChunkSize: 5, MaxTasks: 1 << 15, QueueMode: core.ModeLocked},
+	}
+	w := dsim.NewWorld(dsim.Config{NProcs: 4, Seed: 2})
+	if err := w.Run(func(p pgas.Proc) {
+		got, _, err := uts.RunScioto(p, cfg)
+		if err != nil {
+			panic(err)
+		}
+		if got != want {
+			panic("locked-mode traversal mismatch")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSciotoBinomialTree: binomial trees exercise the bursty spawn pattern.
+func TestSciotoBinomialTree(t *testing.T) {
+	tree := uts.Params{Kind: uts.Binomial, RootSeed: 11, B0: 20, Q: 0.2, M: 4}
+	want, err := uts.Sequential(tree, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uts.DriverConfig{Tree: tree, TC: core.Config{ChunkSize: 3, MaxTasks: 1 << 14}}
+	w := dsim.NewWorld(dsim.Config{NProcs: 4, Seed: 2})
+	if err := w.Run(func(p pgas.Proc) {
+		got, _, err := uts.RunScioto(p, cfg)
+		if err != nil {
+			panic(err)
+		}
+		if got != want {
+			panic("binomial traversal mismatch")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSciotoTinyQueueInlineFallback: a deliberately small queue forces
+// inline execution without corrupting counts.
+func TestSciotoTinyQueueInlineFallback(t *testing.T) {
+	want, err := uts.Sequential(uts.TreeSmall, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uts.DriverConfig{Tree: uts.TreeSmall, TC: core.Config{ChunkSize: 2, MaxTasks: 64}}
+	w := dsim.NewWorld(dsim.Config{NProcs: 3, Seed: 2})
+	if err := w.Run(func(p pgas.Proc) {
+		got, st, err := uts.RunScioto(p, cfg)
+		if err != nil {
+			panic(err)
+		}
+		if got != want {
+			panic("tiny-queue traversal mismatch")
+		}
+		_ = st
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

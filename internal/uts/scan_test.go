@@ -1,0 +1,21 @@
+package uts
+
+import "testing"
+
+// TestScanSeeds is a helper kept for tree-parameter calibration; run with
+// -run TestScanSeeds -v to inspect candidate workloads.
+func TestScanSeeds(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("calibration helper; run with -v")
+	}
+	for seed := 0; seed < 60; seed++ {
+		p := Params{Kind: Geometric, RootSeed: seed, B0: 2.0, MaxDepth: 15}
+		s, err := Sequential(p, 3_000_000)
+		t.Logf("geo seed=%d nodes=%d leaves=%d depth=%d err=%v", seed, s.Nodes, s.Leaves, s.MaxDepth, err)
+	}
+	for seed := 0; seed < 40; seed++ {
+		p := Params{Kind: Binomial, RootSeed: seed, B0: 2000, Q: 0.249999, M: 4}
+		s, err := Sequential(p, 3_000_000)
+		t.Logf("bin seed=%d nodes=%d err=%v", seed, s.Nodes, err)
+	}
+}

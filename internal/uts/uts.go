@@ -1,0 +1,207 @@
+// Package uts implements the Unbalanced Tree Search benchmark (Olivier et
+// al., LCPC 2006), the paper's primary load-balancing stressor: an
+// exhaustive traversal of a deterministic, highly unbalanced tree whose
+// shape is derived from a splittable SHA-1 random stream. Each node's
+// descriptor is the 20-byte SHA-1 state; a child's state is the hash of its
+// parent's state and the child index, so any process holding a node
+// descriptor can generate that node's subtree with no other communication —
+// the property that makes UTS ideal for work-stealing runtimes.
+//
+// Two tree families from the UTS paper are provided: geometric trees (child
+// counts geometrically distributed with mean B0, cut off below MaxDepth)
+// and binomial trees (each non-root node has M children with probability Q,
+// giving self-similar unbalanced subtrees). Exact node counts differ from
+// the UTS reference implementation (which uses the BRG SHA-1 RNG's specific
+// bit conventions), but the statistical shape and determinism are the same.
+package uts
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Kind selects the tree family.
+type Kind int
+
+const (
+	// Geometric trees: child count geometric with mean B0 up to MaxDepth.
+	Geometric Kind = iota
+	// Binomial trees: M children with probability Q per non-root node.
+	Binomial
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Geometric:
+		return "geometric"
+	case Binomial:
+		return "binomial"
+	default:
+		return "unknown"
+	}
+}
+
+// Params describes a UTS tree.
+type Params struct {
+	Kind     Kind
+	RootSeed int     // seed hashed into the root descriptor
+	B0       float64 // root/expected branching factor
+	MaxDepth int     // geometric: depth cutoff
+	Q        float64 // binomial: child probability
+	M        int     // binomial: children per interior node
+}
+
+// StateBytes is the size of a node descriptor's hash state.
+const StateBytes = sha1.Size
+
+// Node is a tree node descriptor: hash state plus depth. A Node is
+// self-contained: the complete subtree below it is a pure function of the
+// descriptor, so descriptors are what task bodies and steal messages carry.
+type Node struct {
+	State [StateBytes]byte
+	Depth int32
+}
+
+// NodeBytes is the wire size of an encoded Node.
+const NodeBytes = StateBytes + 4
+
+// Encode writes the node into b (NodeBytes long).
+func (n *Node) Encode(b []byte) {
+	copy(b, n.State[:])
+	binary.LittleEndian.PutUint32(b[StateBytes:], uint32(n.Depth))
+}
+
+// DecodeNode reads a node from b.
+func DecodeNode(b []byte) Node {
+	var n Node
+	copy(n.State[:], b)
+	n.Depth = int32(binary.LittleEndian.Uint32(b[StateBytes:]))
+	return n
+}
+
+// Root returns the tree's root node.
+func (p Params) Root() Node {
+	var seed [8]byte
+	binary.LittleEndian.PutUint64(seed[:], uint64(p.RootSeed))
+	return Node{State: sha1.Sum(seed[:]), Depth: 0}
+}
+
+// Child derives child i of node n by hashing the parent state with the
+// child index (the splittable-stream spawn operation).
+func Child(n Node, i int) Node {
+	var buf [StateBytes + 4]byte
+	copy(buf[:], n.State[:])
+	binary.BigEndian.PutUint32(buf[StateBytes:], uint32(i))
+	return Node{State: sha1.Sum(buf[:]), Depth: n.Depth + 1}
+}
+
+// toProb maps a node's hash state to a uniform value in [0, 1).
+func toProb(n Node) float64 {
+	v := binary.BigEndian.Uint64(n.State[:8])
+	return float64(v) / float64(1<<63) / 2
+}
+
+// maxChildren caps pathological geometric draws.
+const maxChildren = 10000
+
+// NumChildren returns the number of children of n under the parameters.
+func (p Params) NumChildren(n Node) int {
+	switch p.Kind {
+	case Geometric:
+		if int(n.Depth) >= p.MaxDepth {
+			return 0
+		}
+		u := toProb(n)
+		// Geometric distribution with mean B0: success probability
+		// pr = B0/(B0+1), X = floor(ln(1-u)/ln(pr)).
+		pr := p.B0 / (p.B0 + 1)
+		m := int(math.Floor(math.Log(1-u) / math.Log(pr)))
+		if m < 0 {
+			m = 0
+		}
+		if m > maxChildren {
+			m = maxChildren
+		}
+		return m
+	case Binomial:
+		if n.Depth == 0 {
+			return int(p.B0)
+		}
+		if toProb(n) < p.Q {
+			return p.M
+		}
+		return 0
+	default:
+		panic(fmt.Sprintf("uts: unknown tree kind %d", p.Kind))
+	}
+}
+
+// Stats aggregates a traversal.
+type Stats struct {
+	Nodes    int64
+	Leaves   int64
+	MaxDepth int64
+}
+
+// Add merges o into s.
+func (s *Stats) Add(o Stats) {
+	s.Nodes += o.Nodes
+	s.Leaves += o.Leaves
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
+}
+
+// Visit counts one node into s and returns its child count.
+func (s *Stats) Visit(p Params, n Node) int {
+	s.Nodes++
+	if int64(n.Depth) > s.MaxDepth {
+		s.MaxDepth = int64(n.Depth)
+	}
+	c := p.NumChildren(n)
+	if c == 0 {
+		s.Leaves++
+	}
+	return c
+}
+
+// Sequential exhaustively enumerates the tree with an explicit stack and
+// returns its statistics. limit guards against runaway parameters; the
+// traversal fails with an error if more than limit nodes are seen
+// (limit <= 0 means no limit).
+func Sequential(p Params, limit int64) (Stats, error) {
+	var s Stats
+	stack := []Node{p.Root()}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := s.Visit(p, n)
+		if limit > 0 && s.Nodes > limit {
+			return s, fmt.Errorf("uts: tree exceeds %d nodes", limit)
+		}
+		for i := 0; i < c; i++ {
+			stack = append(stack, Child(n, i))
+		}
+	}
+	return s, nil
+}
+
+// Standard workloads used by the benchmark harness. Sizes are chosen so the
+// trees are heavily unbalanced yet enumerable in simulation; the geometric
+// family mirrors the paper's cluster workload, the binomial family the
+// nested-parallel style stress.
+var (
+	// TreeSmall is a quick geometric tree (18,646 nodes).
+	TreeSmall = Params{Kind: Geometric, RootSeed: 29, B0: 2.0, MaxDepth: 12}
+	// TreeMedium is the default experiment tree (374,062 nodes).
+	TreeMedium = Params{Kind: Geometric, RootSeed: 20, B0: 2.0, MaxDepth: 15}
+	// TreeLarge is the scaling-experiment tree (3,006,075 nodes), used for
+	// the 512-process Figure 8 runs where per-process work must stay
+	// meaningful.
+	TreeLarge = Params{Kind: Geometric, RootSeed: 20, B0: 2.0, MaxDepth: 18}
+	// TreeBinomial is a binomial tree with expected subtree size 1/(1-MQ)
+	// per root child (301,121 nodes).
+	TreeBinomial = Params{Kind: Binomial, RootSeed: 16, B0: 2000, Q: 0.249999, M: 4}
+)

@@ -1,0 +1,181 @@
+package uts
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRootDeterministic(t *testing.T) {
+	p := Params{Kind: Geometric, RootSeed: 7, B0: 2, MaxDepth: 4}
+	a, b := p.Root(), p.Root()
+	if a != b {
+		t.Error("root not deterministic")
+	}
+	p2 := p
+	p2.RootSeed = 8
+	if p2.Root() == a {
+		t.Error("different seeds produced the same root")
+	}
+}
+
+func TestChildDeterministicAndDistinct(t *testing.T) {
+	p := Params{Kind: Geometric, RootSeed: 7, B0: 2, MaxDepth: 4}
+	r := p.Root()
+	c0a, c0b, c1 := Child(r, 0), Child(r, 0), Child(r, 1)
+	if c0a != c0b {
+		t.Error("child derivation not deterministic")
+	}
+	if c0a == c1 {
+		t.Error("sibling children identical")
+	}
+	if c0a.Depth != 1 {
+		t.Errorf("child depth = %d", c0a.Depth)
+	}
+}
+
+func TestNodeEncodeDecodeQuick(t *testing.T) {
+	f := func(state [StateBytes]byte, depth int32) bool {
+		n := Node{State: state, Depth: depth}
+		buf := make([]byte, NodeBytes)
+		n.Encode(buf)
+		return DecodeNode(buf) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometricDepthCutoff(t *testing.T) {
+	p := Params{Kind: Geometric, RootSeed: 3, B0: 3, MaxDepth: 5}
+	n := p.Root()
+	n.Depth = 5
+	if c := p.NumChildren(n); c != 0 {
+		t.Errorf("node at max depth has %d children", c)
+	}
+}
+
+// TestGeometricMeanBranching: empirical mean child count over many interior
+// nodes should approximate B0.
+func TestGeometricMeanBranching(t *testing.T) {
+	p := Params{Kind: Geometric, RootSeed: 3, B0: 2, MaxDepth: 1 << 30}
+	n := p.Root()
+	total, count := 0, 0
+	// Walk a pseudo-random path, sampling child counts.
+	for i := 0; i < 20000; i++ {
+		total += p.NumChildren(n)
+		count++
+		n = Child(n, i%3)
+	}
+	mean := float64(total) / float64(count)
+	if mean < 1.6 || mean > 2.4 {
+		t.Errorf("empirical mean branching %v, want ≈ 2", mean)
+	}
+}
+
+func TestBinomialRootAndInterior(t *testing.T) {
+	p := Params{Kind: Binomial, RootSeed: 3, B0: 50, Q: 0.25, M: 4}
+	if c := p.NumChildren(p.Root()); c != 50 {
+		t.Errorf("binomial root has %d children, want 50", c)
+	}
+	// Interior nodes have either 0 or M children.
+	n := Child(p.Root(), 0)
+	for i := 0; i < 1000; i++ {
+		c := p.NumChildren(n)
+		if c != 0 && c != 4 {
+			t.Fatalf("interior node has %d children, want 0 or 4", c)
+		}
+		n = Child(n, 0)
+		n.Depth = 1
+	}
+}
+
+func TestSequentialDeterministic(t *testing.T) {
+	p := TreeSmall
+	a, err := Sequential(p, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sequential(p, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("sequential traversal not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Nodes < 100 {
+		t.Errorf("TreeSmall suspiciously small: %+v", a)
+	}
+	t.Logf("TreeSmall: %+v", a)
+}
+
+func TestSequentialLimit(t *testing.T) {
+	if _, err := Sequential(TreeMedium, 10); err == nil {
+		t.Error("limit of 10 nodes not enforced")
+	}
+}
+
+// TestLeafAndNodeAccounting: leaves < nodes, and for binomial trees
+// interior nodes have exactly M children so nodes = 1 + B0 + M*(interior-1).
+func TestLeafAndNodeAccounting(t *testing.T) {
+	p := Params{Kind: Binomial, RootSeed: 11, B0: 20, Q: 0.2, M: 4}
+	s, err := Sequential(p, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interior := s.Nodes - s.Leaves // includes the root
+	// children edges: root contributes B0, every other interior node M.
+	wantNodes := 1 + int64(p.B0) + (interior-1)*int64(p.M)
+	if s.Nodes != wantNodes {
+		t.Errorf("node accounting: nodes=%d leaves=%d, want nodes=%d", s.Nodes, s.Leaves, wantNodes)
+	}
+}
+
+// TestTreeUnbalance: the benchmark exists because subtree sizes vary wildly;
+// check the two largest root subtrees differ by a lot.
+func TestTreeUnbalance(t *testing.T) {
+	p := TreeSmall
+	root := p.Root()
+	c := p.NumChildren(root)
+	if c < 2 {
+		t.Skip("root has fewer than 2 children for this seed")
+	}
+	sizes := make([]int64, c)
+	for i := 0; i < c; i++ {
+		sub := p
+		st, err := sequentialFrom(sub, Child(root, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[i] = st.Nodes
+	}
+	min, max := sizes[0], sizes[0]
+	for _, v := range sizes {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max < 2*min {
+		t.Logf("subtree sizes %v — tree unusually balanced for this seed", sizes)
+	}
+}
+
+// sequentialFrom enumerates the subtree rooted at n.
+func sequentialFrom(p Params, n Node) (Stats, error) {
+	var s Stats
+	stack := []Node{n}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := s.Visit(p, x)
+		if s.Nodes > 1<<22 {
+			return s, nil
+		}
+		for i := 0; i < c; i++ {
+			stack = append(stack, Child(x, i))
+		}
+	}
+	return s, nil
+}

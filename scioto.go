@@ -1,0 +1,177 @@
+// Package scioto is a Go reproduction of Scioto — Shared Collections of
+// Task Objects (Dinan, Krishnamoorthy, Larkins, Nieplocha, Sadayappan;
+// ICPP 2008) — a framework for global-view task parallelism on
+// distributed-memory machines over one-sided communication.
+//
+// A Scioto program is SPMD: every process attaches a Runtime, collectively
+// creates one or more task collections (TC), seeds them with task objects,
+// and collectively calls TC.Process to enter a MIMD task-parallel phase.
+// The runtime dynamically balances load with locality-aware work stealing
+// over split queues and detects global termination with token waves.
+//
+// Because Go has no MPI or ARMCI, the distributed machine itself is
+// provided by this module: Run launches N simulated processes over one of
+// two interchangeable transports — real shared-memory concurrency ("shm"),
+// or a deterministic discrete-event simulation in virtual time ("dsim")
+// that models network latency, bandwidth, and heterogeneous processor
+// speeds. The Scioto runtime, the Global Arrays subset, and the bundled
+// applications are written purely against the one-sided pgas interface, so
+// they cannot tell the difference.
+//
+// Minimal program:
+//
+//	cfg := scioto.Config{Procs: 4}
+//	err := scioto.Run(cfg, func(rt *scioto.Runtime) {
+//		tc := scioto.NewTC(rt, scioto.TCConfig{MaxBodySize: 8})
+//		h := tc.Register(func(tc *scioto.TC, t *scioto.Task) {
+//			// ... do work, spawn subtasks with tc.Add ...
+//		})
+//		task := scioto.NewTask(h, 8)
+//		tc.Add(rt.Rank(), scioto.AffinityHigh, task)
+//		tc.Process()
+//	})
+package scioto
+
+import (
+	"fmt"
+	"time"
+
+	"scioto/internal/core"
+	"scioto/internal/pgas"
+	"scioto/internal/pgas/dsim"
+	"scioto/internal/pgas/shm"
+)
+
+// Core types, re-exported from the runtime implementation.
+type (
+	// Runtime is the per-process attachment point (CLOs, task collections).
+	Runtime = core.Runtime
+	// TC is a task collection.
+	TC = core.TC
+	// TCConfig parameterizes a task collection (tc_create's arguments).
+	TCConfig = core.Config
+	// Task is a task descriptor: standard header plus opaque body.
+	Task = core.Task
+	// TaskFunc is a task execution callback.
+	TaskFunc = core.TaskFunc
+	// Handle is a portable task-callback reference.
+	Handle = core.Handle
+	// CLOHandle is a portable common-local-object reference.
+	CLOHandle = core.CLOHandle
+	// Stats holds per-process runtime counters.
+	Stats = core.Stats
+	// QueueMode selects split (default) or fully locked queues.
+	QueueMode = core.QueueMode
+	// Dep is a portable reference to a deferred (dependency-gated) task.
+	Dep = core.Dep
+	// Proc is the underlying one-sided communication handle.
+	Proc = pgas.Proc
+	// Transport names a machine implementation ("shm" or "dsim").
+	Transport = pgas.Transport
+)
+
+// Re-exported constants.
+const (
+	// AffinityHigh places a task at the owner-processing end of its queue.
+	AffinityHigh = core.AffinityHigh
+	// AffinityLow places a task at the steal end of its queue.
+	AffinityLow = core.AffinityLow
+	// ModeSplit is the split-queue discipline (lock-free local ops).
+	ModeSplit = core.ModeSplit
+	// ModeLocked is the fully locked ablation mode.
+	ModeLocked = core.ModeLocked
+	// TransportSHM selects real shared-memory concurrency.
+	TransportSHM = pgas.TransportSHM
+	// TransportDSim selects the deterministic virtual-time machine.
+	TransportDSim = pgas.TransportDSim
+	// TermWave selects the paper's wave-based termination detection.
+	TermWave = core.TermWave
+	// TermCounter selects the eager global-counter termination ablation.
+	TermCounter = core.TermCounter
+)
+
+// DepBytes is the encoded size of a Dep (see EncodeDep/DecodeDep).
+const DepBytes = core.DepBytes
+
+// NewTask creates a task descriptor with the given callback handle and
+// body size.
+func NewTask(h Handle, bodySize int) *Task { return core.NewTask(h, bodySize) }
+
+// EncodeDep writes a deferred-task reference into a task body.
+func EncodeDep(b []byte, d Dep) { core.EncodeDep(b, d) }
+
+// DecodeDep reads a deferred-task reference from a task body.
+func DecodeDep(b []byte) Dep { return core.DecodeDep(b) }
+
+// NewTC collectively creates a task collection on the runtime.
+func NewTC(rt *Runtime, cfg TCConfig) *TC { return core.NewTC(rt, cfg) }
+
+// Attach initializes the Scioto runtime on a raw pgas process handle (for
+// programs that construct their own worlds).
+func Attach(p Proc) *Runtime { return core.Attach(p) }
+
+// Config describes the simulated machine a SPMD body runs on.
+type Config struct {
+	// Procs is the number of processes. Required.
+	Procs int
+	// Transport selects the machine implementation. Default TransportSHM.
+	Transport Transport
+	// Seed makes runs reproducible (bit-exact on TransportDSim).
+	Seed int64
+
+	// Latency is the one-sided remote operation latency (dsim; also
+	// injected on shm when nonzero).
+	Latency time.Duration
+	// MsgLatency is the two-sided message latency (dsim only).
+	MsgLatency time.Duration
+	// PerByte is the bandwidth term per transferred byte.
+	PerByte time.Duration
+	// Occupancy models serialization at the target of remote operations on
+	// the dsim transport (hot-spot contention); see dsim.Config.Occupancy.
+	Occupancy time.Duration
+	// SpeedFactor models heterogeneous processors: the returned multiplier
+	// scales each rank's computation cost (1.0 = nominal).
+	SpeedFactor func(rank int) float64
+}
+
+// NewWorld constructs the configured machine without running anything,
+// for callers that want direct pgas access.
+func (c Config) NewWorld() (pgas.World, error) {
+	if c.Procs <= 0 {
+		return nil, fmt.Errorf("scioto: Config.Procs must be positive, got %d", c.Procs)
+	}
+	switch c.Transport {
+	case TransportDSim:
+		return dsim.NewWorld(dsim.Config{
+			NProcs:      c.Procs,
+			Seed:        c.Seed,
+			Latency:     c.Latency,
+			MsgLatency:  c.MsgLatency,
+			PerByte:     c.PerByte,
+			Occupancy:   c.Occupancy,
+			SpeedFactor: c.SpeedFactor,
+		}), nil
+	case TransportSHM, "":
+		return shm.NewWorld(shm.Config{
+			NProcs:        c.Procs,
+			Seed:          c.Seed,
+			RemoteLatency: c.Latency,
+			RemotePerByte: c.PerByte,
+			SpeedFactor:   c.SpeedFactor,
+		}), nil
+	default:
+		return nil, fmt.Errorf("scioto: unknown transport %q", c.Transport)
+	}
+}
+
+// Run launches the SPMD body on every process of the configured machine
+// with a Scioto runtime attached, and returns when all processes finish.
+func Run(cfg Config, body func(rt *Runtime)) error {
+	w, err := cfg.NewWorld()
+	if err != nil {
+		return err
+	}
+	return w.Run(func(p pgas.Proc) {
+		body(core.Attach(p))
+	})
+}

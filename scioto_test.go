@@ -1,0 +1,110 @@
+package scioto_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scioto"
+)
+
+// TestRunBothTransports: the facade launches SPMD bodies on both machines.
+func TestRunBothTransports(t *testing.T) {
+	for _, tr := range []scioto.Transport{scioto.TransportSHM, scioto.TransportDSim} {
+		ran := make([]bool, 3)
+		err := scioto.Run(scioto.Config{Procs: 3, Transport: tr, Seed: 1}, func(rt *scioto.Runtime) {
+			if rt.NProcs() != 3 {
+				panic("wrong world size")
+			}
+			ran[rt.Rank()] = true
+			rt.Proc().Barrier()
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		for r, ok := range ran {
+			if !ok {
+				t.Fatalf("%s: rank %d never ran", tr, r)
+			}
+		}
+	}
+}
+
+// TestRunEndToEnd: the doc-comment program works as written.
+func TestRunEndToEnd(t *testing.T) {
+	var total int64
+	cfg := scioto.Config{Procs: 4, Transport: scioto.TransportDSim, Seed: 42}
+	err := scioto.Run(cfg, func(rt *scioto.Runtime) {
+		tc := scioto.NewTC(rt, scioto.TCConfig{MaxBodySize: 8, ChunkSize: 5})
+		h := tc.Register(func(tc *scioto.TC, t *scioto.Task) {
+			tc.Proc().Compute(10 * time.Microsecond)
+		})
+		if rt.Rank() == 0 {
+			task := scioto.NewTask(h, 8)
+			for i := 0; i < 100; i++ {
+				if err := tc.Add(0, scioto.AffinityHigh, task); err != nil {
+					panic(err)
+				}
+			}
+		}
+		tc.Process()
+		g := tc.GlobalStats()
+		if rt.Rank() == 0 {
+			total = g.TasksExecuted
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 100 {
+		t.Fatalf("executed %d tasks, want 100", total)
+	}
+}
+
+// TestConfigValidation: bad configs error instead of panicking.
+func TestConfigValidation(t *testing.T) {
+	if err := scioto.Run(scioto.Config{Procs: 0}, func(*scioto.Runtime) {}); err == nil {
+		t.Error("zero Procs accepted")
+	}
+	if err := scioto.Run(scioto.Config{Procs: 2, Transport: "carrier-pigeon"}, func(*scioto.Runtime) {}); err == nil {
+		t.Error("unknown transport accepted")
+	} else if !strings.Contains(err.Error(), "transport") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+// TestPanicPropagatesThroughFacade: a panicking rank surfaces as an error.
+func TestPanicPropagatesThroughFacade(t *testing.T) {
+	err := scioto.Run(scioto.Config{Procs: 2, Seed: 1}, func(rt *scioto.Runtime) {
+		if rt.Rank() == 1 {
+			panic("boom")
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic not propagated: %v", err)
+	}
+}
+
+// TestHeterogeneousConfig: SpeedFactor reaches the dsim machine.
+func TestHeterogeneousConfig(t *testing.T) {
+	var charges [2]time.Duration
+	err := scioto.Run(scioto.Config{
+		Procs:     2,
+		Transport: scioto.TransportDSim,
+		Seed:      1,
+		SpeedFactor: func(rank int) float64 {
+			return float64(1 + rank)
+		},
+	}, func(rt *scioto.Runtime) {
+		p := rt.Proc()
+		t0 := p.Now()
+		p.Compute(time.Millisecond)
+		charges[rt.Rank()] = p.Now() - t0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if charges[1] != 2*charges[0] {
+		t.Errorf("speed factors ignored: %v", charges)
+	}
+}
