@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race lint vet all
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the runtime and transports, sized down via
+# -short so it fits an interactive budget; CI runs the same target.
+race:
+	$(GO) test -race -short ./internal/...
+
+# sciotolint enforces the PGAS and split-queue invariants (see DESIGN.md).
+# It exits 2 on findings, so this target fails the build when the tree
+# violates an invariant without a justified //lint:ignore.
+lint:
+	$(GO) run ./tools/sciotolint ./...
+
+vet:
+	$(GO) vet ./...

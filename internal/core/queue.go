@@ -121,11 +121,13 @@ func (q *taskQueue) privateCount() int64 {
 // sharedCountHint may be stale; shared-portion decisions are revalidated
 // under the queue lock.
 func (q *taskQueue) sharedCountHint() int64 {
+	//lint:ignore relaxedword stale-read of wBottom is a hint; reacquire revalidates with ordered loads under the queue lock
 	return q.p.RelaxedLoad64(q.meta, wSplit) - q.p.RelaxedLoad64(q.meta, wBottom)
 }
 
 // totalCountHint may be stale.
 func (q *taskQueue) totalCountHint() int64 {
+	//lint:ignore relaxedword stale-read of wBottom only under-reports queue size; callers treat the count as advisory
 	return q.p.RelaxedLoad64(q.meta, wTop) - q.p.RelaxedLoad64(q.meta, wBottom)
 }
 
@@ -137,6 +139,7 @@ func (q *taskQueue) totalCountHint() int64 {
 func (q *taskQueue) pushPrivate(wire []byte, s *Stats) bool {
 	me := q.p.Rank()
 	top := q.p.RelaxedLoad64(q.meta, wTop)
+	//lint:ignore relaxedword stale wBottom can only make the queue look fuller; the full case below refreshes it with an ordered load
 	bottom := q.p.RelaxedLoad64(q.meta, wBottom)
 	if top-bottom >= int64(q.capacity) {
 		// The hint says full; refresh bottom with an ordered load in case
@@ -185,6 +188,7 @@ func (q *taskQueue) maybeRelease(ordered bool, s *Stats) {
 	if ordered {
 		bottom = q.p.Load64(me, q.meta, wBottom)
 	} else {
+		//lint:ignore relaxedword stale wBottom only delays a release; callers needing certainty pass ordered=true for the ordered load above
 		bottom = q.p.RelaxedLoad64(q.meta, wBottom)
 	}
 	if split-bottom > 0 {

@@ -1,0 +1,214 @@
+package shm_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"scioto/internal/pgas"
+	"scioto/internal/pgas/shm"
+)
+
+// Split-queue word roles, mirroring internal/core/queue.go.
+const (
+	wBottom = 0 // steal end: advanced by thieves, under the queue lock
+	wSplit  = 1 // private/shared boundary: owner-written
+	wTop    = 2 // owner end: owner-only
+	wDirty  = 3 // incremented by thieves
+	nQWords = 4
+)
+
+// Queue geometry shared by the owner and thief helpers.
+const (
+	capacity = 64 // slots in the ring
+	slotSize = 8  // one int64 payload per slot
+)
+
+// TestSplitQueueStealRace drives the paper's split-queue protocol directly
+// against the shm transport: rank 0 is the owner doing lock-free private
+// pushes/pops plus split releases and locked reacquires, while every other
+// rank is a thief stealing chunks from the shared end under TryLock. Each
+// task carries a distinct payload; at the end the sum of everything
+// consumed (by owner pops and thief steals together) must equal the sum of
+// everything pushed, proving no task was lost or double-executed. Run
+// under -race this exercises exactly the owner-relaxed/thief-atomic
+// interleavings the relaxedword and lockbalance analyzers reason about.
+func TestSplitQueueStealRace(t *testing.T) {
+	const nprocs = 4
+	total := int64(4000)
+	if testing.Short() {
+		total = 800 // keep the tier-1 / -short budget small
+	}
+	wantSum := total * (total - 1) / 2
+
+	w := shm.NewWorld(shm.Config{NProcs: nprocs, Seed: 7})
+	err := w.Run(func(p pgas.Proc) {
+		data := p.AllocData(capacity * slotSize)
+		meta := p.AllocWords(nQWords)
+		ctl := p.AllocWords(2) // on rank 0 — word 0: tasks remaining, word 1: consumed-payload sum
+		lock := p.AllocLock()
+		if p.Rank() == 0 {
+			p.Store64(0, ctl, 0, total)
+		}
+		p.Barrier()
+
+		slotOff := func(i int64) int {
+			m := i % capacity
+			if m < 0 {
+				m += capacity
+			}
+			return int(m) * slotSize
+		}
+		consume := func(v int64) {
+			p.FetchAdd64(0, ctl, 1, v)
+			p.FetchAdd64(0, ctl, 0, -1)
+		}
+
+		if p.Rank() == 0 {
+			owner(p, data, meta, ctl, lock, slotOff, consume, total)
+		} else {
+			thief(p, data, meta, ctl, lock, slotOff, consume)
+		}
+
+		p.Barrier()
+		if p.Rank() == 0 {
+			if rem := p.Load64(0, ctl, 0); rem != 0 {
+				panic(fmt.Sprintf("stress: %d tasks unaccounted for", rem))
+			}
+			if got := p.Load64(0, ctl, 1); got != wantSum {
+				panic(fmt.Sprintf("stress: consumed payload sum %d, want %d", got, wantSum))
+			}
+			if p.Load64(0, meta, wDirty) == 0 && !testing.Short() {
+				panic("stress: no steals happened; the test exercised nothing")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// owner runs rank 0: it pushes every payload once and cooperates in
+// draining, following the owner-side discipline of queue.go (relaxed loads
+// of owner-private words, ordered refresh of wBottom, split raised with an
+// ordered store only when the shared portion looks empty, split lowered
+// only under the lock).
+func owner(p pgas.Proc, data, meta, ctl pgas.Seg, lock pgas.LockID,
+	slotOff func(int64) int, consume func(int64), total int64) {
+
+	var buf [slotSize]byte
+
+	popPrivate := func() bool {
+		top := p.RelaxedLoad64(meta, wTop)
+		split := p.RelaxedLoad64(meta, wSplit)
+		if top <= split {
+			return false
+		}
+		off := slotOff(top - 1)
+		copy(buf[:], p.Local(data)[off:off+slotSize])
+		p.RelaxedStore64(meta, wTop, top-1)
+		consume(int64(binary.LittleEndian.Uint64(buf[:])))
+		return true
+	}
+
+	release := func() {
+		top := p.RelaxedLoad64(meta, wTop)
+		split := p.RelaxedLoad64(meta, wSplit)
+		if top-split < 2 {
+			return
+		}
+		bottom := p.Load64(0, meta, wBottom)
+		if split-bottom > 0 {
+			return // shared portion still has work
+		}
+		k := (top - split) / 2
+		p.Store64(0, meta, wSplit, split+k)
+	}
+
+	reacquire := func() bool {
+		p.Lock(0, lock)
+		bottom := p.Load64(0, meta, wBottom)
+		split := p.Load64(0, meta, wSplit)
+		avail := split - bottom
+		if avail <= 0 {
+			p.Unlock(0, lock)
+			return false
+		}
+		k := (avail + 1) / 2
+		p.Store64(0, meta, wSplit, split-k)
+		p.Unlock(0, lock)
+		return true
+	}
+
+	for pushed := int64(0); pushed < total; {
+		top := p.RelaxedLoad64(meta, wTop)
+		bottom := p.Load64(0, meta, wBottom)
+		if top-bottom >= capacity {
+			// Full: consume one privately, or reclaim shared tasks the
+			// thieves are not keeping up with; otherwise wait for steals.
+			if !popPrivate() {
+				reacquire()
+			}
+			continue
+		}
+		binary.LittleEndian.PutUint64(buf[:], uint64(pushed))
+		off := slotOff(top)
+		copy(p.Local(data)[off:off+slotSize], buf[:])
+		p.RelaxedStore64(meta, wTop, top+1)
+		pushed++
+		if pushed%8 == 0 {
+			release()
+		}
+		if pushed%16 == 0 {
+			popPrivate()
+		}
+	}
+	// Drain: alternate private pops, releases (so thieves see work), and
+	// reacquires until every task has been consumed by someone.
+	for p.Load64(0, ctl, 0) > 0 {
+		if popPrivate() {
+			release()
+			continue
+		}
+		if !reacquire() {
+			release()
+		}
+	}
+}
+
+// thief steals chunks of up to two tasks from rank 0's shared portion
+// under TryLock, marking the dirty counter before publishing the new
+// steal index, exactly as queue.go's steal() does.
+func thief(p pgas.Proc, data, meta, ctl pgas.Seg, lock pgas.LockID,
+	slotOff func(int64) int, consume func(int64)) {
+
+	tmp := make([]byte, slotSize)
+	for p.Load64(0, ctl, 0) > 0 {
+		if !p.TryLock(0, lock) {
+			continue
+		}
+		bottom := p.Load64(0, meta, wBottom)
+		limit := p.Load64(0, meta, wSplit)
+		avail := limit - bottom
+		if avail <= 0 {
+			p.Unlock(0, lock)
+			continue
+		}
+		k := int64(2)
+		if k > avail {
+			k = avail
+		}
+		vals := make([]int64, 0, k)
+		for i := int64(0); i < k; i++ {
+			off := slotOff(bottom + i)
+			p.Get(tmp, 0, data, off)
+			vals = append(vals, int64(binary.LittleEndian.Uint64(tmp)))
+		}
+		p.FetchAdd64(0, meta, wDirty, 1)
+		p.Store64(0, meta, wBottom, bottom+k)
+		p.Unlock(0, lock)
+		for _, v := range vals {
+			consume(v)
+		}
+	}
+}

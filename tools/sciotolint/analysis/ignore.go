@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Ignore directives.
+//
+// A finding is suppressed by a staticcheck-style directive
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <one-line justification>
+//
+// placed either at the end of the offending line or on its own line
+// immediately above it. The justification is mandatory: a directive
+// without one is inert and reported by the driver, so every deliberate
+// deviation from an invariant carries its reason in the source.
+
+// An ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+	reason    string
+	pos       token.Pos
+	used      bool
+}
+
+// Ignores holds the parsed directives of one package.
+type Ignores struct {
+	directives []*ignoreDirective
+}
+
+// BuildIgnores parses every //lint:ignore directive in files.
+func BuildIgnores(fset *token.FileSet, files []*ast.File) *Ignores {
+	ig := &Ignores{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				d := &ignoreDirective{pos: c.Pos()}
+				posn := fset.Position(c.Pos())
+				d.file, d.line = posn.Filename, posn.Line
+				fields := strings.Fields(text)
+				if len(fields) >= 1 {
+					d.analyzers = make(map[string]bool)
+					for _, name := range strings.Split(fields[0], ",") {
+						d.analyzers[name] = true
+					}
+				}
+				if len(fields) >= 2 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				ig.directives = append(ig.directives, d)
+			}
+		}
+	}
+	return ig
+}
+
+// Suppressed reports whether d is covered by a well-formed directive for
+// its analyzer on the diagnostic's line or the line above.
+func (ig *Ignores) Suppressed(fset *token.FileSet, d Diagnostic) bool {
+	posn := fset.Position(d.Pos)
+	for _, dir := range ig.directives {
+		if dir.reason == "" || dir.file != posn.Filename {
+			continue
+		}
+		if dir.line != posn.Line && dir.line != posn.Line-1 {
+			continue
+		}
+		if dir.analyzers[d.Analyzer.Name] {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Problems returns a diagnostic-style message for each malformed (missing
+// justification) directive, so silent suppressions cannot creep in.
+func (ig *Ignores) Problems(fset *token.FileSet) []string {
+	var out []string
+	for _, dir := range ig.directives {
+		if dir.reason == "" {
+			out = append(out, fset.Position(dir.pos).String()+
+				": malformed //lint:ignore directive: want `//lint:ignore <analyzers> <justification>`")
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const ignoreSrc = `package p
+
+func a() {
+	//lint:ignore relaxedword the hint is revalidated under the lock
+	x := 1
+	_ = x
+}
+
+func b() {
+	y := 2 //lint:ignore lockbalance,collective trailing directive covers its own line
+	_ = y
+}
+
+func c() {
+	//lint:ignore relaxedword
+	z := 3
+	_ = z
+}
+`
+
+// posOn returns a Pos on the given 1-based line of the parsed file.
+func posOn(fset *token.FileSet, line int) token.Pos {
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(line)
+		return false
+	})
+	return pos
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ignore_fixture.go", ignoreSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig := BuildIgnores(fset, []*ast.File{f})
+
+	relaxed := &Analyzer{Name: "relaxedword"}
+	lockbal := &Analyzer{Name: "lockbalance"}
+	coll := &Analyzer{Name: "collective"}
+
+	// Directive on line 4 suppresses relaxedword on line 5 but not other
+	// analyzers and not other lines.
+	if !ig.Suppressed(fset, Diagnostic{Pos: posOn(fset, 5), Analyzer: relaxed}) {
+		t.Error("directive above the line did not suppress relaxedword")
+	}
+	if ig.Suppressed(fset, Diagnostic{Pos: posOn(fset, 5), Analyzer: lockbal}) {
+		t.Error("directive suppressed an analyzer it does not name")
+	}
+	if ig.Suppressed(fset, Diagnostic{Pos: posOn(fset, 6), Analyzer: relaxed}) {
+		t.Error("directive leaked past the line below it")
+	}
+
+	// Trailing directive on line 10 suppresses both named analyzers on its
+	// own line.
+	if !ig.Suppressed(fset, Diagnostic{Pos: posOn(fset, 10), Analyzer: lockbal}) {
+		t.Error("trailing directive did not suppress lockbalance")
+	}
+	if !ig.Suppressed(fset, Diagnostic{Pos: posOn(fset, 10), Analyzer: coll}) {
+		t.Error("trailing directive did not suppress second named analyzer")
+	}
+
+	// The justification-free directive on line 15 is inert and reported.
+	if ig.Suppressed(fset, Diagnostic{Pos: posOn(fset, 16), Analyzer: relaxed}) {
+		t.Error("directive without justification suppressed a finding")
+	}
+	problems := ig.Problems(fset)
+	if len(problems) != 1 || !strings.Contains(problems[0], "malformed") {
+		t.Errorf("Problems() = %v, want one malformed-directive report", problems)
+	}
+}

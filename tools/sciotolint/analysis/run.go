@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RunAnalyzers applies every analyzer to pkg, filters //lint:ignore'd
+// findings, and returns the surviving diagnostics formatted as
+// "file:line:col: message (analyzer)", sorted by position, plus any
+// malformed-directive problems.
+//
+// For test-variant packages (ForTest != "") only findings in _test.go
+// files are kept: the non-test files of the variant are the same sources
+// already analyzed in the base package, and reporting them twice would
+// duplicate every finding.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]string, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a := a
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report: func(d Diagnostic) {
+				d.Analyzer = a
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzer %s: %v", pkg.ImportPath, a.Name, err)
+		}
+	}
+
+	ignores := BuildIgnores(pkg.Fset, pkg.Files)
+	var out []string
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		if ignores.Suppressed(pkg.Fset, d) {
+			continue
+		}
+		posn := pkg.Fset.Position(d.Pos)
+		if pkg.ForTest != "" && !strings.HasSuffix(posn.Filename, "_test.go") {
+			continue
+		}
+		line := fmt.Sprintf("%s: %s (%s)", posn, d.Message, d.Analyzer.Name)
+		if !seen[line] {
+			seen[line] = true
+			out = append(out, line)
+		}
+	}
+	out = append(out, ignores.Problems(pkg.Fset)...)
+	sort.Slice(out, func(i, j int) bool { return posLess(out[i], out[j]) })
+	return out, nil
+}
+
+// posLess orders "file:line:col: ..." strings by file, then numerically by
+// line and column.
+func posLess(a, b string) bool {
+	fa, la, ca := splitPos(a)
+	fb, lb, cb := splitPos(b)
+	if fa != fb {
+		return fa < fb
+	}
+	if la != lb {
+		return la < lb
+	}
+	return ca < cb
+}
+
+func splitPos(s string) (file string, line, col int) {
+	parts := strings.SplitN(s, ":", 4)
+	if len(parts) < 3 {
+		return s, 0, 0
+	}
+	fmt.Sscanf(parts[1], "%d", &line)
+	fmt.Sscanf(parts[2], "%d", &col)
+	return parts[0], line, col
+}

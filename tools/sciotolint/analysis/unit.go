@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// go vet -vettool support (a minimal stand-in for
+// golang.org/x/tools/go/analysis/unitchecker).
+//
+// The go command invokes a vet tool once per package with a single
+// argument, the path to a JSON config file describing the compilation
+// unit: source files, the import map, and the export data files of every
+// dependency (already produced by the build cache). The tool type-checks
+// the unit, runs its analyzers, prints findings to stderr, writes an
+// (empty — we have no facts) .vetx facts file, and exits 2 when it found
+// anything.
+
+// vetConfig mirrors the config JSON written by cmd/go for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VersionFlag handles the `-V=full` probe cmd/go uses to fingerprint the
+// tool for its build cache. The printed line must have the form
+// "name version ... buildID=...".
+func VersionFlag(arg string) {
+	if arg != "-V=full" {
+		fmt.Fprintf(os.Stderr, "sciotolint: unsupported flag %q\n", arg)
+		os.Exit(1)
+	}
+	name := filepath.Base(os.Args[0])
+	fmt.Printf("%s version devel buildID=feedfacecafebeeffeedfacecafebeef\n", name)
+	os.Exit(0)
+}
+
+// UnitCheck runs analyzers over the unit described by cfgFile and returns
+// the formatted findings. The .vetx facts file is always written (empty),
+// as cmd/go requires it to exist.
+func UnitCheck(cfgFile string, analyzers []*Analyzer) ([]string, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("%s: %v", cfgFile, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor(compiler, runtime.GOARCH),
+		Error:    func(error) {},
+	}
+	info := NewInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+	pkg := &Package{
+		ImportPath: cfg.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	return RunAnalyzers(pkg, analyzers)
+}

@@ -1,0 +1,90 @@
+// Package checkers implements sciotolint's five analyzers. Each one
+// machine-checks an invariant of the Scioto runtime's PGAS programming
+// model that is otherwise enforced only by comments (see the Proc contract
+// in internal/pgas/pgas.go and the split-queue discipline in
+// internal/core/queue.go).
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"scioto/tools/sciotolint/analysis"
+)
+
+// Analyzers is the full sciotolint suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	Collective,
+	RelaxedWord,
+	LockBalance,
+	LocalEscape,
+	ProcEscape,
+}
+
+// pgasPkgName is the package whose interface methods carry the invariants.
+// Matching is by package name rather than import path so the analyzers
+// work identically on scioto/internal/pgas and on the test fixtures' stub.
+// Methods of concrete transport types (pgas/shm, pgas/dsim) deliberately do
+// NOT match: the transports implement the contract, they don't consume it.
+const pgasPkgName = "pgas"
+
+// pgasMethod reports the method name if call invokes a method declared in
+// a package named "pgas" (i.e. a pgas.Proc or pgas.World interface method).
+func pgasMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false // package-level function (e.g. pgas.PutF64)
+	}
+	if fn.Pkg() == nil || fn.Pkg().Name() != pgasPkgName {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// isProcType reports whether t is the pgas.Proc interface type (possibly
+// behind pointers or aliases).
+func isProcType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Proc" && obj.Pkg() != nil && obj.Pkg().Name() == pgasPkgName
+}
+
+// exprKey renders an expression to a canonical string, used to match the
+// (proc, id) arguments of Lock/Unlock pairs.
+func exprKey(e ast.Expr) string { return types.ExprString(e) }
+
+// funcBodies calls f once per function body in the package: every
+// FuncDecl body and every FuncLit body. Analyses that must not leak state
+// across function boundaries iterate with this.
+func funcBodies(files []*ast.File, f func(body *ast.BlockStmt)) {
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					f(n.Body)
+				}
+			case *ast.FuncLit:
+				f(n.Body)
+			}
+			return true
+		})
+	}
+}

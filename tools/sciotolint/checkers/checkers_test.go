@@ -1,0 +1,28 @@
+package checkers_test
+
+import (
+	"testing"
+
+	"scioto/tools/sciotolint/analysis/analysistest"
+	"scioto/tools/sciotolint/checkers"
+)
+
+func TestCollective(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), checkers.Collective, "collective")
+}
+
+func TestRelaxedWord(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), checkers.RelaxedWord, "relaxedword")
+}
+
+func TestLockBalance(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), checkers.LockBalance, "lockbalance")
+}
+
+func TestLocalEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), checkers.LocalEscape, "localescape")
+}
+
+func TestProcEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), checkers.ProcEscape, "procescape")
+}

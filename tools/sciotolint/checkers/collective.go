@@ -1,0 +1,227 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"scioto/tools/sciotolint/analysis"
+)
+
+// Collective flags collective PGAS calls that only some ranks execute.
+//
+// AllocData, AllocWords, AllocLock, Barrier and World.Run are collective:
+// every rank must call them, in the same order (pgas.go requires it, and
+// both transports block until all ranks arrive). A collective call nested
+// under a branch whose condition depends on p.Rank() is therefore the
+// classic SPMD mismatched-collective bug — rank 0 enters the barrier, the
+// others never will, and the program silently deadlocks.
+var Collective = &analysis.Analyzer{
+	Name: "collective",
+	Doc: "flags collective Proc calls (AllocData/AllocWords/AllocLock/Barrier/Run) " +
+		"reachable only under a rank-conditional branch (SPMD mismatched-collective deadlock)",
+	Run: runCollective,
+}
+
+var collectiveMethods = map[string]bool{
+	"AllocData":  true,
+	"AllocWords": true,
+	"AllocLock":  true,
+	"Barrier":    true,
+	"Run":        true, // pgas.World.Run
+}
+
+func runCollective(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					collectiveScanFunc(pass, n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				// Reached only for package-level FuncLits (var initializers);
+				// lits inside functions are scanned by collectiveScanFunc.
+				collectiveScanFunc(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectiveScanFunc analyzes one function body. Nested function literals
+// are scanned as their own functions: a rank-conditional around a FuncLit
+// definition does not imply the literal runs rank-conditionally (it may be
+// registered as a task body and executed collectively elsewhere), and vice
+// versa.
+func collectiveScanFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	rankVars := rankDerivedVars(pass.TypesInfo, body)
+
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			collectiveScanFunc(pass, lit.Body)
+			return false
+		}
+		stack = append(stack, n)
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := pgasMethod(pass.TypesInfo, call); ok && collectiveMethods[name] {
+				if cond := enclosingRankCond(pass.TypesInfo, rankVars, stack); cond != nil {
+					pass.Reportf(call.Pos(),
+						"collective %s call is conditional on the process rank; "+
+							"ranks not taking this branch never reach it and all ranks deadlock", name)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+}
+
+// rankDerivedVars collects variables assigned (directly) from p.Rank() in
+// this function body, e.g. `me := p.Rank()`.
+func rankDerivedVars(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if name, ok := pgasMethod(info, call); !ok || name != "Rank" {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil {
+				vars[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// enclosingRankCond walks the enclosing-node stack (innermost last) and
+// returns the first rank-dependent controlling condition, or nil. A node
+// guards the call only if the call sits in its controlled body — not in
+// the condition or init clause itself.
+func enclosingRankCond(info *types.Info, rankVars map[types.Object]bool, stack []ast.Node) ast.Expr {
+	for i := len(stack) - 2; i >= 0; i-- {
+		inner := stack[i+1]
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			if (containsNode(n.Body, inner) || containsNode(n.Else, inner)) &&
+				rankCond(info, rankVars, n.Cond) && !branchBalanced(info, n) {
+				return n.Cond
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil && containsNode(n.Body, inner) && rankCond(info, rankVars, n.Cond) {
+				return n.Cond
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && containsNode(n.Body, inner) && rankCond(info, rankVars, n.Tag) {
+				return n.Tag
+			}
+		case *ast.CaseClause:
+			// switch with no tag: `switch { case p.Rank() == 0: ... }`
+			for _, e := range n.List {
+				if rankCond(info, rankVars, e) && containsStmts(n.Body, inner) {
+					return e
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// branchBalanced reports whether a rank-conditional if is nonetheless
+// collectively correct because its then and else branches issue the same
+// sequence of collective calls — the idiomatic
+// `if p.Rank() == 0 { ...; Barrier() } else { Barrier() }` shape, where
+// every rank still executes the collectives in the same order.
+func branchBalanced(info *types.Info, n *ast.IfStmt) bool {
+	if n.Else == nil {
+		return false
+	}
+	thenSeq := collectiveSeq(info, n.Body)
+	elseSeq := collectiveSeq(info, n.Else)
+	if len(thenSeq) != len(elseSeq) {
+		return false
+	}
+	for i := range thenSeq {
+		if thenSeq[i] != elseSeq[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// collectiveSeq returns the source-order sequence of collective method
+// names under n, not descending into nested function literals.
+func collectiveSeq(info *types.Info, n ast.Node) []string {
+	var seq []string
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := c.(*ast.CallExpr); ok {
+			if name, ok := pgasMethod(info, call); ok && collectiveMethods[name] {
+				seq = append(seq, name)
+			}
+		}
+		return true
+	})
+	return seq
+}
+
+func containsNode(outer, inner ast.Node) bool {
+	if outer == nil || inner == nil {
+		return false
+	}
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
+}
+
+func containsStmts(list []ast.Stmt, inner ast.Node) bool {
+	for _, s := range list {
+		if containsNode(s, inner) {
+			return true
+		}
+	}
+	return false
+}
+
+// rankCond reports whether e mentions p.Rank() or a variable derived from
+// it.
+func rankCond(info *types.Info, rankVars map[types.Object]bool, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := pgasMethod(info, n); ok && name == "Rank" {
+				found = true
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && rankVars[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

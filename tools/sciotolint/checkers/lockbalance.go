@@ -1,0 +1,339 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"scioto/tools/sciotolint/analysis"
+)
+
+// LockBalance flags PGAS lock acquisitions with an escape path that lacks
+// a release.
+//
+// pgas locks are not reentrant and are held across processes: a function
+// that returns with a lock held deadlocks the next acquirer — often a
+// thief on another rank, so the hang appears far from the bug. The
+// analyzer abstractly interprets each function body, tracking the set of
+// held (proc, id) pairs (keyed by the argument expressions) through
+// structured control flow, and reports:
+//
+//   - a return reached with a lock held and no deferred unlock,
+//   - falling off the end of the function with a lock held,
+//   - re-acquiring a lock already held on the same path (self-deadlock),
+//   - a loop iteration that ends holding a lock it acquired.
+//
+// TryLock is understood in its idiomatic forms `if p.TryLock(a, b) {...}`,
+// `if !p.TryLock(a, b) { return }`, and `ok := p.TryLock(a, b)` followed by
+// a branch on ok. The analysis is intraprocedural and keys locks by the
+// source text of the argument pair, so Lock/Unlock calls must spell the
+// pair the same way — which is also what a human reader needs.
+var LockBalance = &analysis.Analyzer{
+	Name: "lockbalance",
+	Doc: "flags p.Lock(proc, id) with a return path lacking a matching Unlock " +
+		"(PGAS locks are non-reentrant; a leaked lock deadlocks the next acquirer)",
+	Run: runLockBalance,
+}
+
+// lbState is the abstract state: locks held on the current path and locks
+// with a pending deferred unlock.
+type lbState struct {
+	held     map[string]token.Pos // lock key -> Lock call position
+	deferred map[string]bool
+	tryVars  map[types.Object]string // ok := p.TryLock(a, b) -> lock key
+}
+
+func newLBState() *lbState {
+	return &lbState{
+		held:     make(map[string]token.Pos),
+		deferred: make(map[string]bool),
+		tryVars:  make(map[types.Object]string),
+	}
+}
+
+func (s *lbState) clone() *lbState {
+	c := newLBState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	for k, v := range s.tryVars {
+		c.tryVars[k] = v
+	}
+	return c
+}
+
+// merge unions the held/deferred sets of the branch states that can fall
+// through, so a lock leaked on any branch stays visible.
+func (s *lbState) merge(branches ...*lbState) {
+	s.held = make(map[string]token.Pos)
+	s.deferred = make(map[string]bool)
+	for _, b := range branches {
+		for k, v := range b.held {
+			s.held[k] = v
+		}
+		for k := range b.deferred {
+			s.deferred[k] = true
+		}
+		for k, v := range b.tryVars {
+			s.tryVars[k] = v
+		}
+	}
+}
+
+type lockChecker struct {
+	pass *analysis.Pass
+}
+
+func runLockBalance(pass *analysis.Pass) error {
+	c := &lockChecker{pass: pass}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					c.checkFunc(n.Body)
+				}
+			case *ast.FuncLit:
+				c.checkFunc(n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func (c *lockChecker) checkFunc(body *ast.BlockStmt) {
+	st := newLBState()
+	terminated := c.scan(body.List, st)
+	if !terminated {
+		for key, pos := range st.held {
+			if !st.deferred[key] {
+				c.pass.Reportf(pos,
+					"lock (%s) acquired here is not released on the path falling off the end of the function", key)
+			}
+		}
+	}
+}
+
+// scan interprets a statement list, mutating st. It reports whether every
+// path through the list terminates (returns or panics), i.e. control
+// cannot fall through to the statement after the list.
+func (c *lockChecker) scan(stmts []ast.Stmt, st *lbState) bool {
+	for _, stmt := range stmts {
+		if c.scanStmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *lockChecker) scanStmt(stmt ast.Stmt, st *lbState) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		c.scanCall(s.X, st)
+		if isPanic(s.X) {
+			return true
+		}
+
+	case *ast.AssignStmt:
+		// ok := p.TryLock(a, b)
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if key, ok := c.lockCall(s.Rhs[0], "TryLock"); ok {
+				if id, ok := s.Lhs[0].(*ast.Ident); ok {
+					if obj := c.obj(id); obj != nil {
+						st.tryVars[obj] = key
+					}
+				}
+			}
+		}
+
+	case *ast.DeferStmt:
+		// defer p.Unlock(a, b), or defer func() { ...; p.Unlock(a, b); ... }()
+		if key, ok := c.lockCall(s.Call, "Unlock"); ok {
+			st.deferred[key] = true
+		} else if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if key, ok := c.lockCall(n, "Unlock"); ok {
+					st.deferred[key] = true
+				}
+				return true
+			})
+		}
+
+	case *ast.ReturnStmt:
+		for key, pos := range st.held {
+			if !st.deferred[key] {
+				c.pass.Reportf(s.Pos(),
+					"return with lock (%s) held (acquired at %s) and no deferred unlock",
+					key, c.pass.Fset.Position(pos))
+			}
+		}
+		return true
+
+	case *ast.BranchStmt:
+		// break/continue/goto end this path as far as the structured walk
+		// can see; treat as terminating to avoid false reports downstream.
+		return true
+
+	case *ast.BlockStmt:
+		return c.scan(s.List, st)
+
+	case *ast.LabeledStmt:
+		return c.scanStmt(s.Stmt, st)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, st)
+		}
+		thenSt, elseSt := st.clone(), st.clone()
+		if key, negated, ok := c.tryLockCond(s.Cond, st); ok {
+			if negated {
+				// if !p.TryLock(a, b) { ... }: lock held on the else/fallthrough side.
+				elseSt.held[key] = s.Cond.Pos()
+			} else {
+				thenSt.held[key] = s.Cond.Pos()
+			}
+		}
+		thenTerm := c.scan(s.Body.List, thenSt)
+		elseTerm := false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseTerm = c.scan(e.List, elseSt)
+		case *ast.IfStmt:
+			elseTerm = c.scanStmt(e, elseSt)
+		}
+		var fallthroughs []*lbState
+		if !thenTerm {
+			fallthroughs = append(fallthroughs, thenSt)
+		}
+		if !elseTerm {
+			fallthroughs = append(fallthroughs, elseSt)
+		}
+		if len(fallthroughs) == 0 {
+			return true
+		}
+		st.merge(fallthroughs...)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, st)
+		}
+		bodySt := st.clone()
+		c.scan(s.Body.List, bodySt)
+		c.checkLoopBody(st, bodySt)
+
+	case *ast.RangeStmt:
+		bodySt := st.clone()
+		c.scan(s.Body.List, bodySt)
+		c.checkLoopBody(st, bodySt)
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var body *ast.BlockStmt
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			body = s.Body
+		case *ast.TypeSwitchStmt:
+			body = s.Body
+		case *ast.SelectStmt:
+			body = s.Body
+		}
+		var fallthroughs []*lbState
+		for _, cl := range body.List {
+			var caseBody []ast.Stmt
+			switch cl := cl.(type) {
+			case *ast.CaseClause:
+				caseBody = cl.Body
+			case *ast.CommClause:
+				caseBody = cl.Body
+			}
+			caseSt := st.clone()
+			if !c.scan(caseBody, caseSt) {
+				fallthroughs = append(fallthroughs, caseSt)
+			}
+		}
+		fallthroughs = append(fallthroughs, st.clone()) // no case may match
+		st.merge(fallthroughs...)
+	}
+	return false
+}
+
+// scanCall updates st for a Lock/Unlock expression statement.
+func (c *lockChecker) scanCall(e ast.Expr, st *lbState) {
+	if key, ok := c.lockCall(e, "Lock"); ok {
+		if prev, held := st.held[key]; held {
+			c.pass.Reportf(e.Pos(),
+				"lock (%s) re-acquired while already held (acquired at %s); PGAS locks are non-reentrant, this self-deadlocks",
+				key, c.pass.Fset.Position(prev))
+		}
+		st.held[key] = e.Pos()
+		return
+	}
+	if key, ok := c.lockCall(e, "Unlock"); ok {
+		delete(st.held, key)
+	}
+}
+
+// checkLoopBody reports locks that a loop iteration acquired and did not
+// release: the next iteration's re-acquire self-deadlocks.
+func (c *lockChecker) checkLoopBody(before, after *lbState) {
+	for key, pos := range after.held {
+		if _, was := before.held[key]; !was && !after.deferred[key] {
+			c.pass.Reportf(pos,
+				"lock (%s) acquired in loop body is not released by the end of the iteration; "+
+					"the next iteration's acquire self-deadlocks", key)
+		}
+	}
+}
+
+// lockCall reports the lock key if n is a call to the named pgas lock
+// method with two arguments.
+func (c *lockChecker) lockCall(n ast.Node, method string) (string, bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	name, ok := pgasMethod(c.pass.TypesInfo, call)
+	if !ok || name != method || len(call.Args) != 2 {
+		return "", false
+	}
+	return exprKey(call.Args[0]) + ", " + exprKey(call.Args[1]), true
+}
+
+// tryLockCond recognizes `p.TryLock(a, b)`, `!p.TryLock(a, b)`, `ok` and
+// `!ok` (with ok bound from TryLock) as an if condition.
+func (c *lockChecker) tryLockCond(cond ast.Expr, st *lbState) (key string, negated, ok bool) {
+	if un, isNot := cond.(*ast.UnaryExpr); isNot && un.Op == token.NOT {
+		key, _, ok = c.tryLockCond(un.X, st)
+		return key, true, ok
+	}
+	if key, isCall := c.lockCall(cond, "TryLock"); isCall {
+		return key, false, true
+	}
+	if id, isIdent := cond.(*ast.Ident); isIdent {
+		if obj := c.obj(id); obj != nil {
+			if key, bound := st.tryVars[obj]; bound {
+				return key, false, true
+			}
+		}
+	}
+	return "", false, false
+}
+
+func (c *lockChecker) obj(id *ast.Ident) types.Object {
+	if o := c.pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

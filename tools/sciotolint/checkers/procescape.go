@@ -1,0 +1,101 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"scioto/tools/sciotolint/analysis"
+)
+
+// ProcEscape flags pgas.Proc values that leave the goroutine World.Run
+// delivered them to.
+//
+// The Proc contract (pgas.go) is explicit: "A Proc must only be used from
+// the goroutine that received it from World.Run." Both transports depend
+// on it — dsim's cooperative scheduler resumes exactly one goroutine per
+// rank, so a Proc method called from a second goroutine corrupts the
+// virtual-time ordering; on shm it breaks per-rank state such as the
+// deterministic RNG. The analyzer flags a Proc passed as a `go` argument,
+// a Proc method receiver in a `go` statement, a Proc captured by a
+// goroutine's function literal, a Proc sent on a channel, and a Proc
+// stored in a package-level variable. Storing a Proc in a struct field is
+// deliberately NOT flagged: runtime objects (queues, task collections)
+// carry their rank's Proc for the duration of the Run body, which is
+// legal as long as the struct stays on the owning goroutine.
+var ProcEscape = &analysis.Analyzer{
+	Name: "procescape",
+	Doc: "flags a pgas.Proc passed to a goroutine, sent on a channel, or stored in a " +
+		"package variable (a Proc is bound to the goroutine World.Run delivered it to)",
+	Run: runProcEscape,
+}
+
+func runProcEscape(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	isProc := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		return ok && isProcType(tv.Type)
+	}
+
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if isProc(arg) {
+					pass.Reportf(arg.Pos(),
+						"pgas.Proc passed to a goroutine; a Proc may only be used from the goroutine World.Run delivered it to")
+				}
+			}
+			if sel, ok := n.Call.Fun.(*ast.SelectorExpr); ok && isProc(sel.X) {
+				pass.Reportf(sel.X.Pos(),
+					"goroutine launched on a pgas.Proc method; a Proc may only be used from the goroutine World.Run delivered it to")
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				reportProcCaptures(pass, lit)
+			}
+
+		case *ast.SendStmt:
+			if isProc(n.Value) {
+				pass.Reportf(n.Value.Pos(),
+					"pgas.Proc sent on a channel escapes its owning goroutine")
+			}
+
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || !isProc(rhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil && obj.Parent() == pass.Pkg.Scope() {
+						pass.Reportf(rhs.Pos(),
+							"pgas.Proc stored in package variable %s escapes the World.Run body", id.Name)
+					}
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// reportProcCaptures flags free Proc-typed variables of a goroutine's
+// function literal.
+func reportProcCaptures(pass *analysis.Pass, lit *ast.FuncLit) {
+	info := pass.TypesInfo
+	seen := make(map[string]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if obj == nil || !ok || !isProcType(obj.Type()) || seen[obj.Name()] {
+			return true
+		}
+		// Free variable: declared outside the literal.
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			seen[obj.Name()] = true
+			pass.Reportf(id.Pos(),
+				"goroutine captures pgas.Proc %s; a Proc may only be used from the goroutine World.Run delivered it to", id.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,83 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"scioto/tools/sciotolint/analysis"
+)
+
+// RelaxedWord flags relaxed atomic access to metadata words that remote
+// processes write.
+//
+// RelaxedLoad64/RelaxedStore64 act on the calling process's own instance
+// of a word segment without establishing any ordering (pgas.go documents
+// them as legal only for owner-private words, or — loads only — as hints
+// revalidated under a lock). In the split queue of internal/core/queue.go
+// the word roles are fixed: wTop and wSplit are owner-written, while
+// wBottom is advanced by thieves and decremented by remote adders, and
+// wDirty is incremented by thieves. A relaxed *store* to a remotely
+// written word can silently lose a concurrent remote update; a relaxed
+// *load* of one yields a stale value and is only tolerable as an
+// explicitly annotated hint.
+var RelaxedWord = &analysis.Analyzer{
+	Name: "relaxedword",
+	Doc: "flags RelaxedLoad64/RelaxedStore64 whose word index is a remotely-written " +
+		"metadata word (wBottom, wDirty); relaxed access is only legal on owner-private words",
+	Run: runRelaxedWord,
+}
+
+// remoteWrittenWords names the metadata-word constants that remote
+// processes write. Matching is by constant name so the discipline follows
+// the word's role, not its numeric value.
+var remoteWrittenWords = map[string]bool{
+	"wBottom": true,
+	"wDirty":  true,
+}
+
+func runRelaxedWord(pass *analysis.Pass) error {
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name, ok := pgasMethod(pass.TypesInfo, call)
+		if !ok || (name != "RelaxedLoad64" && name != "RelaxedStore64") {
+			return
+		}
+		if len(call.Args) < 2 {
+			return
+		}
+		c := constName(pass.TypesInfo, call.Args[1])
+		if c == "" || !remoteWrittenWords[c] {
+			return
+		}
+		if name == "RelaxedStore64" {
+			pass.Reportf(call.Pos(),
+				"relaxed store to %s, a word remote processes write; a concurrent remote "+
+					"update would be lost — use the ordered Store64", c)
+		} else {
+			pass.Reportf(call.Pos(),
+				"relaxed load of %s, a word remote processes write, returns a stale value; "+
+					"use the ordered Load64 or annotate the hint and revalidate under the queue lock", c)
+		}
+	})
+	return nil
+}
+
+// constName resolves e to the name of the constant it denotes, or "".
+func constName(info *types.Info, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	if c, ok := info.Uses[id].(*types.Const); ok {
+		return c.Name()
+	}
+	return ""
+}

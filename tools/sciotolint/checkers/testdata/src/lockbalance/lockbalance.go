@@ -1,0 +1,108 @@
+// Fixtures for the lockbalance analyzer: PGAS lock acquisitions with an
+// escape path lacking a release.
+package lockbalance
+
+import "pgas"
+
+// An early return inside the critical section leaks the lock.
+func badReturn(p pgas.Proc, id pgas.LockID) {
+	p.Lock(0, id)
+	if p.NProcs() > 1 {
+		return // want `return with lock \(0, id\) held`
+	}
+	p.Unlock(0, id)
+}
+
+// Falling off the end of the function with the lock held.
+func badEnd(p pgas.Proc, id pgas.LockID) {
+	p.Lock(0, id) // want `not released on the path falling off the end of the function`
+	_ = p.NProcs()
+}
+
+// PGAS locks are non-reentrant: re-acquiring on the same path self-deadlocks.
+func badReacquire(p pgas.Proc, id pgas.LockID) {
+	p.Lock(0, id)
+	p.Lock(0, id) // want `re-acquired while already held`
+	p.Unlock(0, id)
+}
+
+// A successful TryLock whose branch forgets the release.
+func badTryLock(p pgas.Proc, id pgas.LockID) {
+	if p.TryLock(1, id) { // want `not released on the path falling off the end of the function`
+		_ = p.NProcs()
+	}
+}
+
+// A lock held at the end of a loop iteration deadlocks the next
+// iteration's acquire.
+func badLoop(p pgas.Proc, id pgas.LockID) {
+	for i := 0; i < 3; i++ {
+		p.Lock(0, id) // want `acquired in loop body is not released`
+		_ = p.NProcs()
+	}
+}
+
+// Locks on distinct (proc, id) pairs are independent; releasing one does
+// not release the other.
+func badWrongPair(p pgas.Proc, a, b pgas.LockID) {
+	p.Lock(0, a) // want `not released on the path falling off the end of the function`
+	p.Unlock(0, b)
+}
+
+// Deferred unlock covers every path out.
+func goodDefer(p pgas.Proc, id pgas.LockID) {
+	p.Lock(0, id)
+	defer p.Unlock(0, id)
+	if p.NProcs() > 1 {
+		return
+	}
+}
+
+// Deferred unlock inside a closure is recognized too.
+func goodDeferClosure(p pgas.Proc, id pgas.LockID) {
+	p.Lock(0, id)
+	defer func() {
+		p.Unlock(0, id)
+	}()
+	_ = p.NProcs()
+}
+
+// Explicit unlock on both the early-out and the fallthrough path — the
+// shape of reacquire() in internal/core/queue.go.
+func goodBranches(p pgas.Proc, id pgas.LockID) bool {
+	p.Lock(0, id)
+	if p.NProcs() == 1 {
+		p.Unlock(0, id)
+		return false
+	}
+	p.Unlock(0, id)
+	return true
+}
+
+// The `if !TryLock { return }` guard — the shape of steal() in
+// internal/core/queue.go.
+func goodTryLockGuard(p pgas.Proc, id pgas.LockID) bool {
+	if !p.TryLock(1, id) {
+		return false
+	}
+	_ = p.NProcs()
+	p.Unlock(1, id)
+	return true
+}
+
+// TryLock bound to a variable and branched on.
+func goodTryLockVar(p pgas.Proc, id pgas.LockID) {
+	ok := p.TryLock(1, id)
+	if ok {
+		p.Unlock(1, id)
+	}
+}
+
+// Balanced lock/unlock inside a loop body.
+func goodLoop(p pgas.Proc, id pgas.LockID) {
+	for i := 0; i < 3; i++ {
+		p.Lock(0, id)
+		_ = p.NProcs()
+		p.Unlock(0, id)
+	}
+}

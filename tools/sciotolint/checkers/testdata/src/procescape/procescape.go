@@ -1,0 +1,55 @@
+// Fixtures for the procescape analyzer: pgas.Proc values leaving the
+// goroutine World.Run delivered them to.
+package procescape
+
+import "pgas"
+
+var leaked pgas.Proc
+
+func worker(p pgas.Proc) { p.Barrier() }
+
+// Passing the Proc to a new goroutine violates the single-goroutine
+// contract.
+func badGoArg(p pgas.Proc) {
+	go worker(p) // want `pgas\.Proc passed to a goroutine`
+}
+
+// So does launching a Proc method as a goroutine.
+func badGoMethod(p pgas.Proc) {
+	go p.Barrier() // want `goroutine launched on a pgas\.Proc method`
+}
+
+// Or capturing the Proc in the goroutine's closure.
+func badCapture(p pgas.Proc) {
+	go func() {
+		p.Barrier() // want `goroutine captures pgas\.Proc p`
+	}()
+}
+
+// A package variable outlives the World.Run body.
+func badStore(p pgas.Proc) {
+	leaked = p // want `pgas\.Proc stored in package variable leaked`
+}
+
+// A channel hands the Proc to whoever receives it.
+func badSend(p pgas.Proc, ch chan pgas.Proc) {
+	ch <- p // want `pgas\.Proc sent on a channel`
+}
+
+// Local aliasing on the same goroutine is fine, and evaluating a Proc
+// method *argument* happens before the spawn, on the owning goroutine.
+func good(p pgas.Proc) {
+	q := p
+	q.Barrier()
+	go func(n int) { _ = n }(p.NProcs())
+}
+
+// Storing a Proc in a struct that stays on the owning goroutine is the
+// runtime's own idiom (taskQueue.p) and is deliberately not flagged.
+type queue struct {
+	p pgas.Proc
+}
+
+func goodStruct(p pgas.Proc) *queue {
+	return &queue{p: p}
+}

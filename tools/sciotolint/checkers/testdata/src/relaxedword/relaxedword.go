@@ -1,0 +1,39 @@
+// Fixtures for the relaxedword analyzer: relaxed atomic access to
+// metadata words that remote processes write. The constant names mirror
+// the split-queue layout of internal/core/queue.go.
+package relaxedword
+
+import "pgas"
+
+const (
+	wBottom = 0 // steal end: advanced by thieves, decremented by remote adders
+	wSplit  = 1 // owner-written
+	wTop    = 2 // owner-written
+	wDirty  = 3 // incremented by thieves
+)
+
+// Relaxed stores to remotely-written words can lose concurrent remote
+// updates; this reproduces the wDirty violation class.
+func badStores(p pgas.Proc, meta pgas.Seg) {
+	p.RelaxedStore64(meta, wBottom, 1) // want `relaxed store to wBottom, a word remote processes write`
+	p.RelaxedStore64(meta, wDirty, 1)  // want `relaxed store to wDirty, a word remote processes write`
+}
+
+// Relaxed loads of remotely-written words yield stale values.
+func badLoads(p pgas.Proc, meta pgas.Seg) int64 {
+	a := p.RelaxedLoad64(meta, wBottom) // want `relaxed load of wBottom, a word remote processes write`
+	b := p.RelaxedLoad64(meta, wDirty)  // want `relaxed load of wDirty, a word remote processes write`
+	return a + b
+}
+
+// Owner-private words are exactly what the relaxed operations are for.
+func goodOwnerWords(p pgas.Proc, meta pgas.Seg) int64 {
+	p.RelaxedStore64(meta, wTop, 7)
+	return p.RelaxedLoad64(meta, wTop) - p.RelaxedLoad64(meta, wSplit)
+}
+
+// Ordered operations on remotely-written words are always legal.
+func goodOrdered(p pgas.Proc, meta pgas.Seg) int64 {
+	p.Store64(p.Rank(), meta, wBottom, 0)
+	return p.Load64(p.Rank(), meta, wDirty)
+}

@@ -1,0 +1,117 @@
+// Sciotolint enforces the Scioto runtime's PGAS and split-queue invariants
+// that the Go type system cannot express. It bundles five analyzers:
+//
+//	collective  — collective Proc calls (AllocData, AllocWords, AllocLock,
+//	              Barrier, World.Run) reached only under a rank-conditional
+//	              branch: the classic SPMD mismatched-collective deadlock.
+//	relaxedword — RelaxedLoad64/RelaxedStore64 on a metadata word that
+//	              remote processes write (wBottom, wDirty): relaxed access
+//	              is only legal on owner-private words.
+//	lockbalance — p.Lock(proc, id) with a path out of the function that
+//	              lacks a matching Unlock: PGAS locks are non-reentrant and
+//	              a leaked lock deadlocks the next acquirer.
+//	localescape — a p.Local(seg) slice stored in a struct field or package
+//	              variable, captured by a goroutine, or used across a
+//	              Barrier: the slice is only safe inside the protocol
+//	              window in which it was obtained.
+//	procescape  — a pgas.Proc handed to another goroutine or stored in a
+//	              package variable: a Proc is bound to the goroutine that
+//	              received it from World.Run.
+//
+// Usage:
+//
+//	go run ./tools/sciotolint ./...          # standalone, analyzes tests too
+//	go vet -vettool=$(which sciotolint) ./...  # as a vet tool
+//
+// Findings are suppressed with a justified staticcheck-style directive on
+// or directly above the offending line:
+//
+//	//lint:ignore relaxedword wBottom is read as a hint and revalidated under the lock
+//
+// A directive without a justification is itself reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scioto/tools/sciotolint/analysis"
+	"scioto/tools/sciotolint/checkers"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// go vet tool protocol: `tool -V=full`, `tool -flags`, then
+	// `tool <unit>.cfg` once per package.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V=") {
+		analysis.VersionFlag(args[0])
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]") // no tool flags beyond the protocol
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		findings, err := analysis.UnitCheck(args[0], checkers.Analyzers)
+		exit(findings, err)
+	}
+
+	fs := flag.NewFlagSet("sciotolint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	tests := fs.Bool("tests", true, "also analyze _test.go files")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sciotolint [flags] [packages]\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	if *list {
+		for _, a := range checkers.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(patterns, *tests)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sciotolint: %v\n", err)
+		os.Exit(1)
+	}
+	var findings []string
+	for _, pkg := range pkgs {
+		out, err := analysis.RunAnalyzers(pkg, checkers.Analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sciotolint: %v\n", err)
+			os.Exit(1)
+		}
+		findings = append(findings, out...)
+	}
+	exit(findings, nil)
+}
+
+func exit(findings []string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sciotolint: %v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
