@@ -10,10 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the runtime and transports, sized down via
-# -short so it fits an interactive budget; CI runs the same target.
+# Race-detector pass over the whole tree (runtime, transports, facade,
+# tools), sized down via -short so it fits an interactive budget; CI runs
+# the same target.
 race:
-	$(GO) test -race -short ./internal/...
+	$(GO) test -race -short ./...
 
 # sciotolint enforces the PGAS and split-queue invariants (see DESIGN.md).
 # It exits 2 on findings, so this target fails the build when the tree

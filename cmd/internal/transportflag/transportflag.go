@@ -1,0 +1,40 @@
+// Package transportflag provides the -transport command-line flag shared
+// by every runner, so all of them select among the shm, dsim, and tcp
+// machines uniformly and reject anything else at flag-parse time.
+package transportflag
+
+import (
+	"flag"
+	"fmt"
+
+	"scioto"
+)
+
+// Value is a flag.Value holding a validated transport name.
+type Value struct {
+	t scioto.Transport
+}
+
+// Flag registers -transport with the given default on the default flag set
+// and returns the value to read after flag.Parse.
+func Flag(def scioto.Transport) *Value {
+	v := &Value{t: def}
+	flag.Var(v, "transport", "transport: shm, dsim, or tcp")
+	return v
+}
+
+// String reports the current transport name (flag.Value).
+func (v *Value) String() string { return string(v.t) }
+
+// Set validates and stores a transport name (flag.Value).
+func (v *Value) Set(s string) error {
+	switch scioto.Transport(s) {
+	case scioto.TransportSHM, scioto.TransportDSim, scioto.TransportTCP:
+		v.t = scioto.Transport(s)
+		return nil
+	}
+	return fmt.Errorf("unknown transport %q (want shm, dsim, or tcp)", s)
+}
+
+// Transport returns the selected transport.
+func (v *Value) Transport() scioto.Transport { return v.t }

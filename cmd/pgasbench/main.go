@@ -7,6 +7,7 @@
 //
 //	pgasbench                       # dsim cluster calibration
 //	pgasbench -transport shm        # real shared-memory costs
+//	pgasbench -transport tcp        # real loopback TCP costs
 //	pgasbench -procs 32
 package main
 
@@ -17,19 +18,20 @@ import (
 	"time"
 
 	"scioto"
+	"scioto/cmd/internal/transportflag"
 	"scioto/internal/coll"
 	"scioto/internal/pgas"
 )
 
 func main() {
-	procs := flag.Int("procs", 8, "number of simulated processes")
-	transport := flag.String("transport", "dsim", "transport: shm or dsim")
+	procs := flag.Int("procs", 8, "number of processes")
+	transport := transportflag.Flag(scioto.TransportDSim)
 	iters := flag.Int("iters", 500, "operations per measurement")
 	flag.Parse()
 
 	cfg := scioto.Config{
 		Procs:     *procs,
-		Transport: scioto.Transport(*transport),
+		Transport: transport.Transport(),
 		Seed:      1,
 		Latency:   3 * time.Microsecond,
 		PerByte:   time.Nanosecond,       // ~1 GB/s link

@@ -1,5 +1,5 @@
 // Command scf runs the miniature closed-shell SCF application on the
-// simulated machine, with either the original global-counter Fock build or
+// selected machine, with either the original global-counter Fock build or
 // the Scioto task-collection build, and checks the result against the
 // serial reference.
 //
@@ -7,6 +7,7 @@
 //
 //	scf -procs 16 -atoms 32 -method scioto
 //	scf -procs 64 -atoms 64 -method counter -iters 6
+//	scf -procs 4 -transport tcp    # real processes over loopback
 package main
 
 import (
@@ -17,12 +18,14 @@ import (
 	"time"
 
 	"scioto"
+	"scioto/cmd/internal/transportflag"
 	"scioto/internal/core"
 	"scioto/internal/scf"
 )
 
 func main() {
-	procs := flag.Int("procs", 8, "number of simulated processes")
+	procs := flag.Int("procs", 8, "number of processes")
+	transport := transportflag.Flag(scioto.TransportDSim)
 	atoms := flag.Int("atoms", 24, "number of centers (even)")
 	block := flag.Int("block", 4, "matrix block size")
 	iters := flag.Int("iters", 25, "max SCF iterations")
@@ -47,7 +50,7 @@ func main() {
 	serial := scf.NewSystem(sysCfg).SCFSerial(*iters, 1e-8)
 	fmt.Printf("serial reference: %v (%v wall)\n", serial, time.Since(t0).Round(time.Millisecond))
 
-	cfg := scioto.Config{Procs: *procs, Transport: scioto.TransportDSim, Seed: 3}
+	cfg := scioto.Config{Procs: *procs, Transport: transport.Transport(), Seed: 3}
 	err := scioto.Run(cfg, func(rt *scioto.Runtime) {
 		res, err := scf.Run(rt.Proc(), scf.RunConfig{
 			Sys:     sysCfg,

@@ -1,11 +1,12 @@
 // Command tce runs the block-sparse tensor contraction kernel on the
-// simulated machine with either load-balancing scheme and verifies the
+// selected machine with either load-balancing scheme and verifies the
 // distributed result against a dense reference multiply.
 //
 // Usage:
 //
 //	tce -procs 16 -nb 24 -bs 8 -density 0.3 -method scioto
 //	tce -procs 64 -method counter
+//	tce -procs 4 -transport tcp    # real processes over loopback
 package main
 
 import (
@@ -16,13 +17,15 @@ import (
 	"time"
 
 	"scioto"
+	"scioto/cmd/internal/transportflag"
 	"scioto/internal/core"
 	"scioto/internal/ga"
 	"scioto/internal/tce"
 )
 
 func main() {
-	procs := flag.Int("procs", 8, "number of simulated processes")
+	procs := flag.Int("procs", 8, "number of processes")
+	transport := transportflag.Flag(scioto.TransportDSim)
 	nb := flag.Int("nb", 16, "blocks per dimension")
 	bs := flag.Int("bs", 8, "block edge")
 	density := flag.Float64("density", 0.3, "block presence probability")
@@ -39,7 +42,7 @@ func main() {
 	}
 	prm := tce.Params{NB: *nb, BS: *bs, Density: *density, Band: *band, Seed: *seed}
 
-	cfg := scioto.Config{Procs: *procs, Transport: scioto.TransportDSim, Seed: 9}
+	cfg := scioto.Config{Procs: *procs, Transport: transport.Transport(), Seed: 9}
 	err := scioto.Run(cfg, func(rt *scioto.Runtime) {
 		p := rt.Proc()
 		c := tce.New(p, prm)

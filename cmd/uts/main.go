@@ -1,10 +1,11 @@
-// Command uts runs the Unbalanced Tree Search benchmark on the simulated
+// Command uts runs the Unbalanced Tree Search benchmark on the selected
 // machine with a selectable load balancer.
 //
 // Usage:
 //
 //	uts -procs 16 -lb scioto -kind geometric -depth 15 -seed 20
 //	uts -procs 64 -lb mpi -transport dsim
+//	uts -procs 4 -transport tcp    # real processes over loopback
 //	uts -lb nosplit          # the locked-queue ablation
 //	uts -lb seq              # sequential enumeration only
 package main
@@ -17,15 +18,16 @@ import (
 	"time"
 
 	"scioto"
+	"scioto/cmd/internal/transportflag"
 	"scioto/internal/core"
 	"scioto/internal/mpiws"
 	"scioto/internal/uts"
 )
 
 func main() {
-	procs := flag.Int("procs", 8, "number of simulated processes")
+	procs := flag.Int("procs", 8, "number of processes")
 	lb := flag.String("lb", "scioto", "load balancer: scioto|nosplit|mpi|seq")
-	transport := flag.String("transport", "dsim", "transport: shm or dsim")
+	transport := transportflag.Flag(scioto.TransportDSim)
 	kind := flag.String("kind", "geometric", "tree kind: geometric|binomial")
 	seed := flag.Int("seed", 29, "tree root seed")
 	depth := flag.Int("depth", 12, "geometric depth cutoff")
@@ -61,7 +63,7 @@ func main() {
 
 	cfg := scioto.Config{
 		Procs:     *procs,
-		Transport: scioto.Transport(*transport),
+		Transport: transport.Transport(),
 		Seed:      1,
 		Latency:   3 * time.Microsecond,
 	}
@@ -112,7 +114,7 @@ func main() {
 			}
 			d := p.Now() - start
 			fmt.Printf("%s on %d procs (%s): %v, %.2f Mnodes/s — verified; %s\n",
-				*lb, *procs, *transport, d.Round(time.Microsecond),
+				*lb, *procs, transport, d.Round(time.Microsecond),
 				float64(got.Nodes)/d.Seconds()/1e6, detail)
 		}
 	})

@@ -8,7 +8,7 @@
 // small two-sided message layer (standing in for MPI point-to-point, used by
 // the UTS-MPI work-stealing baseline).
 //
-// Two transports implement the interface:
+// Three transports implement the interface:
 //
 //   - pgas/shm: real concurrency. Every simulated process is a goroutine and
 //     all operations are performed with real atomics and mutexes. Optionally
@@ -22,6 +22,13 @@
 //     cost, and per-process speed factors model heterogeneous clusters. This
 //     transport reproduces the paper's scaling experiments (up to 512
 //     processes) on any host.
+//
+//   - pgas/tcp: real distribution. Every process is a separate OS process
+//     (launched by re-executing the current binary) and all remote
+//     operations travel over TCP as length-prefixed request/reply frames,
+//     applied to the owner's symmetric heap by a per-process service
+//     goroutine — the ARMCI "data server" pattern. This transport turns
+//     the runtime into an actually distributed system.
 //
 // Memory model. Each process owns, for every collectively allocated segment,
 // a local instance of that segment (a "symmetric" allocation, as in ARMCI or
@@ -166,4 +173,5 @@ type Transport string
 const (
 	TransportSHM  Transport = "shm"
 	TransportDSim Transport = "dsim"
+	TransportTCP  Transport = "tcp"
 )

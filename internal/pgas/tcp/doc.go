@@ -1,0 +1,110 @@
+// Package tcp implements the pgas interface with real multi-process
+// distribution: every rank is a separate OS process and all remote
+// operations travel over TCP. It is the transport that makes the Scioto
+// runtime an actually distributed system — the shm transport simulates
+// ranks with goroutines and dsim simulates them in virtual time, while tcp
+// runs them as processes that share nothing but the wire.
+//
+// # Execution model: self-exec SPMD launch
+//
+// tcp borrows the classic MPI launcher shape but needs no external tool.
+// NewWorld in the launching ("parent") process records the configuration;
+// World.Run then
+//
+//  1. opens a rendezvous listener on 127.0.0.1,
+//  2. re-executes the current binary NProcs times with the environment
+//     variables SCIOTO_TCP_RANK (the child's rank), SCIOTO_TCP_ADDR (the
+//     rendezvous address), SCIOTO_TCP_WORLD (the parent's NewWorld call
+//     sequence number) and SCIOTO_TCP_NPROCS set,
+//  3. waits for every child to exit, relaying the first failure.
+//
+// Each child re-runs the same program from the start. Because parent and
+// children execute the same deterministic code path with the same argv,
+// the child's k-th call to NewWorld corresponds to the parent's k-th:
+// calls before the SCIOTO_TCP_WORLD target return an inert world whose Run
+// is a no-op, and the target call returns the world the child was spawned
+// for. The child's Run executes the SPMD body for its own rank, enters a
+// completion barrier, and exits the process — so code after Run never
+// executes in a child, and the closure passed to Run is obtained by
+// re-execution rather than serialization. Two consequences follow:
+//
+//   - Code before Run executes once per rank plus once in the parent.
+//   - tcp worlds must be created in a deterministic order in every
+//     process: concurrent NewWorld calls from multiple goroutines would
+//     desynchronize the parent's and children's call numbering.
+//
+// The SPMD body runs in the children only; variables captured from the
+// parent's scope are copies in separate address spaces, so results must
+// travel through the PGAS itself (or through rank 0's output).
+//
+// # Bootstrap handshake
+//
+// Each child opens its own peer listener before anything else, so it can
+// service remote operations as soon as its address is known. It then dials
+// the rendezvous address and sends a hello frame
+//
+//	[rank int32][peer listen address bytes]
+//
+// When all NProcs hellos have arrived, the parent broadcasts the address
+// table
+//
+//	[n int32] then n × ([len int32][address bytes])
+//
+// on every rendezvous connection. Each child dials every other rank's peer
+// listener, forming a full mesh, and starts the body. A child that fails
+// sends a final frame [1][error text] on its rendezvous connection before
+// exiting nonzero, which the parent folds into Run's returned error; on
+// success it simply exits 0.
+//
+// # Wire protocol
+//
+// Every message is a length-prefixed frame: a little-endian uint32 byte
+// count followed by the payload. A request payload is one opcode byte
+// followed by fixed-width little-endian fields (and trailing bulk bytes
+// where noted); the reply is a bare payload with no opcode, because each
+// connection carries at most one outstanding request. One request/reply op
+// exists per remote Proc method:
+//
+//	opGet     [seg i32][off i64][n i64]                 -> [n data bytes]
+//	opPut     [seg i32][off i64][data...]               -> []
+//	opAcc     [seg i32][off i64][8k float64 bytes]      -> []
+//	opLoad    [seg i32][idx i64]                        -> [val i64]
+//	opStore   [seg i32][idx i64][val i64]               -> []
+//	opFAdd    [seg i32][idx i64][delta i64]             -> [old i64]
+//	opCAS     [seg i32][idx i64][old i64][new i64]      -> [ok byte]
+//	opLock    [id i32]                                  -> [] when granted
+//	opTryLock [id i32]                                  -> [ok byte]
+//	opUnlock  [id i32]                                  -> []
+//	opSend    [from i32][tag i32][data...]              -> []
+//	opBarrier []                                        -> [] when released
+//
+// # The service engine
+//
+// Each rank runs an accept loop whose per-connection handlers apply
+// requests to the rank's local symmetric heap — the ARMCI data-server
+// pattern. Word operations use sync/atomic on the owner's cells and
+// accumulates serialize on a per-rank mutex, so owner-side Local,
+// RelaxedLoad64 and RelaxedStore64 observe exactly the shm transport's
+// semantics. Lock requests that find the lock held are queued and granted
+// FIFO by the owner when the holder unlocks; the handler never blocks on a
+// held lock, it registers a deferred reply and keeps serving. The barrier
+// is a counter at rank 0: every rank sends opBarrier (rank 0 enters
+// locally) and the replies are released when the count reaches NProcs.
+//
+// Collective allocation needs no communication: each rank appends to its
+// own heap, and the collective-order discipline (pgas.go) makes handle k
+// name the same logical segment everywhere. A remote operation that
+// arrives before the owner has reached the matching Alloc call simply
+// waits for the segment to appear.
+//
+// # Deviations from shm/dsim
+//
+// The tcp transport models nothing: latency, bandwidth and Occupancy
+// configuration are ignored because the network is real. Compute spins
+// (scaled by ComputeScale and SpeedFactor) and Now reports wall-clock
+// time. Out-of-range offsets in remote operations crash the owner rank
+// rather than the requester. Cross-world state (e.g. comparing random
+// draws between two worlds through captured variables) is impossible by
+// construction; the conformance suite's pgastest.Options{MultiProcess:
+// true} mode validates everything through the PGAS instead.
+package tcp

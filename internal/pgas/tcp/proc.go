@@ -1,0 +1,271 @@
+package tcp
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"scioto/internal/pgas"
+)
+
+// peerConn is this rank's connection to one remote rank's service. Each
+// connection carries strict request/reply RPC: the mutex admits one
+// outstanding request at a time, so replies need no correlation ids.
+type peerConn struct {
+	rank int
+	mu   sync.Mutex
+	c    net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func newPeerConn(rank int, c net.Conn) *peerConn {
+	return &peerConn{rank: rank, c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+}
+
+// rpc sends one request frame and blocks for the reply. A transport error
+// mid-operation has no meaningful local recovery in a SPMD program, so it
+// panics; the recover in childWorld.Run reports it to the parent.
+func (pc *peerConn) rpc(req []byte) []byte {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if err := writeFrame(pc.w, req); err != nil {
+		panic(fmt.Sprintf("tcp: sending to rank %d: %v", pc.rank, err))
+	}
+	if err := pc.w.Flush(); err != nil {
+		panic(fmt.Sprintf("tcp: sending to rank %d: %v", pc.rank, err))
+	}
+	reply, err := readFrame(pc.r)
+	if err != nil {
+		panic(fmt.Sprintf("tcp: reply from rank %d: %v", pc.rank, err))
+	}
+	return reply
+}
+
+// proc is the pgas.Proc handle of one rank process. Operations targeting
+// the rank itself act directly on the owner state — the same state the
+// service goroutines mutate for remote peers, which is what makes the two
+// paths coherent; operations targeting a peer are RPCs.
+type proc struct {
+	cfg   Config
+	rank  int
+	speed float64
+	own   *owner
+	peers []*peerConn // peers[rank] == nil
+	rng   *rand.Rand
+	start time.Time
+
+	nextData int
+	nextWord int
+	nextLock int
+}
+
+func newProc(cfg Config, rank int, speed float64, own *owner, peers []*peerConn) *proc {
+	return &proc{
+		cfg:   cfg,
+		rank:  rank,
+		speed: speed,
+		own:   own,
+		peers: peers,
+		rng:   rand.New(rand.NewSource(cfg.Seed*7919 + int64(rank) + 1)),
+		start: time.Now(),
+	}
+}
+
+func (p *proc) Rank() int   { return p.rank }
+func (p *proc) NProcs() int { return p.cfg.NProcs }
+
+// Barrier enters the counter barrier hosted on rank 0. Rank 0 enters
+// locally and parks on a channel until the round completes; other ranks
+// block in the opBarrier RPC whose reply is the release.
+func (p *proc) Barrier() {
+	if p.rank == 0 {
+		done := make(chan struct{})
+		p.own.bar.enterLocal(func() { close(done) })
+		<-done
+		return
+	}
+	p.peers[0].rpc([]byte{opBarrier})
+}
+
+// Collective allocation is purely local: every rank appends to its own
+// heap in the same order, so handle k names the same logical segment on
+// every rank (the collective-order discipline of pgas.Seg).
+
+func (p *proc) AllocData(nbytes int) pgas.Seg {
+	seg := p.own.heap.addData(nbytes)
+	if seg != p.nextData {
+		panic("tcp: AllocData outside collective order")
+	}
+	p.nextData++
+	return pgas.Seg(seg)
+}
+
+func (p *proc) AllocWords(nwords int) pgas.Seg {
+	seg := p.own.heap.addWords(nwords)
+	if seg != p.nextWord {
+		panic("tcp: AllocWords outside collective order")
+	}
+	p.nextWord++
+	return pgas.Seg(seg)
+}
+
+func (p *proc) AllocLock() pgas.LockID {
+	id := p.own.locks.add()
+	if id != p.nextLock {
+		panic("tcp: AllocLock outside collective order")
+	}
+	p.nextLock++
+	return pgas.LockID(id)
+}
+
+func (p *proc) Get(dst []byte, proc int, seg pgas.Seg, off int) {
+	if proc == p.rank {
+		copy(dst, p.own.heap.dataSeg(int(seg))[off:off+len(dst)])
+		return
+	}
+	req := append([]byte{opGet}, appendI64(appendI64(appendI32(nil, int32(seg)), int64(off)), int64(len(dst)))...)
+	copy(dst, p.peers[proc].rpc(req))
+}
+
+func (p *proc) Put(proc int, seg pgas.Seg, off int, src []byte) {
+	if proc == p.rank {
+		copy(p.own.heap.dataSeg(int(seg))[off:off+len(src)], src)
+		return
+	}
+	req := append([]byte{opPut}, appendI64(appendI32(nil, int32(seg)), int64(off))...)
+	p.peers[proc].rpc(append(req, src...))
+}
+
+func (p *proc) AccF64(proc int, seg pgas.Seg, off int, vals []float64) {
+	if proc == p.rank {
+		p.own.heap.acc(int(seg), off, vals)
+		return
+	}
+	req := append([]byte{opAcc}, appendI64(appendI32(nil, int32(seg)), int64(off))...)
+	enc := make([]byte, len(vals)*pgas.F64Bytes)
+	pgas.PutF64Slice(enc, vals)
+	p.peers[proc].rpc(append(req, enc...))
+}
+
+func (p *proc) Local(seg pgas.Seg) []byte { return p.own.heap.dataSeg(int(seg)) }
+
+func (p *proc) Load64(proc int, seg pgas.Seg, idx int) int64 {
+	if proc == p.rank {
+		return p.own.heap.load(int(seg), idx)
+	}
+	req := append([]byte{opLoad}, appendI64(appendI32(nil, int32(seg)), int64(idx))...)
+	return pgas.GetI64(p.peers[proc].rpc(req))
+}
+
+func (p *proc) Store64(proc int, seg pgas.Seg, idx int, val int64) {
+	if proc == p.rank {
+		p.own.heap.store(int(seg), idx, val)
+		return
+	}
+	req := append([]byte{opStore}, appendI64(appendI64(appendI32(nil, int32(seg)), int64(idx)), val)...)
+	p.peers[proc].rpc(req)
+}
+
+func (p *proc) FetchAdd64(proc int, seg pgas.Seg, idx int, delta int64) int64 {
+	if proc == p.rank {
+		return p.own.heap.fetchAdd(int(seg), idx, delta)
+	}
+	req := append([]byte{opFAdd}, appendI64(appendI64(appendI32(nil, int32(seg)), int64(idx)), delta)...)
+	return pgas.GetI64(p.peers[proc].rpc(req))
+}
+
+func (p *proc) CAS64(proc int, seg pgas.Seg, idx int, old, new int64) bool {
+	if proc == p.rank {
+		return p.own.heap.cas(int(seg), idx, old, new)
+	}
+	req := append([]byte{opCAS}, appendI64(appendI64(appendI64(appendI32(nil, int32(seg)), int64(idx)), old), new)...)
+	return p.peers[proc].rpc(req)[0] == 1
+}
+
+// The relaxed owner-side accessors use the same atomics as Load64/Store64:
+// the cells are shared with service goroutines, so plain loads would be
+// data races under the Go memory model even where the algorithm tolerates
+// stale values.
+
+func (p *proc) RelaxedLoad64(seg pgas.Seg, idx int) int64 {
+	return p.own.heap.load(int(seg), idx)
+}
+
+func (p *proc) RelaxedStore64(seg pgas.Seg, idx int, val int64) {
+	p.own.heap.store(int(seg), idx, val)
+}
+
+func (p *proc) Lock(proc int, id pgas.LockID) {
+	if proc == p.rank {
+		done := make(chan struct{})
+		p.own.locks.lock(int(id), func() { close(done) })
+		<-done
+		return
+	}
+	p.peers[proc].rpc(append([]byte{opLock}, appendI32(nil, int32(id))...))
+}
+
+func (p *proc) TryLock(proc int, id pgas.LockID) bool {
+	if proc == p.rank {
+		return p.own.locks.tryLock(int(id))
+	}
+	return p.peers[proc].rpc(append([]byte{opTryLock}, appendI32(nil, int32(id))...))[0] == 1
+}
+
+func (p *proc) Unlock(proc int, id pgas.LockID) {
+	if proc == p.rank {
+		p.own.locks.unlock(int(id))
+		return
+	}
+	p.peers[proc].rpc(append([]byte{opUnlock}, appendI32(nil, int32(id))...))
+}
+
+func (p *proc) Send(to int, tag int32, data []byte) {
+	if to == p.rank {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		p.own.mbox.push(message{from: p.rank, tag: tag, data: cp})
+		return
+	}
+	req := append([]byte{opSend}, appendI32(appendI32(nil, int32(p.rank)), tag)...)
+	p.peers[to].rpc(append(req, data...))
+}
+
+func (p *proc) Recv(from int, tag int32) ([]byte, int) {
+	m := p.own.mbox.pop(from, tag, true)
+	return m.data, m.from
+}
+
+func (p *proc) TryRecv(from int, tag int32) ([]byte, int, bool) {
+	m := p.own.mbox.pop(from, tag, false)
+	if m.from < 0 {
+		return nil, -1, false
+	}
+	return m.data, m.from, true
+}
+
+func (p *proc) Compute(d time.Duration) {
+	scaled := time.Duration(float64(d) * p.cfg.ComputeScale * p.speed)
+	if scaled > 0 {
+		spin(scaled)
+	}
+}
+
+// Charge is a no-op: like shm, modeled bookkeeping costs are already paid
+// in real time on a real transport.
+func (p *proc) Charge(time.Duration) {}
+
+func (p *proc) Now() time.Duration { return time.Since(p.start) }
+func (p *proc) Rand() *rand.Rand   { return p.rng }
+
+// spin busy-waits for d, as in the shm transport: it models a process
+// occupied with computation at microsecond granularity.
+func spin(d time.Duration) {
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+}

@@ -1,0 +1,150 @@
+package tcp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"scioto/internal/pgas"
+)
+
+// owner is one rank's remotely accessible state: the symmetric heap, the
+// hosted lock instances, the incoming mailbox, and (on rank 0 only) the
+// barrier counter. It is shared by the rank's SPMD goroutine (owner-side
+// fast paths) and the service goroutines applying remote operations.
+type owner struct {
+	rank  int
+	heap  *heap
+	locks *lockMgr
+	mbox  *mailbox
+	bar   *barrierMgr // non-nil on rank 0 only
+}
+
+func newOwner(rank, nprocs int) *owner {
+	o := &owner{
+		rank:  rank,
+		heap:  newHeap(),
+		locks: newLockMgr(),
+		mbox:  newMailbox(),
+	}
+	if rank == 0 {
+		o.bar = newBarrierMgr(nprocs)
+	}
+	return o
+}
+
+// acceptLoop services peer connections until the listener closes (at
+// process exit).
+func (o *owner) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go o.serve(conn)
+	}
+}
+
+// serve applies one peer's request stream to the local state. Replies for
+// Lock and Barrier may be deferred past later grants on other
+// connections, so every reply write is serialized on a per-connection
+// mutex; the handler itself never blocks on a held lock or an incomplete
+// barrier (it registers the deferred reply and keeps reading).
+func (o *owner) serve(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	var wmu sync.Mutex
+	reply := func(payload []byte) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := writeFrame(w, payload); err != nil {
+			return // peer gone; its rank's failure is reported by the parent
+		}
+		w.Flush()
+	}
+	for {
+		req, err := readFrame(r)
+		if err != nil {
+			return // EOF at teardown
+		}
+		o.apply(req, reply)
+	}
+}
+
+var okByte = []byte{1}
+var noByte = []byte{0}
+
+// apply executes one request against the local state and delivers the
+// reply, immediately or (Lock, Barrier) when granted.
+func (o *owner) apply(req []byte, reply func([]byte)) {
+	if len(req) == 0 {
+		panic("tcp: empty request frame")
+	}
+	op, b := req[0], req[1:]
+	switch op {
+	case opGet:
+		seg, off, n := pgas.GetI32(b), pgas.GetI64(b[4:]), pgas.GetI64(b[12:])
+		out := make([]byte, n)
+		copy(out, o.heap.dataSeg(int(seg))[off:off+n])
+		reply(out)
+	case opPut:
+		seg, off := pgas.GetI32(b), pgas.GetI64(b[4:])
+		src := b[12:]
+		copy(o.heap.dataSeg(int(seg))[off:int(off)+len(src)], src)
+		reply(nil)
+	case opAcc:
+		seg, off := pgas.GetI32(b), pgas.GetI64(b[4:])
+		enc := b[12:]
+		vals := make([]float64, len(enc)/pgas.F64Bytes)
+		pgas.GetF64Slice(vals, enc)
+		o.heap.acc(int(seg), int(off), vals)
+		reply(nil)
+	case opLoad:
+		seg, idx := pgas.GetI32(b), pgas.GetI64(b[4:])
+		reply(appendI64(nil, o.heap.load(int(seg), int(idx))))
+	case opStore:
+		seg, idx, val := pgas.GetI32(b), pgas.GetI64(b[4:]), pgas.GetI64(b[12:])
+		o.heap.store(int(seg), int(idx), val)
+		reply(nil)
+	case opFAdd:
+		seg, idx, delta := pgas.GetI32(b), pgas.GetI64(b[4:]), pgas.GetI64(b[12:])
+		reply(appendI64(nil, o.heap.fetchAdd(int(seg), int(idx), delta)))
+	case opCAS:
+		seg, idx := pgas.GetI32(b), pgas.GetI64(b[4:])
+		old, new := pgas.GetI64(b[12:]), pgas.GetI64(b[20:])
+		if o.heap.cas(int(seg), int(idx), old, new) {
+			reply(okByte)
+		} else {
+			reply(noByte)
+		}
+	case opLock:
+		id := pgas.GetI32(b)
+		o.locks.lock(int(id), func() { reply(nil) })
+	case opTryLock:
+		id := pgas.GetI32(b)
+		if o.locks.tryLock(int(id)) {
+			reply(okByte)
+		} else {
+			reply(noByte)
+		}
+	case opUnlock:
+		id := pgas.GetI32(b)
+		o.locks.unlock(int(id))
+		reply(nil)
+	case opSend:
+		from, tag := pgas.GetI32(b), pgas.GetI32(b[4:])
+		data := make([]byte, len(b)-8)
+		copy(data, b[8:])
+		o.mbox.push(message{from: int(from), tag: tag, data: data})
+		reply(nil)
+	case opBarrier:
+		if o.bar == nil {
+			panic(fmt.Sprintf("tcp: rank %d received opBarrier but is not the barrier host", o.rank))
+		}
+		o.bar.enter(func() { reply(nil) })
+	default:
+		panic(fmt.Sprintf("tcp: rank %d received unknown opcode %d", o.rank, op))
+	}
+}

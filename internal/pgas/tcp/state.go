@@ -1,0 +1,279 @@
+package tcp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"scioto/internal/pgas"
+)
+
+// heap is one rank's local instance of the symmetric heap. Segments are
+// appended in collective allocation order by the owning SPMD goroutine;
+// service goroutines applying remote operations for a segment the owner
+// has not allocated yet wait for it to appear (the requester is ahead of
+// the owner in the collective schedule, which the discipline permits).
+//
+// Bulk data bytes are deliberately unsynchronized, exactly as in the shm
+// transport: callers coordinate overlapping Get/Put at the application
+// protocol level. Word cells are accessed with sync/atomic by both the
+// owner and the service goroutines, and accumulates serialize on accMu,
+// so owner-side Local/RelaxedLoad64 semantics match shm.
+type heap struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	data  [][]byte
+	words [][]int64
+
+	accMu sync.Mutex // ARMCI_Acc atomicity: one accumulate at a time per rank
+}
+
+func newHeap() *heap {
+	h := &heap{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *heap) addData(nbytes int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.data = append(h.data, make([]byte, nbytes))
+	h.cond.Broadcast()
+	return len(h.data) - 1
+}
+
+func (h *heap) addWords(nwords int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.words = append(h.words, make([]int64, nwords))
+	h.cond.Broadcast()
+	return len(h.words) - 1
+}
+
+// dataSeg returns the local instance of data segment seg, waiting until
+// the owner's collective schedule has allocated it.
+func (h *heap) dataSeg(seg int) []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for seg >= len(h.data) {
+		h.cond.Wait()
+	}
+	return h.data[seg]
+}
+
+// wordSeg returns the local instance of word segment seg, waiting until
+// allocated.
+func (h *heap) wordSeg(seg int) []int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for seg >= len(h.words) {
+		h.cond.Wait()
+	}
+	return h.words[seg]
+}
+
+func (h *heap) load(seg, idx int) int64 {
+	return atomic.LoadInt64(&h.wordSeg(seg)[idx])
+}
+
+func (h *heap) store(seg, idx int, val int64) {
+	atomic.StoreInt64(&h.wordSeg(seg)[idx], val)
+}
+
+func (h *heap) fetchAdd(seg, idx int, delta int64) int64 {
+	return atomic.AddInt64(&h.wordSeg(seg)[idx], delta) - delta
+}
+
+func (h *heap) cas(seg, idx int, old, new int64) bool {
+	return atomic.CompareAndSwapInt64(&h.wordSeg(seg)[idx], old, new)
+}
+
+func (h *heap) acc(seg, off int, vals []float64) {
+	b := h.dataSeg(seg)
+	h.accMu.Lock()
+	pgas.AccF64Bytes(b[off:], vals)
+	h.accMu.Unlock()
+}
+
+// lockMgr holds this rank's instances of every collectively allocated
+// lock. A blocked acquisition never blocks the goroutine that delivers
+// it: the grant callback is queued and invoked, FIFO, when the holder
+// unlocks — a remote waiter's callback writes its deferred reply frame, a
+// local waiter's closes a channel.
+type lockMgr struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	locks []*lockState
+}
+
+type lockState struct {
+	held    bool
+	waiters []func() // FIFO grant callbacks
+}
+
+func newLockMgr() *lockMgr {
+	m := &lockMgr{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *lockMgr) add() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.locks = append(m.locks, &lockState{})
+	m.cond.Broadcast()
+	return len(m.locks) - 1
+}
+
+// state returns lock id, waiting for its collective allocation. Callers
+// must hold m.mu only through the accessor methods below.
+func (m *lockMgr) state(id int) *lockState {
+	for id >= len(m.locks) {
+		m.cond.Wait()
+	}
+	return m.locks[id]
+}
+
+// lock acquires lock id, invoking grant exactly once when the lock is
+// held by the caller — immediately if free, after FIFO queueing if not.
+func (m *lockMgr) lock(id int, grant func()) {
+	m.mu.Lock()
+	st := m.state(id)
+	if !st.held {
+		st.held = true
+		m.mu.Unlock()
+		grant()
+		return
+	}
+	st.waiters = append(st.waiters, grant)
+	m.mu.Unlock()
+}
+
+func (m *lockMgr) tryLock(id int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.state(id)
+	if st.held {
+		return false
+	}
+	st.held = true
+	return true
+}
+
+// unlock releases lock id, handing it directly to the oldest waiter if
+// one is queued. The grant runs outside the manager lock because it may
+// write to a connection.
+func (m *lockMgr) unlock(id int) {
+	m.mu.Lock()
+	st := m.state(id)
+	var grant func()
+	if len(st.waiters) > 0 {
+		grant = st.waiters[0]
+		st.waiters = st.waiters[1:]
+		// held stays true: ownership transfers to the waiter.
+	} else {
+		st.held = false
+	}
+	m.mu.Unlock()
+	if grant != nil {
+		grant()
+	}
+}
+
+// barrierMgr is the counter-based barrier state hosted on rank 0. Every
+// rank enters once per barrier (remotely via opBarrier, rank 0 locally);
+// the release callbacks fire when the count reaches n. The count resets
+// before any callback runs, so a released rank re-entering immediately
+// counts into the next round.
+//
+// Remote releases always run before the local one. The local release
+// unblocks rank 0's own goroutine, and after the completion barrier that
+// goroutine exits the process: were it released first, the process could
+// die before the serve goroutines had written the remote ranks' reply
+// frames, severing their connections mid-barrier.
+type barrierMgr struct {
+	mu      sync.Mutex
+	n       int
+	arrived int
+	remote  []func()
+	local   func()
+}
+
+func newBarrierMgr(n int) *barrierMgr { return &barrierMgr{n: n} }
+
+// enter records one remote arrival whose release writes a reply frame.
+func (b *barrierMgr) enter(release func()) { b.arrive(release, false) }
+
+// enterLocal records rank 0's own arrival.
+func (b *barrierMgr) enterLocal(release func()) { b.arrive(release, true) }
+
+func (b *barrierMgr) arrive(release func(), isLocal bool) {
+	b.mu.Lock()
+	if isLocal {
+		b.local = release
+	} else {
+		b.remote = append(b.remote, release)
+	}
+	b.arrived++
+	if b.arrived < b.n {
+		b.mu.Unlock()
+		return
+	}
+	remotes, local := b.remote, b.local
+	b.remote, b.local = nil, nil
+	b.arrived = 0
+	b.mu.Unlock()
+	for _, r := range remotes {
+		r()
+	}
+	if local != nil {
+		local()
+	}
+}
+
+// message is a delivered two-sided message.
+type message struct {
+	from int
+	tag  int32
+	data []byte
+}
+
+// mailbox is the per-rank queue of incoming messages with tag/source
+// matching, identical in semantics to the shm transport's mailbox.
+type mailbox struct {
+	mu   sync.Mutex
+	cv   *sync.Cond
+	msgs []message
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cv = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) push(m message) {
+	b.mu.Lock()
+	b.msgs = append(b.msgs, m)
+	b.cv.Broadcast()
+	b.mu.Unlock()
+}
+
+// pop removes and returns the first message matching (from, tag). If block
+// is true it waits for one; otherwise a zero message with from = -1 is
+// returned when nothing matches. from may be pgas.AnySource.
+func (b *mailbox) pop(from int, tag int32, block bool) message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.msgs {
+			if (from == pgas.AnySource || m.from == from) && m.tag == tag {
+				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+				return m
+			}
+		}
+		if !block {
+			return message{from: -1}
+		}
+		b.cv.Wait()
+	}
+}

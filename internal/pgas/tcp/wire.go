@@ -1,0 +1,74 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"scioto/internal/pgas"
+)
+
+// Request opcodes, one per remote Proc method (see doc.go for the frame
+// layouts). Replies carry no opcode: each connection has at most one
+// outstanding request.
+const (
+	opGet = byte(iota + 1)
+	opPut
+	opAcc
+	opLoad
+	opStore
+	opFAdd
+	opCAS
+	opLock
+	opTryLock
+	opUnlock
+	opSend
+	opBarrier
+)
+
+// maxFrame bounds a frame's payload; a longer length prefix indicates a
+// corrupt or misframed stream.
+const maxFrame = 1 << 30
+
+// writeFrame writes one length-prefixed frame. The caller flushes any
+// buffering writer.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("tcp: frame length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Payload append helpers, little-endian like the codec in package pgas.
+
+func appendI32(b []byte, v int32) []byte {
+	var w [4]byte
+	pgas.PutI32(w[:], v)
+	return append(b, w[:]...)
+}
+
+func appendI64(b []byte, v int64) []byte {
+	var w [8]byte
+	pgas.PutI64(w[:], v)
+	return append(b, w[:]...)
+}

@@ -1,0 +1,381 @@
+package tcp
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"scioto/internal/pgas"
+)
+
+// Config parameterizes a multi-process tcp world.
+type Config struct {
+	// NProcs is the number of rank processes to launch.
+	NProcs int
+	// Seed seeds the per-rank deterministic random sources.
+	Seed int64
+	// ComputeScale scales durations passed to Proc.Compute before
+	// spinning. Zero means 1.0.
+	ComputeScale float64
+	// SpeedFactor, when non-nil, returns the relative cost multiplier for
+	// computation on the given rank. The function is not shipped over the
+	// wire: every child re-constructs the same Config by re-executing the
+	// program, so it must be deterministic.
+	SpeedFactor func(rank int) float64
+}
+
+// Environment variables of the self-exec launch protocol (see doc.go).
+const (
+	envRank   = "SCIOTO_TCP_RANK"
+	envAddr   = "SCIOTO_TCP_ADDR"
+	envWorld  = "SCIOTO_TCP_WORLD"
+	envNProcs = "SCIOTO_TCP_NPROCS"
+)
+
+// bootTimeout bounds the rendezvous and mesh dials, so a lost child fails
+// the world instead of hanging it.
+const bootTimeout = 60 * time.Second
+
+// worldSeq counts NewWorld calls in this process. Parent and children
+// execute the same deterministic program, so call k here is call k there;
+// the counter is what lets a child recognize which NewWorld call it was
+// spawned for. tcp worlds must therefore be created in a deterministic
+// order (never concurrently from multiple goroutines).
+var worldSeq int64
+
+// NewWorld creates a tcp world. In the launching process the returned
+// World spawns one OS process per rank when Run is called; in a spawned
+// rank process the matching NewWorld call returns that rank's handle and
+// earlier calls return inert worlds whose Run is a no-op.
+func NewWorld(cfg Config) pgas.World {
+	if cfg.NProcs <= 0 {
+		panic("tcp: NProcs must be positive")
+	}
+	if cfg.ComputeScale == 0 {
+		cfg.ComputeScale = 1.0
+	}
+	seq := atomic.AddInt64(&worldSeq, 1)
+	rankStr := os.Getenv(envRank)
+	if rankStr == "" {
+		return &parentWorld{cfg: cfg, seq: seq}
+	}
+	target, err := strconv.ParseInt(os.Getenv(envWorld), 10, 64)
+	if err != nil {
+		panic(fmt.Sprintf("tcp: bad %s: %v", envWorld, err))
+	}
+	if seq != target {
+		return &skipWorld{n: cfg.NProcs}
+	}
+	rank, err := strconv.Atoi(rankStr)
+	if err != nil {
+		panic(fmt.Sprintf("tcp: bad %s: %v", envRank, err))
+	}
+	if want, err := strconv.Atoi(os.Getenv(envNProcs)); err != nil || want != cfg.NProcs {
+		panic(fmt.Sprintf("tcp: world %d: launcher expects %s ranks, program configured %d — "+
+			"the program's world creation sequence is not deterministic", seq, os.Getenv(envNProcs), cfg.NProcs))
+	}
+	return &childWorld{cfg: cfg, rank: rank, parentAddr: os.Getenv(envAddr)}
+}
+
+// skipWorld is returned in a rank process for NewWorld calls preceding
+// the one the process was spawned for: the parent already ran (or will
+// run) those worlds with their own children, so here they are inert.
+type skipWorld struct{ n int }
+
+func (w *skipWorld) NProcs() int                 { return w.n }
+func (w *skipWorld) Run(func(p pgas.Proc)) error { return nil }
+
+// parentWorld is the launcher side: Run spawns the rank processes,
+// brokers the rendezvous, and waits for them all to exit.
+type parentWorld struct {
+	cfg Config
+	seq int64
+	ran bool
+}
+
+func (w *parentWorld) NProcs() int { return w.cfg.NProcs }
+
+func (w *parentWorld) Run(func(p pgas.Proc)) error {
+	if w.ran {
+		return fmt.Errorf("tcp: World.Run called twice")
+	}
+	w.ran = true
+	n := w.cfg.NProcs
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("tcp: rendezvous listen: %v", err)
+	}
+	defer l.Close()
+	l.(*net.TCPListener).SetDeadline(time.Now().Add(bootTimeout))
+
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("tcp: cannot locate current binary: %v", err)
+	}
+	args := childArgs(os.Args[1:])
+	cmds := make([]*exec.Cmd, n)
+	for i := range cmds {
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		cmd.Env = append(os.Environ(),
+			envRank+"="+strconv.Itoa(i),
+			envAddr+"="+l.Addr().String(),
+			envWorld+"="+strconv.FormatInt(w.seq, 10),
+			envNProcs+"="+strconv.Itoa(n),
+		)
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds[:i] {
+				c.Process.Kill()
+				c.Wait()
+			}
+			return fmt.Errorf("tcp: spawning rank %d: %v", i, err)
+		}
+		cmds[i] = cmd
+	}
+
+	// Broker the rendezvous concurrently with watching for child exits,
+	// so a rank that dies before dialing in fails the world promptly.
+	conns := make([]net.Conn, n)
+	bootCh := make(chan error, 1)
+	go func() { bootCh <- rendezvous(l, conns) }()
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+
+	type exitMsg struct {
+		rank int
+		err  error
+	}
+	exitCh := make(chan exitMsg, n)
+	for i, cmd := range cmds {
+		go func(rank int, cmd *exec.Cmd) {
+			exitCh <- exitMsg{rank, cmd.Wait()}
+		}(i, cmd)
+	}
+
+	var firstErr error
+	killed := false
+	killAll := func() {
+		if killed {
+			return
+		}
+		killed = true
+		for _, c := range cmds {
+			c.Process.Kill()
+		}
+	}
+	bootDone := false
+	for exited := 0; exited < n; {
+		select {
+		case e := <-exitCh:
+			exited++
+			if e.err != nil && !killed {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("tcp: rank %d: %v%s", e.rank, e.err, childMessage(conns[e.rank]))
+				}
+				killAll()
+			}
+		case err := <-bootCh:
+			bootCh = nil
+			bootDone = true
+			if err != nil && firstErr == nil {
+				firstErr = err
+				killAll()
+			}
+		}
+	}
+	if firstErr == nil && !bootDone {
+		firstErr = fmt.Errorf("tcp: all ranks exited before completing the bootstrap " +
+			"(was the world created in a different order in the child processes?)")
+	}
+	return firstErr
+}
+
+// rendezvous accepts one hello per rank, then broadcasts the peer address
+// table on every connection. The connections stay open so a failing child
+// can report its error text before exiting.
+func rendezvous(l net.Listener, conns []net.Conn) error {
+	n := len(conns)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		c, err := l.Accept()
+		if err != nil {
+			return fmt.Errorf("tcp: rendezvous accept: %v", err)
+		}
+		hello, err := readFrame(c)
+		if err != nil || len(hello) < 4 {
+			c.Close()
+			return fmt.Errorf("tcp: rendezvous hello: %v", err)
+		}
+		rank := int(pgas.GetI32(hello))
+		if rank < 0 || rank >= n || conns[rank] != nil {
+			c.Close()
+			return fmt.Errorf("tcp: rendezvous hello from unexpected rank %d", rank)
+		}
+		conns[rank] = c
+		addrs[rank] = string(hello[4:])
+	}
+	table := appendI32(nil, int32(n))
+	for _, a := range addrs {
+		table = appendI32(table, int32(len(a)))
+		table = append(table, a...)
+	}
+	for _, c := range conns {
+		if err := writeFrame(c, table); err != nil {
+			return fmt.Errorf("tcp: broadcasting address table: %v", err)
+		}
+	}
+	return nil
+}
+
+// childMessage drains the error frame a failing child sends on its
+// rendezvous connection just before exiting, if one is there.
+func childMessage(c net.Conn) string {
+	if c == nil {
+		return ""
+	}
+	c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	frame, err := readFrame(c)
+	if err != nil || len(frame) < 1 || frame[0] != 1 {
+		return ""
+	}
+	return "\n" + string(frame[1:])
+}
+
+// childWorld is one spawned rank's side of the world.
+type childWorld struct {
+	cfg        Config
+	rank       int
+	parentAddr string
+}
+
+func (w *childWorld) NProcs() int { return w.cfg.NProcs }
+
+// Run bootstraps the mesh, executes the SPMD body for this rank, enters
+// the completion barrier, and exits the process: on a rank process,
+// nothing after the launching Run call ever executes. A body panic is
+// reported to the parent and exits nonzero.
+func (w *childWorld) Run(body func(p pgas.Proc)) error {
+	own := newOwner(w.rank, w.cfg.NProcs)
+
+	// The peer listener must exist before the hello is sent: the moment
+	// any peer learns our address from the table, it may dial and issue
+	// operations, even while we are still dialing others.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		childFail(nil, w.rank, fmt.Errorf("peer listen: %v", err))
+	}
+	go own.acceptLoop(l)
+
+	parent, err := net.DialTimeout("tcp", w.parentAddr, bootTimeout)
+	if err != nil {
+		childFail(nil, w.rank, fmt.Errorf("dialing rendezvous %s: %v", w.parentAddr, err))
+	}
+	hello := appendI32(nil, int32(w.rank))
+	hello = append(hello, l.Addr().String()...)
+	if err := writeFrame(parent, hello); err != nil {
+		childFail(parent, w.rank, fmt.Errorf("sending hello: %v", err))
+	}
+	table, err := readFrame(parent)
+	if err != nil {
+		childFail(parent, w.rank, fmt.Errorf("reading address table: %v", err))
+	}
+	addrs, err := decodeTable(table, w.cfg.NProcs)
+	if err != nil {
+		childFail(parent, w.rank, err)
+	}
+
+	peers := make([]*peerConn, w.cfg.NProcs)
+	for j, addr := range addrs {
+		if j == w.rank {
+			continue
+		}
+		c, err := net.DialTimeout("tcp", addr, bootTimeout)
+		if err != nil {
+			childFail(parent, w.rank, fmt.Errorf("dialing rank %d at %s: %v", j, addr, err))
+		}
+		peers[j] = newPeerConn(j, c)
+	}
+
+	speed := 1.0
+	if w.cfg.SpeedFactor != nil {
+		speed = w.cfg.SpeedFactor(w.rank)
+	}
+	p := newProc(w.cfg, w.rank, speed, own, peers)
+
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				buf := make([]byte, 16<<10)
+				n := runtime.Stack(buf, false)
+				childFail(parent, w.rank, fmt.Errorf("rank %d panicked: %v\n%s", w.rank, rec, buf[:n]))
+			}
+		}()
+		body(p)
+	}()
+
+	// Completion barrier: no rank may tear down its service while a
+	// sibling still has operations in flight.
+	p.Barrier()
+	os.Exit(0)
+	return nil
+}
+
+// childFail reports a child-side error on the rendezvous connection (for
+// the parent's Run error) and on stderr, then exits nonzero.
+func childFail(parent net.Conn, rank int, err error) {
+	msg := fmt.Sprintf("tcp: rank %d: %v", rank, err)
+	fmt.Fprintln(os.Stderr, msg)
+	if parent != nil {
+		writeFrame(parent, append([]byte{1}, msg...))
+	}
+	os.Exit(1)
+}
+
+// childArgs is the argv a rank process is launched with: the parent's own
+// arguments, minus -test.paniconexit0. `go test` passes that flag so a
+// TestMain calling os.Exit(0) without running tests is caught; a rank
+// process exits through os.Exit(0) inside Run by design, which the flag
+// would turn into a panic.
+func childArgs(args []string) []string {
+	out := make([]string, 0, len(args))
+	for _, a := range args {
+		if a == "-test.paniconexit0" || a == "--test.paniconexit0" {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func decodeTable(table []byte, n int) ([]string, error) {
+	if len(table) < 4 || int(pgas.GetI32(table)) != n {
+		return nil, fmt.Errorf("malformed address table")
+	}
+	table = table[4:]
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		if len(table) < 4 {
+			return nil, fmt.Errorf("truncated address table")
+		}
+		k := int(pgas.GetI32(table))
+		table = table[4:]
+		if len(table) < k {
+			return nil, fmt.Errorf("truncated address table")
+		}
+		addrs[i] = string(table[:k])
+		table = table[k:]
+	}
+	return addrs, nil
+}

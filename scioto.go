@@ -10,13 +10,14 @@
 // over split queues and detects global termination with token waves.
 //
 // Because Go has no MPI or ARMCI, the distributed machine itself is
-// provided by this module: Run launches N simulated processes over one of
-// two interchangeable transports — real shared-memory concurrency ("shm"),
-// or a deterministic discrete-event simulation in virtual time ("dsim")
-// that models network latency, bandwidth, and heterogeneous processor
-// speeds. The Scioto runtime, the Global Arrays subset, and the bundled
-// applications are written purely against the one-sided pgas interface, so
-// they cannot tell the difference.
+// provided by this module: Run launches N processes over one of three
+// interchangeable transports — real shared-memory concurrency ("shm"), a
+// deterministic discrete-event simulation in virtual time ("dsim") that
+// models network latency, bandwidth, and heterogeneous processor speeds,
+// or real OS processes communicating over TCP ("tcp", launched by
+// re-executing the current binary). The Scioto runtime, the Global Arrays
+// subset, and the bundled applications are written purely against the
+// one-sided pgas interface, so they cannot tell the difference.
 //
 // Minimal program:
 //
@@ -40,6 +41,7 @@ import (
 	"scioto/internal/pgas"
 	"scioto/internal/pgas/dsim"
 	"scioto/internal/pgas/shm"
+	"scioto/internal/pgas/tcp"
 )
 
 // Core types, re-exported from the runtime implementation.
@@ -66,7 +68,7 @@ type (
 	Dep = core.Dep
 	// Proc is the underlying one-sided communication handle.
 	Proc = pgas.Proc
-	// Transport names a machine implementation ("shm" or "dsim").
+	// Transport names a machine implementation ("shm", "dsim", or "tcp").
 	Transport = pgas.Transport
 )
 
@@ -84,6 +86,8 @@ const (
 	TransportSHM = pgas.TransportSHM
 	// TransportDSim selects the deterministic virtual-time machine.
 	TransportDSim = pgas.TransportDSim
+	// TransportTCP selects real OS processes communicating over TCP.
+	TransportTCP = pgas.TransportTCP
 	// TermWave selects the paper's wave-based termination detection.
 	TermWave = core.TermWave
 	// TermCounter selects the eager global-counter termination ablation.
@@ -110,7 +114,7 @@ func NewTC(rt *Runtime, cfg TCConfig) *TC { return core.NewTC(rt, cfg) }
 // programs that construct their own worlds).
 func Attach(p Proc) *Runtime { return core.Attach(p) }
 
-// Config describes the simulated machine a SPMD body runs on.
+// Config describes the machine a SPMD body runs on.
 type Config struct {
 	// Procs is the number of processes. Required.
 	Procs int
@@ -158,6 +162,12 @@ func (c Config) NewWorld() (pgas.World, error) {
 			RemoteLatency: c.Latency,
 			RemotePerByte: c.PerByte,
 			SpeedFactor:   c.SpeedFactor,
+		}), nil
+	case TransportTCP:
+		return tcp.NewWorld(tcp.Config{
+			NProcs:      c.Procs,
+			Seed:        c.Seed,
+			SpeedFactor: c.SpeedFactor,
 		}), nil
 	default:
 		return nil, fmt.Errorf("scioto: unknown transport %q", c.Transport)

@@ -61,6 +61,28 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunTCPTransport: the facade launches real OS processes for the tcp
+// transport, and the Scioto runtime attaches in each. Validation happens
+// inside the body (the ranks run in separate address spaces); a counter on
+// rank 0 proves every rank ran and the PGAS connected them.
+func TestRunTCPTransport(t *testing.T) {
+	const n = 2
+	err := scioto.Run(scioto.Config{Procs: n, Transport: scioto.TransportTCP, Seed: 1}, func(rt *scioto.Runtime) {
+		p := rt.Proc()
+		ws := p.AllocWords(1)
+		p.FetchAdd64(0, ws, 0, int64(rt.Rank())+1)
+		p.Barrier()
+		if rt.Rank() == 0 {
+			if got := p.Load64(0, ws, 0); got != n*(n+1)/2 {
+				panic("not every rank contributed")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestConfigValidation: bad configs error instead of panicking.
 func TestConfigValidation(t *testing.T) {
 	if err := scioto.Run(scioto.Config{Procs: 0}, func(*scioto.Runtime) {}); err == nil {

@@ -1,0 +1,13 @@
+// Package tcp is the fixture stub of scioto/internal/pgas/tcp. The
+// analyzers care only that NewWorld returns a pgas.World whose methods are
+// declared in package pgas; launching and wire behavior are irrelevant.
+package tcp
+
+import "pgas"
+
+type Config struct {
+	NProcs int
+	Seed   int64
+}
+
+func NewWorld(cfg Config) pgas.World { return nil }
