@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet all
+.PHONY: build test race lint vet chaos all
 
 all: build lint test
 
@@ -24,3 +24,11 @@ lint:
 
 vet:
 	$(GO) vet ./...
+
+# Fault-tolerance suite under the race detector: the deterministic
+# fault-injection wrapper (delay/drop/crash over shm, dsim, and tcp), the
+# tcp crash-containment tests (SIGKILL and SIGSTOP of live ranks), and
+# the dial-backoff/deadline unit tests. CI runs the same target.
+chaos:
+	$(GO) test -race -count=1 ./internal/pgas/faulty/
+	$(GO) test -race -count=1 -run 'TestCrashContainment|TestInjectedCrashOverTCP|TestHeartbeat|TestOpContext|TestBackoff|TestDialRetry' ./internal/pgas/tcp/

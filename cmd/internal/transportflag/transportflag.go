@@ -6,6 +6,7 @@ package transportflag
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"scioto"
 )
@@ -38,3 +39,20 @@ func (v *Value) Set(s string) error {
 
 // Transport returns the selected transport.
 func (v *Value) Transport() scioto.Transport { return v.t }
+
+// Check handles the error returned by scioto.Run uniformly across the
+// runners: nil is a no-op; a world error exits nonzero, and when it
+// carries a *scioto.FaultError the failing rank and phase are called out
+// so a crashed or partitioned run is diagnosable from the one-line
+// report.
+func Check(err error) {
+	if err == nil {
+		return
+	}
+	if fe, ok := scioto.AsFault(err); ok {
+		fmt.Fprintf(os.Stderr, "world faulted: rank %d failed [%s]: %v\n", fe.Rank, fe.Phase, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "world failed: %v\n", err)
+	os.Exit(1)
+}

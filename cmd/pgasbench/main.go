@@ -47,9 +47,7 @@ func main() {
 		runAtomics(p, *iters)
 		runCollectives(p, *iters)
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	transportflag.Check(err)
 }
 
 func report(p pgas.Proc, format string, args ...any) {

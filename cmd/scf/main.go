@@ -76,7 +76,5 @@ func main() {
 			fmt.Println("energy matches the serial reference")
 		}
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	transportflag.Check(err)
 }

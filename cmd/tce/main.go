@@ -76,7 +76,5 @@ func main() {
 		}
 		p.Barrier()
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	transportflag.Check(err)
 }

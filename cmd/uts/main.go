@@ -118,7 +118,5 @@ func main() {
 				float64(got.Nodes)/d.Seconds()/1e6, detail)
 		}
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	transportflag.Check(err)
 }

@@ -269,6 +269,19 @@ func (tc *TC) popLocal() (*Task, bool) {
 // patch drains, and participates in termination detection when passive.
 // Process returns on all processes once global termination is detected.
 func (tc *TC) Process() {
+	// A transport fault (peer death, injected crash, deadline) surfaces as
+	// a *pgas.FaultError panic from whatever one-sided operation observed
+	// it. Stamp the runtime phase onto it so the error out of World.Run
+	// says not just which rank and wire operation died, but that it died
+	// inside the task-parallel region.
+	defer func() {
+		if rec := recover(); rec != nil {
+			if fe, ok := rec.(*pgas.FaultError); ok && fe.Detail == "" {
+				fe.Detail = "task-parallel phase (TC.Process)"
+			}
+			panic(rec)
+		}
+	}()
 	p := tc.rt.p
 	p.Barrier()
 	tc.td.reset()

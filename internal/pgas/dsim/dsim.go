@@ -187,7 +187,13 @@ func (w *world) Run(body func(p pgas.Proc)) error {
 		go func() {
 			defer func() {
 				if rec := recover(); rec != nil {
-					if _, ok := rec.(abortPanic); !ok {
+					switch v := rec.(type) {
+					case abortPanic:
+						// Cooperative shutdown, not a failure.
+					case *pgas.FaultError:
+						// Keep transport faults typed for errors.As.
+						p.err = v
+					default:
 						buf := make([]byte, 16<<10)
 						sn := runtime.Stack(buf, false)
 						p.err = fmt.Errorf("dsim: rank %d panicked at vt=%v: %v\n%s",

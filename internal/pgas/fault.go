@@ -1,0 +1,71 @@
+package pgas
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FaultError is the structured error every transport surfaces when a
+// process of the world fails or becomes unreachable: a peer process died
+// mid-run, a remote operation's frame was lost or timed out, or the fault
+// injector (pgas/faulty) fired. It attributes the failure to a rank and
+// records the operation and protocol phase in progress, so a hang in a
+// 64-rank traversal turns into "rank 17 died during Get(seg=2, off=4096,
+// n=512)" instead of an opaque panic on some other rank.
+//
+// Convention: inside a SPMD body, transports report unrecoverable
+// communication failures by panicking with a *FaultError. World.Run
+// recovers the panic and returns the same *FaultError (possibly after
+// shipping it across process boundaries on the tcp transport), so callers
+// of Run and scioto.Run retrieve it with errors.As or AsFault.
+type FaultError struct {
+	// Rank is the rank the fault is attributed to — the process that
+	// died, panicked, or failed to respond. It is not necessarily the
+	// rank that observed the fault. -1 means the rank is unknown.
+	Rank int
+	// Op names the operation in progress with its operands, e.g.
+	// "Get(seg=1, off=128, n=64)" or "Lock(id=2)". Empty if unknown.
+	Op string
+	// Phase names the protocol phase: "rendezvous", "op", "service",
+	// "barrier", "peer-death", "injected-crash", "injected-drop",
+	// "exit", or "teardown".
+	Phase string
+	// Detail optionally records where in the runtime the fault surfaced
+	// (e.g. "task-parallel phase (TC.Process)").
+	Detail string
+	// Err is the underlying cause, if any.
+	Err error
+}
+
+// Error formats the fault with every known attribute.
+func (e *FaultError) Error() string {
+	s := "pgas: fault"
+	if e.Rank >= 0 {
+		s = fmt.Sprintf("pgas: fault at rank %d", e.Rank)
+	}
+	if e.Phase != "" {
+		s += " [" + e.Phase + "]"
+	}
+	if e.Op != "" {
+		s += " during " + e.Op
+	}
+	if e.Detail != "" {
+		s += " in " + e.Detail
+	}
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As chains.
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// AsFault reports the *FaultError in err's chain, if there is one.
+func AsFault(err error) (*FaultError, bool) {
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		return fe, true
+	}
+	return nil, false
+}

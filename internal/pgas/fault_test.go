@@ -1,0 +1,58 @@
+package pgas
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFaultErrorFormatting(t *testing.T) {
+	cases := []struct {
+		name string
+		fe   FaultError
+		want []string // substrings that must appear
+	}{
+		{
+			name: "full",
+			fe:   FaultError{Rank: 3, Op: "Get(seg=1, off=128, n=64)", Phase: "op", Err: io.EOF},
+			want: []string{"rank 3", "[op]", "Get(seg=1, off=128, n=64)", "EOF"},
+		},
+		{
+			name: "unknown rank",
+			fe:   FaultError{Rank: -1, Phase: "rendezvous"},
+			want: []string{"pgas: fault", "[rendezvous]"},
+		},
+		{
+			name: "with detail",
+			fe:   FaultError{Rank: 0, Phase: "peer-death", Detail: "task-parallel phase"},
+			want: []string{"rank 0", "[peer-death]", "task-parallel phase"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.fe.Error()
+			for _, w := range tc.want {
+				if !strings.Contains(got, w) {
+					t.Errorf("Error() = %q, missing %q", got, w)
+				}
+			}
+		})
+	}
+}
+
+func TestAsFault(t *testing.T) {
+	fe := &FaultError{Rank: 7, Phase: "exit", Err: io.ErrUnexpectedEOF}
+	wrapped := fmt.Errorf("run failed: %w", fe)
+	got, ok := AsFault(wrapped)
+	if !ok || got.Rank != 7 {
+		t.Fatalf("AsFault(wrapped) = %v, %v; want rank 7", got, ok)
+	}
+	if !errors.Is(wrapped, io.ErrUnexpectedEOF) {
+		t.Error("FaultError does not unwrap to its cause")
+	}
+	if _, ok := AsFault(errors.New("plain")); ok {
+		t.Error("AsFault matched a plain error")
+	}
+}

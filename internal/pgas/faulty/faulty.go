@@ -1,0 +1,324 @@
+// Package faulty wraps any pgas transport with deterministic, seed-driven
+// fault injection, so the runtime's failure paths are unit-testable on the
+// in-process transports (shm, dsim) as well as on tcp.
+//
+// Wrap composes over a World: every Proc handed to the SPMD body is
+// wrapped, and each communication operation consults a per-rank
+// deterministic random stream to decide whether to inject a fault before
+// delegating to the real transport. Four fault classes are supported:
+//
+//   - Delayed frames: the operation stalls for a bounded, seed-determined
+//     real-time duration before executing. Delays must be invisible to
+//     program results — the conformance suite runs under delay-only
+//     injection to prove it.
+//   - Dropped frames: the operation panics with a *pgas.FaultError
+//     attributed to the target rank (phase "injected-drop"), modeling a
+//     lost frame whose deadline expired.
+//   - One-shot rank crash: the CrashRank's CrashAfterOps-th operation
+//     panics with a *pgas.FaultError attributed to the crashing rank
+//     itself (phase "injected-crash"), modeling the process dying
+//     mid-operation.
+//   - Stalled locks and partitioned barriers: Lock/TryLock/Unlock and
+//     Barrier stall for LockStall/BarrierStall on every call, modeling a
+//     congested lock host or a barrier whose members are partitioned from
+//     each other long enough for deadlines to matter.
+//
+// Injection is deterministic: rank r's fault stream depends only on
+// (Seed, r) and the sequence of operations rank r issues, so a failing
+// schedule replays exactly. The wrapper holds no cross-rank state, which
+// is what lets it compose over the tcp transport, where each rank's
+// wrapped Proc lives in a separate OS process.
+//
+// Purely local accessors (Rank, NProcs, Local, RelaxedLoad64,
+// RelaxedStore64, Compute, Charge, Now, Rand) and collective allocation
+// are never faulted: faults model the network, not the local heap.
+package faulty
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"time"
+
+	"scioto/internal/pgas"
+)
+
+// NoCrash disables crash injection when assigned to Config.CrashRank.
+const NoCrash = -1
+
+// Config parameterizes the injected faults. The zero value (with
+// CrashRank normalized via Normalize or Wrap) injects nothing.
+type Config struct {
+	// Seed drives every per-rank fault stream. Worlds with equal seeds
+	// and equal operation sequences inject identical faults.
+	Seed int64
+	// DelayProb is the probability in [0,1] that a communication
+	// operation is delayed by up to MaxDelay.
+	DelayProb float64
+	// MaxDelay bounds an injected delay. Zero disables delays.
+	MaxDelay time.Duration
+	// DropProb is the probability in [0,1] that a communication
+	// operation targeting a remote rank "loses its frame": the op panics
+	// with a *pgas.FaultError naming the target.
+	DropProb float64
+	// CrashRank selects the rank whose CrashAfterOps-th operation
+	// crashes it. NoCrash (or any negative value) disables.
+	CrashRank int
+	// CrashAfterOps is the 1-based operation count at which CrashRank
+	// crashes. Zero means "first operation".
+	CrashAfterOps int64
+	// LockStall, when nonzero, stalls every Lock/TryLock/Unlock by that
+	// duration before it executes.
+	LockStall time.Duration
+	// BarrierStall, when nonzero, stalls every Barrier entry by that
+	// duration, modeling a partitioned barrier reassembling.
+	BarrierStall time.Duration
+}
+
+// Environment knobs, read by FromEnv. Each maps to the Config field of
+// the same name; durations use time.ParseDuration syntax.
+const (
+	EnvSeed          = "SCIOTO_FAULT_SEED"
+	EnvDelayProb     = "SCIOTO_FAULT_DELAY_PROB"
+	EnvMaxDelay      = "SCIOTO_FAULT_MAX_DELAY"
+	EnvDropProb      = "SCIOTO_FAULT_DROP_PROB"
+	EnvCrashRank     = "SCIOTO_FAULT_CRASH_RANK"
+	EnvCrashAfterOps = "SCIOTO_FAULT_CRASH_AFTER"
+	EnvLockStall     = "SCIOTO_FAULT_LOCK_STALL"
+	EnvBarrierStall  = "SCIOTO_FAULT_BARRIER_STALL"
+)
+
+// FromEnv assembles a Config from the SCIOTO_FAULT_* environment
+// variables. ok reports whether any knob was set; when none is, callers
+// should not wrap at all. Malformed values are reported and ignored so a
+// typo cannot silently disable a chaos run's other knobs.
+func FromEnv() (cfg Config, ok bool) {
+	cfg.CrashRank = NoCrash
+	set := false
+	num := func(name string, dst *int64) {
+		if v := os.Getenv(name); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "faulty: ignoring malformed %s=%q: %v\n", name, v, err)
+				return
+			}
+			*dst = n
+			set = true
+		}
+	}
+	prob := func(name string, dst *float64) {
+		if v := os.Getenv(name); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				fmt.Fprintf(os.Stderr, "faulty: ignoring malformed %s=%q (want probability in [0,1])\n", name, v)
+				return
+			}
+			*dst = f
+			set = true
+		}
+	}
+	dur := func(name string, dst *time.Duration) {
+		if v := os.Getenv(name); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "faulty: ignoring malformed %s=%q: %v\n", name, v, err)
+				return
+			}
+			*dst = d
+			set = true
+		}
+	}
+	num(EnvSeed, &cfg.Seed)
+	prob(EnvDelayProb, &cfg.DelayProb)
+	dur(EnvMaxDelay, &cfg.MaxDelay)
+	prob(EnvDropProb, &cfg.DropProb)
+	var crash int64 = NoCrash
+	num(EnvCrashRank, &crash)
+	cfg.CrashRank = int(crash)
+	num(EnvCrashAfterOps, &cfg.CrashAfterOps)
+	dur(EnvLockStall, &cfg.LockStall)
+	dur(EnvBarrierStall, &cfg.BarrierStall)
+	return cfg, set
+}
+
+// Wrap composes fault injection over an existing world. The returned
+// World delegates Run to the inner world with every Proc wrapped.
+func Wrap(w pgas.World, cfg Config) pgas.World {
+	return &world{inner: w, cfg: cfg}
+}
+
+type world struct {
+	inner pgas.World
+	cfg   Config
+}
+
+func (w *world) NProcs() int { return w.inner.NProcs() }
+
+func (w *world) Run(body func(p pgas.Proc)) error {
+	return w.inner.Run(func(p pgas.Proc) {
+		body(&proc{
+			inner: p,
+			cfg:   w.cfg,
+			rng:   rand.New(rand.NewSource(w.cfg.Seed*104729 + int64(p.Rank()) + 17)),
+		})
+	})
+}
+
+// proc wraps one rank's handle. It is used only from the goroutine that
+// received it (the pgas.Proc contract), so the rng and op counter need no
+// synchronization.
+type proc struct {
+	inner pgas.Proc
+	cfg   Config
+	rng   *rand.Rand
+	ops   int64
+}
+
+var _ pgas.Proc = (*proc)(nil)
+
+// inject runs the fault schedule for one communication operation: crash
+// first (the process dies before the frame leaves), then drop, then
+// delay. target is the rank the operation addresses; detail is formatted
+// lazily only when a fault fires.
+func (p *proc) inject(target int, op string, detail func() string) {
+	p.ops++
+	if p.cfg.CrashRank == p.inner.Rank() && p.ops >= max64(p.cfg.CrashAfterOps, 1) {
+		panic(&pgas.FaultError{
+			Rank:  p.inner.Rank(),
+			Op:    op + "(" + detail() + ")",
+			Phase: "injected-crash",
+			Err:   fmt.Errorf("faulty: rank %d crashed at op %d (seed %d)", p.inner.Rank(), p.ops, p.cfg.Seed),
+		})
+	}
+	if p.cfg.DropProb > 0 && target != p.inner.Rank() && p.rng.Float64() < p.cfg.DropProb {
+		panic(&pgas.FaultError{
+			Rank:  target,
+			Op:    op + "(" + detail() + ")",
+			Phase: "injected-drop",
+			Err:   fmt.Errorf("faulty: frame to rank %d dropped at op %d (seed %d)", target, p.ops, p.cfg.Seed),
+		})
+	}
+	if p.cfg.MaxDelay > 0 && p.cfg.DelayProb > 0 && p.rng.Float64() < p.cfg.DelayProb {
+		// 1+Int63n keeps the delay nonzero so "delayed" always means
+		// something observable in wall-clock traces.
+		time.Sleep(time.Duration(1 + p.rng.Int63n(int64(p.cfg.MaxDelay))))
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Local accessors and collective allocation: pure delegation.
+
+func (p *proc) Rank() int                                 { return p.inner.Rank() }
+func (p *proc) NProcs() int                               { return p.inner.NProcs() }
+func (p *proc) AllocData(nbytes int) pgas.Seg             { return p.inner.AllocData(nbytes) }
+func (p *proc) AllocWords(nwords int) pgas.Seg            { return p.inner.AllocWords(nwords) }
+func (p *proc) AllocLock() pgas.LockID                    { return p.inner.AllocLock() }
+func (p *proc) Local(seg pgas.Seg) []byte                 { return p.inner.Local(seg) }
+func (p *proc) RelaxedLoad64(seg pgas.Seg, idx int) int64 { return p.inner.RelaxedLoad64(seg, idx) }
+func (p *proc) RelaxedStore64(seg pgas.Seg, idx int, val int64) {
+	p.inner.RelaxedStore64(seg, idx, val)
+}
+func (p *proc) Compute(d time.Duration) { p.inner.Compute(d) }
+func (p *proc) Charge(d time.Duration)  { p.inner.Charge(d) }
+func (p *proc) Now() time.Duration      { return p.inner.Now() }
+func (p *proc) Rand() *rand.Rand        { return p.inner.Rand() }
+
+// Communication operations: inject, then delegate.
+
+func (p *proc) Barrier() {
+	p.inject(p.inner.Rank(), "Barrier", func() string { return "" })
+	if p.cfg.BarrierStall > 0 {
+		time.Sleep(p.cfg.BarrierStall)
+	}
+	p.inner.Barrier()
+}
+
+func (p *proc) Get(dst []byte, proc int, seg pgas.Seg, off int) {
+	p.inject(proc, "Get", func() string {
+		return fmt.Sprintf("seg=%d, off=%d, n=%d", seg, off, len(dst))
+	})
+	p.inner.Get(dst, proc, seg, off)
+}
+
+func (p *proc) Put(proc int, seg pgas.Seg, off int, src []byte) {
+	p.inject(proc, "Put", func() string {
+		return fmt.Sprintf("seg=%d, off=%d, n=%d", seg, off, len(src))
+	})
+	p.inner.Put(proc, seg, off, src)
+}
+
+func (p *proc) AccF64(proc int, seg pgas.Seg, off int, vals []float64) {
+	p.inject(proc, "AccF64", func() string {
+		return fmt.Sprintf("seg=%d, off=%d, n=%d", seg, off, len(vals))
+	})
+	p.inner.AccF64(proc, seg, off, vals)
+}
+
+func (p *proc) Load64(proc int, seg pgas.Seg, idx int) int64 {
+	p.inject(proc, "Load64", func() string { return fmt.Sprintf("seg=%d, idx=%d", seg, idx) })
+	return p.inner.Load64(proc, seg, idx)
+}
+
+func (p *proc) Store64(proc int, seg pgas.Seg, idx int, val int64) {
+	p.inject(proc, "Store64", func() string { return fmt.Sprintf("seg=%d, idx=%d", seg, idx) })
+	p.inner.Store64(proc, seg, idx, val)
+}
+
+func (p *proc) FetchAdd64(proc int, seg pgas.Seg, idx int, delta int64) int64 {
+	p.inject(proc, "FetchAdd64", func() string { return fmt.Sprintf("seg=%d, idx=%d", seg, idx) })
+	return p.inner.FetchAdd64(proc, seg, idx, delta)
+}
+
+func (p *proc) CAS64(proc int, seg pgas.Seg, idx int, old, new int64) bool {
+	p.inject(proc, "CAS64", func() string { return fmt.Sprintf("seg=%d, idx=%d", seg, idx) })
+	return p.inner.CAS64(proc, seg, idx, old, new)
+}
+
+func (p *proc) Lock(proc int, id pgas.LockID) {
+	p.inject(proc, "Lock", func() string { return fmt.Sprintf("host=%d, id=%d", proc, id) })
+	if p.cfg.LockStall > 0 {
+		time.Sleep(p.cfg.LockStall)
+	}
+	p.inner.Lock(proc, id)
+}
+
+func (p *proc) TryLock(proc int, id pgas.LockID) bool {
+	p.inject(proc, "TryLock", func() string { return fmt.Sprintf("host=%d, id=%d", proc, id) })
+	if p.cfg.LockStall > 0 {
+		time.Sleep(p.cfg.LockStall)
+	}
+	return p.inner.TryLock(proc, id)
+}
+
+func (p *proc) Unlock(proc int, id pgas.LockID) {
+	p.inject(proc, "Unlock", func() string { return fmt.Sprintf("host=%d, id=%d", proc, id) })
+	if p.cfg.LockStall > 0 {
+		time.Sleep(p.cfg.LockStall)
+	}
+	p.inner.Unlock(proc, id)
+}
+
+func (p *proc) Send(to int, tag int32, data []byte) {
+	p.inject(to, "Send", func() string { return fmt.Sprintf("to=%d, tag=%d, n=%d", to, tag, len(data)) })
+	p.inner.Send(to, tag, data)
+}
+
+func (p *proc) Recv(from int, tag int32) ([]byte, int) {
+	// Receives are local mailbox pops; only the delay class applies
+	// (a delayed matching frame), never drops or crash accounting.
+	if p.cfg.MaxDelay > 0 && p.cfg.DelayProb > 0 && p.rng.Float64() < p.cfg.DelayProb {
+		time.Sleep(time.Duration(1 + p.rng.Int63n(int64(p.cfg.MaxDelay))))
+	}
+	return p.inner.Recv(from, tag)
+}
+
+func (p *proc) TryRecv(from int, tag int32) ([]byte, int, bool) {
+	return p.inner.TryRecv(from, tag)
+}

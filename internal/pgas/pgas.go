@@ -37,6 +37,19 @@
 // segments hold 64-bit integers and are accessed with atomic operations.
 // Bulk data operations are not atomic with respect to one another except as
 // documented; callers synchronize with locks, exactly as ARMCI programs do.
+//
+// Failure model. A transport operation that cannot complete — the target
+// process died, a frame was lost, a deadline expired — has no meaningful
+// local recovery in a SPMD program, so Proc methods report such failures by
+// panicking with a *FaultError that attributes the fault to a rank and
+// names the operation and phase in progress. World.Run recovers the panic
+// and returns the *FaultError. What is tolerated differs per transport:
+// shm and dsim share one address space, so only application panics occur
+// there (and a panicking rank can leave siblings blocked in collectives it
+// never reaches); tcp detects peer death and converts it into a prompt,
+// rank-attributed FaultError on every surviving rank. The pgas/faulty
+// wrapper injects these failures deterministically on any transport so
+// failure paths are unit-testable.
 package pgas
 
 import (
@@ -65,7 +78,9 @@ type World interface {
 
 	// Run launches the SPMD body on every process and returns once all
 	// processes have returned from it. It returns the first error produced
-	// by a panicking process, or nil.
+	// by a panicking process, or nil. When the failure is a transport
+	// fault (peer death, lost frame, deadline), the returned error carries
+	// a *FaultError in its chain; see AsFault.
 	Run(body func(p Proc)) error
 }
 

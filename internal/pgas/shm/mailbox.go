@@ -19,6 +19,7 @@ type mailbox struct {
 	mu   sync.Mutex
 	cv   *sync.Cond
 	msgs []message
+	dead *pgas.FaultError // world fault; wakes and refuses blocked receivers
 }
 
 func newMailbox() *mailbox {
@@ -34,21 +35,35 @@ func (b *mailbox) push(m message) {
 	b.mu.Unlock()
 }
 
+// fail poisons the mailbox with the world fault: parked receivers wake
+// and get the fault instead of a message the dead rank will never send.
+func (b *mailbox) fail(fe *pgas.FaultError) {
+	b.mu.Lock()
+	b.dead = fe
+	b.cv.Broadcast()
+	b.mu.Unlock()
+}
+
 // pop removes and returns the first message matching (from, tag). If block
 // is true it waits for one; otherwise a zero message with from = -1 is
-// returned when nothing matches. from may be pgas.AnySource.
-func (b *mailbox) pop(from int, tag int32, block bool) message {
+// returned when nothing matches. from may be pgas.AnySource. Messages
+// already queued are still delivered after the world faults; once nothing
+// matches, the fault is returned instead of blocking.
+func (b *mailbox) pop(from int, tag int32, block bool) (message, *pgas.FaultError) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
 		for i, m := range b.msgs {
 			if (from == pgas.AnySource || m.from == from) && m.tag == tag {
 				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
-				return m
+				return m, nil
 			}
 		}
+		if b.dead != nil {
+			return message{from: -1}, b.dead
+		}
 		if !block {
-			return message{from: -1}
+			return message{from: -1}, nil
 		}
 		b.cv.Wait()
 	}

@@ -7,6 +7,13 @@
 // An optional calibrated latency can be injected on remote operations so
 // that single-host runs reproduce the local/remote cost ratio of the
 // paper's InfiniBand cluster.
+//
+// A rank failure (any panic out of the SPMD body, including injected
+// faults from pgas/faulty) poisons the whole world: the barrier, locks,
+// and mailboxes wake their waiters, and every later communication op on
+// any rank panics with a clone of the first registered *pgas.FaultError,
+// so survivors unwind promptly instead of parking forever. Run returns
+// that fault, rank-attributed, exactly as the tcp transport does.
 package shm
 
 import (
@@ -47,9 +54,9 @@ type world struct {
 	cfg Config
 
 	allocMu  sync.Mutex
-	dataSegs [][][]byte  // [seg][proc]bytes
-	wordSegs [][][]int64 // [seg][proc]words
-	locks    [][]*sync.Mutex
+	dataSegs [][][]byte   // [seg][proc]bytes
+	wordSegs [][][]int64  // [seg][proc]words
+	locks    [][]lockChan // cap-1 channels: send = acquire, receive = release
 
 	accMu []sync.Mutex // per-process accumulate lock (ARMCI_Acc atomicity)
 
@@ -60,8 +67,23 @@ type world struct {
 	barGen int
 	barCv  *sync.Cond
 
+	// Crash containment, mirroring the tcp transport's failure model: the
+	// first rank to die registers its fault here, deadCh closes, and every
+	// structure a sibling goroutine can park in — the barrier, lock
+	// channels, mailboxes — wakes with the fault, while subsequent
+	// communication operations panic a rank-attributed clone. Without this
+	// a crashed rank (e.g. an injected fault) leaves the other goroutines
+	// blocked forever and Run never returns.
+	fault    atomic.Pointer[pgas.FaultError]
+	deadCh   chan struct{}
+	failOnce sync.Once
+
 	start time.Time
 }
+
+// lockChan is a PGAS lock instance: a buffered channel of capacity 1,
+// chosen over sync.Mutex so a waiter can also select on world death.
+type lockChan chan struct{}
 
 // NewWorld creates a shared-memory world with the given configuration.
 func NewWorld(cfg Config) pgas.World {
@@ -72,6 +94,7 @@ func NewWorld(cfg Config) pgas.World {
 		cfg.ComputeScale = 1.0
 	}
 	w := &world{cfg: cfg}
+	w.deadCh = make(chan struct{})
 	w.barCv = sync.NewCond(&w.barMu)
 	w.accMu = make([]sync.Mutex, cfg.NProcs)
 	w.boxes = make([]*mailbox, cfg.NProcs)
@@ -83,6 +106,22 @@ func NewWorld(cfg Config) pgas.World {
 
 func (w *world) NProcs() int { return w.cfg.NProcs }
 
+// fail registers the first rank death and wakes every parked goroutine.
+// Later deaths (the cascade of survivors panicking on their next
+// operation) are ignored: the first fault is the root cause.
+func (w *world) fail(fe *pgas.FaultError) {
+	w.failOnce.Do(func() {
+		w.fault.Store(fe)
+		close(w.deadCh)
+		w.barMu.Lock()
+		w.barCv.Broadcast()
+		w.barMu.Unlock()
+		for _, b := range w.boxes {
+			b.fail(fe)
+		}
+	})
+}
+
 func (w *world) Run(body func(p pgas.Proc)) error {
 	w.start = time.Now()
 	var wg sync.WaitGroup
@@ -93,6 +132,15 @@ func (w *world) Run(body func(p pgas.Proc)) error {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
+					if fe, ok := rec.(*pgas.FaultError); ok {
+						// Transport faults are already structured and
+						// rank-attributed; keep the typed error intact
+						// for errors.As / pgas.AsFault.
+						errs[rank] = fe
+						fmt.Fprintf(os.Stderr, "shm: rank %d: %v\n", rank, fe)
+						w.fail(fe)
+						return
+					}
 					buf := make([]byte, 16<<10)
 					n := runtime.Stack(buf, false)
 					errs[rank] = fmt.Errorf("shm: rank %d panicked: %v\n%s", rank, rec, buf[:n])
@@ -100,6 +148,11 @@ func (w *world) Run(body func(p pgas.Proc)) error {
 					// be blocked in collectives this rank will never
 					// reach, so the error must not wait for Run to return.
 					fmt.Fprintf(os.Stderr, "%v\n", errs[rank])
+					w.fail(&pgas.FaultError{
+						Rank:  rank,
+						Phase: "exit",
+						Err:   fmt.Errorf("rank %d panicked: %v", rank, rec),
+					})
 				}
 			}()
 			speed := 1.0
@@ -116,6 +169,15 @@ func (w *world) Run(body func(p pgas.Proc)) error {
 		}(r)
 	}
 	wg.Wait()
+	// The first-registered fault is the root cause: survivors' errors are
+	// cascade clones of it. For a generic panic the origin rank's own
+	// entry carries the stack, so prefer it over the synthesized fault.
+	if fe := w.fault.Load(); fe != nil {
+		if fe.Phase == "exit" && errs[fe.Rank] != nil {
+			return errs[fe.Rank]
+		}
+		return fe
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -143,7 +205,20 @@ var _ pgas.Proc = (*proc)(nil)
 func (p *proc) Rank() int   { return p.rank }
 func (p *proc) NProcs() int { return p.w.cfg.NProcs }
 
+// check panics a clone of the registered world fault, so a surviving rank
+// — including one spinning in an application-level polling loop built
+// from non-blocking operations — unwinds on its next communication
+// attempt instead of running against a half-dead world. The clone leaves
+// Op unset: which local operation surfaced the fault differs per rank and
+// the root attribution is what matters.
+func (p *proc) check() {
+	if fe := p.w.fault.Load(); fe != nil {
+		panic(&pgas.FaultError{Rank: fe.Rank, Phase: fe.Phase, Detail: fe.Detail, Err: fe.Err})
+	}
+}
+
 func (p *proc) Barrier() {
+	p.check()
 	w := p.w
 	w.barMu.Lock()
 	gen := w.barGen
@@ -153,11 +228,17 @@ func (p *proc) Barrier() {
 		w.barGen++
 		w.barCv.Broadcast()
 	} else {
-		for gen == w.barGen {
+		for gen == w.barGen && w.fault.Load() == nil {
 			w.barCv.Wait()
 		}
 	}
+	released := gen != w.barGen
 	w.barMu.Unlock()
+	if !released {
+		// Woken by fail(), not by the last arrival: the barrier can never
+		// complete because a participant is dead.
+		p.check()
+	}
 }
 
 // Collective allocation: the first process to request allocation index i
@@ -206,9 +287,9 @@ func (p *proc) AllocLock() pgas.LockID {
 	defer w.allocMu.Unlock()
 	id := p.lockCount
 	if id == len(w.locks) {
-		inst := make([]*sync.Mutex, w.cfg.NProcs)
+		inst := make([]lockChan, w.cfg.NProcs)
 		for i := range inst {
-			inst[i] = new(sync.Mutex)
+			inst[i] = make(lockChan, 1)
 		}
 		w.locks = append(w.locks, inst)
 	}
@@ -227,16 +308,19 @@ func (p *proc) netDelay(proc, nbytes int) {
 }
 
 func (p *proc) Get(dst []byte, proc int, seg pgas.Seg, off int) {
+	p.check()
 	p.netDelay(proc, len(dst))
 	copy(dst, p.w.dataSegs[seg][proc][off:off+len(dst)])
 }
 
 func (p *proc) Put(proc int, seg pgas.Seg, off int, src []byte) {
+	p.check()
 	p.netDelay(proc, len(src))
 	copy(p.w.dataSegs[seg][proc][off:off+len(src)], src)
 }
 
 func (p *proc) AccF64(proc int, seg pgas.Seg, off int, vals []float64) {
+	p.check()
 	p.netDelay(proc, len(vals)*pgas.F64Bytes)
 	mu := &p.w.accMu[proc]
 	mu.Lock()
@@ -247,21 +331,25 @@ func (p *proc) AccF64(proc int, seg pgas.Seg, off int, vals []float64) {
 func (p *proc) Local(seg pgas.Seg) []byte { return p.w.dataSegs[seg][p.rank] }
 
 func (p *proc) Load64(proc int, seg pgas.Seg, idx int) int64 {
+	p.check()
 	p.netDelay(proc, 8)
 	return atomic.LoadInt64(&p.w.wordSegs[seg][proc][idx])
 }
 
 func (p *proc) Store64(proc int, seg pgas.Seg, idx int, val int64) {
+	p.check()
 	p.netDelay(proc, 8)
 	atomic.StoreInt64(&p.w.wordSegs[seg][proc][idx], val)
 }
 
 func (p *proc) FetchAdd64(proc int, seg pgas.Seg, idx int, delta int64) int64 {
+	p.check()
 	p.netDelay(proc, 8)
 	return atomic.AddInt64(&p.w.wordSegs[seg][proc][idx], delta) - delta
 }
 
 func (p *proc) CAS64(proc int, seg pgas.Seg, idx int, old, new int64) bool {
+	p.check()
 	p.netDelay(proc, 8)
 	return atomic.CompareAndSwapInt64(&p.w.wordSegs[seg][proc][idx], old, new)
 }
@@ -275,21 +363,40 @@ func (p *proc) RelaxedStore64(seg pgas.Seg, idx int, val int64) {
 }
 
 func (p *proc) Lock(proc int, id pgas.LockID) {
+	p.check()
 	p.netDelay(proc, 8)
-	p.w.locks[id][proc].Lock()
+	select {
+	case p.w.locks[id][proc] <- struct{}{}:
+	case <-p.w.deadCh:
+		// The holder may be the dead rank; waiting would hang forever.
+		p.check()
+	}
 }
 
 func (p *proc) TryLock(proc int, id pgas.LockID) bool {
+	p.check()
 	p.netDelay(proc, 8)
-	return p.w.locks[id][proc].TryLock()
+	select {
+	case p.w.locks[id][proc] <- struct{}{}:
+		return true
+	default:
+		return false
+	}
 }
 
+// Unlock deliberately skips the fault check: releasing is harmless, and
+// deferred unlocks run while a fault panic is already unwinding.
 func (p *proc) Unlock(proc int, id pgas.LockID) {
 	p.netDelay(proc, 8)
-	p.w.locks[id][proc].Unlock()
+	select {
+	case <-p.w.locks[id][proc]:
+	default:
+		panic(fmt.Sprintf("shm: rank %d unlocked lock %d@%d that is not held", p.rank, id, proc))
+	}
 }
 
 func (p *proc) Send(to int, tag int32, data []byte) {
+	p.check()
 	p.netDelay(to, len(data))
 	cp := make([]byte, len(data))
 	copy(cp, data)
@@ -297,12 +404,18 @@ func (p *proc) Send(to int, tag int32, data []byte) {
 }
 
 func (p *proc) Recv(from int, tag int32) ([]byte, int) {
-	m := p.w.boxes[p.rank].pop(from, tag, true)
+	m, fe := p.w.boxes[p.rank].pop(from, tag, true)
+	if fe != nil {
+		p.check()
+	}
 	return m.data, m.from
 }
 
 func (p *proc) TryRecv(from int, tag int32) ([]byte, int, bool) {
-	m := p.w.boxes[p.rank].pop(from, tag, false)
+	m, fe := p.w.boxes[p.rank].pop(from, tag, false)
+	if fe != nil {
+		p.check()
+	}
 	if m.data == nil && m.from < 0 {
 		return nil, -1, false
 	}

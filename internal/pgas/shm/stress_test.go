@@ -41,7 +41,29 @@ func TestSplitQueueStealRace(t *testing.T) {
 	}
 	wantSum := total * (total - 1) / 2
 
-	w := shm.NewWorld(shm.Config{NProcs: nprocs, Seed: 7})
+	// The correctness assertions (no task lost, payload sum exact) are hard
+	// failures. Whether any steal happens at all is a coverage property of
+	// the scheduler interleaving: rarely, the owner drains every task before
+	// a thief wins a TryLock. Retry with fresh seeds until a run observes
+	// steals rather than flaking on a legitimate (if useless) interleaving.
+	const maxAttempts = 5
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		sawSteals := runStealRace(t, nprocs, int64(7+attempt), total, wantSum)
+		if sawSteals || testing.Short() {
+			return
+		}
+		t.Logf("attempt %d: no steals happened; retrying with a new seed", attempt)
+	}
+	t.Fatalf("no steals happened in %d attempts; the test exercised nothing", maxAttempts)
+}
+
+// runStealRace runs one world of the split-queue stress protocol and
+// reports whether any thief completed a steal. Protocol violations panic
+// inside the world and surface as test fatals.
+func runStealRace(t *testing.T, nprocs int, seed, total, wantSum int64) bool {
+	t.Helper()
+	var sawSteals bool
+	w := shm.NewWorld(shm.Config{NProcs: nprocs, Seed: seed})
 	err := w.Run(func(p pgas.Proc) {
 		data := p.AllocData(capacity * slotSize)
 		meta := p.AllocWords(nQWords)
@@ -78,14 +100,16 @@ func TestSplitQueueStealRace(t *testing.T) {
 			if got := p.Load64(0, ctl, 1); got != wantSum {
 				panic(fmt.Sprintf("stress: consumed payload sum %d, want %d", got, wantSum))
 			}
-			if p.Load64(0, meta, wDirty) == 0 && !testing.Short() {
-				panic("stress: no steals happened; the test exercised nothing")
-			}
+			// shm ranks share the test's address space, so rank 0 can report
+			// the coverage bit through a captured variable (Run's WaitGroup
+			// orders the write before the read below).
+			sawSteals = p.Load64(0, meta, wDirty) != 0
 		}
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	return sawSteals
 }
 
 // owner runs rank 0: it pushes every payload once and cooperates in

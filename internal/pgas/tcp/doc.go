@@ -51,9 +51,12 @@
 //	[n int32] then n × ([len int32][address bytes])
 //
 // on every rendezvous connection. Each child dials every other rank's peer
-// listener, forming a full mesh, and starts the body. A child that fails
-// sends a final frame [1][error text] on its rendezvous connection before
-// exiting nonzero, which the parent folds into Run's returned error; on
+// listener (with jittered exponential backoff — see backoff.go) and sends
+// an opHello frame naming its rank, forming a full mesh, and starts the
+// body. A child that fails sends a final report frame on its rendezvous
+// connection before exiting nonzero — [childReportFault][encoded fault]
+// for a structured *pgas.FaultError, [childReportText][error text] for any
+// other panic — which the parent folds into Run's returned error; on
 // success it simply exits 0.
 //
 // # Wire protocol
@@ -61,10 +64,15 @@
 // Every message is a length-prefixed frame: a little-endian uint32 byte
 // count followed by the payload. A request payload is one opcode byte
 // followed by fixed-width little-endian fields (and trailing bulk bytes
-// where noted); the reply is a bare payload with no opcode, because each
-// connection carries at most one outstanding request. One request/reply op
-// exists per remote Proc method:
+// where noted). A reply is a status byte — replyOK followed by the result
+// payload, or replyFaulted followed by an encoded fault (see below) when
+// the serving rank's world has faulted — with no opcode, because each
+// connection carries at most one outstanding request. The first frame on
+// every mesh connection (data and heartbeat alike) is opHello, so the
+// serving rank can attribute a mid-run EOF to the dialing rank. One
+// request/reply op exists per remote Proc method:
 //
+//	opHello   [rank i32]                                   (no reply)
 //	opGet     [seg i32][off i64][n i64]                 -> [n data bytes]
 //	opPut     [seg i32][off i64][data...]               -> []
 //	opAcc     [seg i32][off i64][8k float64 bytes]      -> []
@@ -77,6 +85,11 @@
 //	opUnlock  [id i32]                                  -> []
 //	opSend    [from i32][tag i32][data...]              -> []
 //	opBarrier []                                        -> [] when released
+//	opPing    []                                        -> []
+//
+// An encoded fault is [rank i32][phase-len i32][phase bytes][error text];
+// the observer-local Op and Detail fields are not shipped, because the
+// operation that surfaced the fault differs at each observer.
 //
 // # The service engine
 //
@@ -96,6 +109,47 @@
 // name the same logical segment everywhere. A remote operation that
 // arrives before the owner has reached the matching Alloc call simply
 // waits for the segment to appear.
+//
+// # Failure model
+//
+// A rank process can die (crash, SIGKILL, OOM) or wedge (SIGSTOP,
+// deadlock) at any point. Containment has three layers:
+//
+//   - Detection. Every remote operation except Lock and Barrier carries a
+//     read/write deadline (Config.OpTimeout, default 60s); Lock and
+//     Barrier replies are legitimately deferred, so they rely on death
+//     detection instead. A mid-run EOF on a serve connection marks the
+//     identified peer dead. Optionally (Config.Heartbeat), a dedicated
+//     pinger connection per peer sends opPing every interval and expects
+//     the reply within three intervals — the only detector that catches a
+//     wedged-but-alive peer promptly.
+//   - Propagation. The first observed death registers a *pgas.FaultError
+//     on the rank's owner state, which poisons every structure a
+//     goroutine can park in (lock waiters, the barrier, the mailbox),
+//     severs outgoing connections so in-flight RPCs unblock, and makes
+//     the service refuse all subsequent requests with a replyFaulted
+//     carrying the registered fault. Each survivor's Run body panics with
+//     the rank-attributed fault, ships it to the launcher as a
+//     childReportFault frame, and exits nonzero.
+//   - Teardown. The launcher kills the whole world on any pre-bootstrap
+//     failure; after bootstrap it gives survivors a grace period
+//     (Config.Grace, default 3s) to self-report before killing and reaps
+//     every child either way, so no rank process outlives Run. Because
+//     near-simultaneous exits arrive in scheduler order and survivors can
+//     cascade-blame each other (a survivor's dying connections EOF at
+//     ranks that have not yet observed the true death), the launcher
+//     collects all failure reports and picks the root cause by authority:
+//     a signal-killed rank first, then a self-attributed origin fault
+//     (e.g. an injected crash), then a plain panic report, then a
+//     peer-death report naming a rank that never reported.
+//
+// During clean shutdown each rank arms a teardown flag (non-zero ranks
+// before entering the completion barrier, rank 0 after its local release)
+// so the expected EOFs of exiting peers are not misread as deaths.
+//
+// Config.OpTimeout, Config.Grace and Config.Heartbeat fall back to the
+// environment variables SCIOTO_TCP_OP_TIMEOUT, SCIOTO_TCP_GRACE and
+// SCIOTO_TCP_HEARTBEAT (Go duration syntax) when zero.
 //
 // # Deviations from shm/dsim
 //

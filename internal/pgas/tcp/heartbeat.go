@@ -1,0 +1,80 @@
+package tcp
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// startHeartbeat launches one pinger goroutine per peer. Each pinger owns
+// a dedicated connection — sharing the data connection would interleave
+// pings with the strict request/reply RPC stream — and sends opPing every
+// interval, expecting the ok reply within three intervals. A miss marks
+// the peer dead.
+//
+// Heartbeats catch the failure EOF detection cannot: a peer that is alive
+// but wedged (deadlocked service, livelocked host). For plain crashes the
+// kernel closes the dead process's sockets and the serve loops notice
+// first, so heartbeating is off by default.
+//
+// Pinger goroutines never close their connections on the clean-exit path:
+// closing would deliver an EOF a still-armed peer (rank 0 during the
+// completion barrier) could misread as this rank dying. The connections
+// die with the process.
+func startHeartbeat(own *owner, self int, addrs []string, cfg Config) {
+	for j, addr := range addrs {
+		if j == self {
+			continue
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed*9173 + int64(self)*1009 + int64(j)))
+		go pingLoop(own, self, j, addr, cfg.Heartbeat, rng)
+	}
+}
+
+func pingLoop(own *owner, self, peer int, addr string, interval time.Duration, rng *rand.Rand) {
+	c, err := dialRetry(addr, bootTimeout, rng)
+	if err != nil {
+		own.markDead(peer, fmt.Errorf("heartbeat dial to rank %d: %v", peer, err))
+		return
+	}
+	r := bufio.NewReader(c)
+	w := bufio.NewWriter(c)
+	hello := append([]byte{opHello}, appendI32(nil, int32(self))...)
+	if err := writeFrame(w, hello); err != nil || w.Flush() != nil {
+		own.markDead(peer, fmt.Errorf("heartbeat hello to rank %d: %v", peer, err))
+		return
+	}
+	for {
+		if own.teardown.Load() || own.getFault() != nil {
+			return
+		}
+		c.SetDeadline(time.Now().Add(3 * interval))
+		err := writeFrame(w, []byte{opPing})
+		if err == nil {
+			err = w.Flush()
+		}
+		var reply []byte
+		if err == nil {
+			reply, err = readFrame(r)
+		}
+		if err == nil && (len(reply) == 0 || reply[0] != replyOK) {
+			if len(reply) > 0 && reply[0] == replyFaulted {
+				// The peer is alive but its world is faulted: adopt its
+				// attribution rather than blaming the messenger.
+				fe := decodeFault(reply[1:])
+				fe.Op = fmt.Sprintf("Ping(rank=%d)", peer)
+				own.adopt(fe)
+				return
+			}
+			err = fmt.Errorf("corrupt ping reply")
+		}
+		if err != nil {
+			if !own.teardown.Load() {
+				own.markDead(peer, fmt.Errorf("heartbeat to rank %d: %v", peer, err))
+			}
+			return
+		}
+		time.Sleep(interval)
+	}
+}

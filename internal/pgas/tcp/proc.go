@@ -22,27 +22,92 @@ type peerConn struct {
 	w    *bufio.Writer
 }
 
-func newPeerConn(rank int, c net.Conn) *peerConn {
-	return &peerConn{rank: rank, c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+// newPeerConn wraps a freshly dialed connection and sends the hello frame
+// identifying the dialing rank, so the remote service can attribute a
+// later unexpected EOF on this connection.
+func newPeerConn(self, rank int, c net.Conn) (*peerConn, error) {
+	pc := &peerConn{rank: rank, c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+	hello := append([]byte{opHello}, appendI32(nil, int32(self))...)
+	if err := writeFrame(pc.w, hello); err != nil {
+		return nil, err
+	}
+	if err := pc.w.Flush(); err != nil {
+		return nil, err
+	}
+	return pc, nil
 }
 
 // rpc sends one request frame and blocks for the reply. A transport error
 // mid-operation has no meaningful local recovery in a SPMD program, so it
-// panics; the recover in childWorld.Run reports it to the parent.
-func (pc *peerConn) rpc(req []byte) []byte {
+// panics with a *pgas.FaultError; the recover in childWorld.Run reports
+// it to the parent. timeout bounds the exchange for operations whose
+// reply is immediate; 0 means unbounded (Lock, Barrier — their replies
+// are legitimately deferred, and a dead peer is detected by EOF or
+// heartbeat instead). info formats the operation context lazily: it is
+// only invoked on failure, keeping the success path allocation-light.
+func (pc *peerConn) rpc(own *owner, timeout time.Duration, req []byte, info func() string) []byte {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
+	if fe := own.getFault(); fe != nil {
+		panic(refault(fe, info()))
+	}
+	if timeout > 0 {
+		pc.c.SetDeadline(time.Now().Add(timeout))
+	} else {
+		pc.c.SetDeadline(time.Time{})
+	}
 	if err := writeFrame(pc.w, req); err != nil {
-		panic(fmt.Sprintf("tcp: sending to rank %d: %v", pc.rank, err))
+		pc.fail(own, err, info)
 	}
 	if err := pc.w.Flush(); err != nil {
-		panic(fmt.Sprintf("tcp: sending to rank %d: %v", pc.rank, err))
+		pc.fail(own, err, info)
 	}
 	reply, err := readFrame(pc.r)
 	if err != nil {
-		panic(fmt.Sprintf("tcp: reply from rank %d: %v", pc.rank, err))
+		pc.fail(own, err, info)
 	}
-	return reply
+	if len(reply) == 0 {
+		pc.fail(own, fmt.Errorf("empty reply frame"), info)
+	}
+	switch reply[0] {
+	case replyOK:
+		return reply[1:]
+	case replyFaulted:
+		fe := decodeFault(reply[1:])
+		fe.Op = info()
+		panic(fe)
+	default:
+		pc.fail(own, fmt.Errorf("corrupt reply status %d", reply[0]), info)
+		panic("unreachable")
+	}
+}
+
+// fail converts a transport error on this connection into a FaultError
+// panic. If the world already registered a fault (a peer death observed
+// by the service side, which severs outgoing connections), that fault is
+// the cause and keeps its attribution; otherwise the failure is
+// attributed to the rank this connection talks to.
+func (pc *peerConn) fail(own *owner, err error, info func() string) {
+	if fe := own.getFault(); fe != nil {
+		panic(refault(fe, info()))
+	}
+	panic(&pgas.FaultError{Rank: pc.rank, Op: info(), Phase: "op", Err: err})
+}
+
+// refault clones a registered (shared) fault with this operation's
+// context. The registered value is never mutated: other goroutines
+// observe it concurrently.
+func refault(fe *pgas.FaultError, op string) *pgas.FaultError {
+	return &pgas.FaultError{Rank: fe.Rank, Op: op, Phase: fe.Phase, Detail: fe.Detail, Err: fe.Err}
+}
+
+// faultFor converts an error delivered through a poisoned local structure
+// (lock manager, barrier, mailbox) into the FaultError to panic with.
+func faultFor(err error, op string) *pgas.FaultError {
+	if fe, ok := pgas.AsFault(err); ok {
+		return refault(fe, op)
+	}
+	return &pgas.FaultError{Rank: -1, Op: op, Phase: "op", Err: err}
 }
 
 // proc is the pgas.Proc handle of one rank process. Operations targeting
@@ -57,7 +122,11 @@ type proc struct {
 	peers []*peerConn // peers[rank] == nil
 	rng   *rand.Rand
 	start time.Time
+	alloc procAlloc
+}
 
+// procAlloc tracks this rank's collective allocation order.
+type procAlloc struct {
 	nextData int
 	nextWord int
 	nextLock int
@@ -80,15 +149,18 @@ func (p *proc) NProcs() int { return p.cfg.NProcs }
 
 // Barrier enters the counter barrier hosted on rank 0. Rank 0 enters
 // locally and parks on a channel until the round completes; other ranks
-// block in the opBarrier RPC whose reply is the release.
+// block in the opBarrier RPC whose reply is the release. A fault breaks
+// the barrier: parked ranks are released with the fault and panic.
 func (p *proc) Barrier() {
 	if p.rank == 0 {
-		done := make(chan struct{})
-		p.own.bar.enterLocal(func() { close(done) })
-		<-done
+		done := make(chan error, 1)
+		p.own.bar.enterLocal(func(err error) { done <- err })
+		if err := <-done; err != nil {
+			panic(faultFor(err, "Barrier()"))
+		}
 		return
 	}
-	p.peers[0].rpc([]byte{opBarrier})
+	p.peers[0].rpc(p.own, 0, []byte{opBarrier}, func() string { return "Barrier()" })
 }
 
 // Collective allocation is purely local: every rank appends to its own
@@ -97,28 +169,28 @@ func (p *proc) Barrier() {
 
 func (p *proc) AllocData(nbytes int) pgas.Seg {
 	seg := p.own.heap.addData(nbytes)
-	if seg != p.nextData {
+	if seg != p.alloc.nextData {
 		panic("tcp: AllocData outside collective order")
 	}
-	p.nextData++
+	p.alloc.nextData++
 	return pgas.Seg(seg)
 }
 
 func (p *proc) AllocWords(nwords int) pgas.Seg {
 	seg := p.own.heap.addWords(nwords)
-	if seg != p.nextWord {
+	if seg != p.alloc.nextWord {
 		panic("tcp: AllocWords outside collective order")
 	}
-	p.nextWord++
+	p.alloc.nextWord++
 	return pgas.Seg(seg)
 }
 
 func (p *proc) AllocLock() pgas.LockID {
 	id := p.own.locks.add()
-	if id != p.nextLock {
+	if id != p.alloc.nextLock {
 		panic("tcp: AllocLock outside collective order")
 	}
-	p.nextLock++
+	p.alloc.nextLock++
 	return pgas.LockID(id)
 }
 
@@ -128,7 +200,9 @@ func (p *proc) Get(dst []byte, proc int, seg pgas.Seg, off int) {
 		return
 	}
 	req := append([]byte{opGet}, appendI64(appendI64(appendI32(nil, int32(seg)), int64(off)), int64(len(dst)))...)
-	copy(dst, p.peers[proc].rpc(req))
+	copy(dst, p.peers[proc].rpc(p.own, p.cfg.OpTimeout, req, func() string {
+		return fmt.Sprintf("Get(rank=%d, seg=%d, off=%d, n=%d)", proc, seg, off, len(dst))
+	}))
 }
 
 func (p *proc) Put(proc int, seg pgas.Seg, off int, src []byte) {
@@ -137,7 +211,9 @@ func (p *proc) Put(proc int, seg pgas.Seg, off int, src []byte) {
 		return
 	}
 	req := append([]byte{opPut}, appendI64(appendI32(nil, int32(seg)), int64(off))...)
-	p.peers[proc].rpc(append(req, src...))
+	p.peers[proc].rpc(p.own, p.cfg.OpTimeout, append(req, src...), func() string {
+		return fmt.Sprintf("Put(rank=%d, seg=%d, off=%d, n=%d)", proc, seg, off, len(src))
+	})
 }
 
 func (p *proc) AccF64(proc int, seg pgas.Seg, off int, vals []float64) {
@@ -148,7 +224,9 @@ func (p *proc) AccF64(proc int, seg pgas.Seg, off int, vals []float64) {
 	req := append([]byte{opAcc}, appendI64(appendI32(nil, int32(seg)), int64(off))...)
 	enc := make([]byte, len(vals)*pgas.F64Bytes)
 	pgas.PutF64Slice(enc, vals)
-	p.peers[proc].rpc(append(req, enc...))
+	p.peers[proc].rpc(p.own, p.cfg.OpTimeout, append(req, enc...), func() string {
+		return fmt.Sprintf("AccF64(rank=%d, seg=%d, off=%d, n=%d)", proc, seg, off, len(vals))
+	})
 }
 
 func (p *proc) Local(seg pgas.Seg) []byte { return p.own.heap.dataSeg(int(seg)) }
@@ -158,7 +236,9 @@ func (p *proc) Load64(proc int, seg pgas.Seg, idx int) int64 {
 		return p.own.heap.load(int(seg), idx)
 	}
 	req := append([]byte{opLoad}, appendI64(appendI32(nil, int32(seg)), int64(idx))...)
-	return pgas.GetI64(p.peers[proc].rpc(req))
+	return pgas.GetI64(p.peers[proc].rpc(p.own, p.cfg.OpTimeout, req, func() string {
+		return fmt.Sprintf("Load64(rank=%d, seg=%d, idx=%d)", proc, seg, idx)
+	}))
 }
 
 func (p *proc) Store64(proc int, seg pgas.Seg, idx int, val int64) {
@@ -167,7 +247,9 @@ func (p *proc) Store64(proc int, seg pgas.Seg, idx int, val int64) {
 		return
 	}
 	req := append([]byte{opStore}, appendI64(appendI64(appendI32(nil, int32(seg)), int64(idx)), val)...)
-	p.peers[proc].rpc(req)
+	p.peers[proc].rpc(p.own, p.cfg.OpTimeout, req, func() string {
+		return fmt.Sprintf("Store64(rank=%d, seg=%d, idx=%d)", proc, seg, idx)
+	})
 }
 
 func (p *proc) FetchAdd64(proc int, seg pgas.Seg, idx int, delta int64) int64 {
@@ -175,7 +257,9 @@ func (p *proc) FetchAdd64(proc int, seg pgas.Seg, idx int, delta int64) int64 {
 		return p.own.heap.fetchAdd(int(seg), idx, delta)
 	}
 	req := append([]byte{opFAdd}, appendI64(appendI64(appendI32(nil, int32(seg)), int64(idx)), delta)...)
-	return pgas.GetI64(p.peers[proc].rpc(req))
+	return pgas.GetI64(p.peers[proc].rpc(p.own, p.cfg.OpTimeout, req, func() string {
+		return fmt.Sprintf("FetchAdd64(rank=%d, seg=%d, idx=%d)", proc, seg, idx)
+	}))
 }
 
 func (p *proc) CAS64(proc int, seg pgas.Seg, idx int, old, new int64) bool {
@@ -183,7 +267,9 @@ func (p *proc) CAS64(proc int, seg pgas.Seg, idx int, old, new int64) bool {
 		return p.own.heap.cas(int(seg), idx, old, new)
 	}
 	req := append([]byte{opCAS}, appendI64(appendI64(appendI64(appendI32(nil, int32(seg)), int64(idx)), old), new)...)
-	return p.peers[proc].rpc(req)[0] == 1
+	return p.peers[proc].rpc(p.own, p.cfg.OpTimeout, req, func() string {
+		return fmt.Sprintf("CAS64(rank=%d, seg=%d, idx=%d)", proc, seg, idx)
+	})[0] == 1
 }
 
 // The relaxed owner-side accessors use the same atomics as Load64/Store64:
@@ -201,19 +287,28 @@ func (p *proc) RelaxedStore64(seg pgas.Seg, idx int, val int64) {
 
 func (p *proc) Lock(proc int, id pgas.LockID) {
 	if proc == p.rank {
-		done := make(chan struct{})
-		p.own.locks.lock(int(id), func() { close(done) })
-		<-done
+		done := make(chan error, 1)
+		p.own.locks.lock(int(id), func(err error) { done <- err })
+		if err := <-done; err != nil {
+			panic(faultFor(err, fmt.Sprintf("Lock(host=%d, id=%d)", proc, id)))
+		}
 		return
 	}
-	p.peers[proc].rpc(append([]byte{opLock}, appendI32(nil, int32(id))...))
+	p.peers[proc].rpc(p.own, 0, append([]byte{opLock}, appendI32(nil, int32(id))...), func() string {
+		return fmt.Sprintf("Lock(host=%d, id=%d)", proc, id)
+	})
 }
 
 func (p *proc) TryLock(proc int, id pgas.LockID) bool {
 	if proc == p.rank {
+		if fe := p.own.getFault(); fe != nil {
+			panic(refault(fe, fmt.Sprintf("TryLock(host=%d, id=%d)", proc, id)))
+		}
 		return p.own.locks.tryLock(int(id))
 	}
-	return p.peers[proc].rpc(append([]byte{opTryLock}, appendI32(nil, int32(id))...))[0] == 1
+	return p.peers[proc].rpc(p.own, p.cfg.OpTimeout, append([]byte{opTryLock}, appendI32(nil, int32(id))...), func() string {
+		return fmt.Sprintf("TryLock(host=%d, id=%d)", proc, id)
+	})[0] == 1
 }
 
 func (p *proc) Unlock(proc int, id pgas.LockID) {
@@ -221,7 +316,9 @@ func (p *proc) Unlock(proc int, id pgas.LockID) {
 		p.own.locks.unlock(int(id))
 		return
 	}
-	p.peers[proc].rpc(append([]byte{opUnlock}, appendI32(nil, int32(id))...))
+	p.peers[proc].rpc(p.own, p.cfg.OpTimeout, append([]byte{opUnlock}, appendI32(nil, int32(id))...), func() string {
+		return fmt.Sprintf("Unlock(host=%d, id=%d)", proc, id)
+	})
 }
 
 func (p *proc) Send(to int, tag int32, data []byte) {
@@ -232,16 +329,24 @@ func (p *proc) Send(to int, tag int32, data []byte) {
 		return
 	}
 	req := append([]byte{opSend}, appendI32(appendI32(nil, int32(p.rank)), tag)...)
-	p.peers[to].rpc(append(req, data...))
+	p.peers[to].rpc(p.own, p.cfg.OpTimeout, append(req, data...), func() string {
+		return fmt.Sprintf("Send(to=%d, tag=%d, n=%d)", to, tag, len(data))
+	})
 }
 
 func (p *proc) Recv(from int, tag int32) ([]byte, int) {
-	m := p.own.mbox.pop(from, tag, true)
+	m, err := p.own.mbox.pop(from, tag, true)
+	if err != nil {
+		panic(faultFor(err, fmt.Sprintf("Recv(from=%d, tag=%d)", from, tag)))
+	}
 	return m.data, m.from
 }
 
 func (p *proc) TryRecv(from int, tag int32) ([]byte, int, bool) {
-	m := p.own.mbox.pop(from, tag, false)
+	m, err := p.own.mbox.pop(from, tag, false)
+	if err != nil {
+		panic(faultFor(err, fmt.Sprintf("TryRecv(from=%d, tag=%d)", from, tag)))
+	}
 	if m.from < 0 {
 		return nil, -1, false
 	}

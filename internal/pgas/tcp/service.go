@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"scioto/internal/pgas"
 )
@@ -13,12 +14,30 @@ import (
 // hosted lock instances, the incoming mailbox, and (on rank 0 only) the
 // barrier counter. It is shared by the rank's SPMD goroutine (owner-side
 // fast paths) and the service goroutines applying remote operations.
+//
+// It also carries the rank's fault state. The first peer death observed
+// (an unexpected EOF on a serve connection, or a heartbeat timeout) is
+// registered once; registration poisons every structure a goroutine can
+// block in — lock waiters, the barrier, the mailbox — and severs the
+// rank's outgoing connections, so both the SPMD goroutine and remote
+// requesters receive a prompt, rank-attributed *pgas.FaultError instead
+// of hanging on a reply the dead rank will never send.
 type owner struct {
 	rank  int
 	heap  *heap
 	locks *lockMgr
 	mbox  *mailbox
 	bar   *barrierMgr // non-nil on rank 0 only
+
+	// teardown is set once this rank is in clean shutdown (for rank 0:
+	// after its completion-barrier release; for others: before entering
+	// the completion barrier). From then on an EOF from a peer is that
+	// peer exiting cleanly, not dying, and must not register a fault.
+	teardown atomic.Bool
+
+	faultMu sync.Mutex
+	fault   *pgas.FaultError
+	closers []func() // close outgoing connections when a fault registers
 }
 
 func newOwner(rank, nprocs int) *owner {
@@ -32,6 +51,65 @@ func newOwner(rank, nprocs int) *owner {
 		o.bar = newBarrierMgr(nprocs)
 	}
 	return o
+}
+
+// getFault returns the registered world fault, or nil.
+func (o *owner) getFault() *pgas.FaultError {
+	o.faultMu.Lock()
+	defer o.faultMu.Unlock()
+	return o.fault
+}
+
+// addCloser registers a function run (once) when a fault registers,
+// used to sever outgoing connections so blocked RPCs unblock.
+func (o *owner) addCloser(f func()) {
+	o.faultMu.Lock()
+	fault := o.fault
+	if fault == nil {
+		o.closers = append(o.closers, f)
+	}
+	o.faultMu.Unlock()
+	if fault != nil {
+		f()
+	}
+}
+
+// enterTeardown marks the start of clean shutdown; see the field doc.
+func (o *owner) enterTeardown() { o.teardown.Store(true) }
+
+// markDead registers rank's death, first observation wins. It poisons the
+// blocking structures and severs outgoing connections; during teardown it
+// is a no-op, because peers exit as soon as the completion barrier
+// releases them and their EOFs are expected.
+func (o *owner) markDead(rank int, cause error) {
+	o.adopt(&pgas.FaultError{Rank: rank, Phase: "peer-death", Err: cause})
+}
+
+// adopt registers an already-attributed fault (first registration wins),
+// used by markDead and by the heartbeat when a peer's faulted reply names
+// the actually-dead rank.
+func (o *owner) adopt(fe *pgas.FaultError) {
+	if o.teardown.Load() {
+		return
+	}
+	o.faultMu.Lock()
+	if o.fault != nil {
+		o.faultMu.Unlock()
+		return
+	}
+	o.fault = fe
+	closers := o.closers
+	o.closers = nil
+	o.faultMu.Unlock()
+
+	o.locks.fail(fe)
+	if o.bar != nil {
+		o.bar.fail(fe)
+	}
+	o.mbox.poison(fe)
+	for _, f := range closers {
+		f()
+	}
 }
 
 // acceptLoop services peer connections until the listener closes (at
@@ -51,25 +129,45 @@ func (o *owner) acceptLoop(l net.Listener) {
 // connections, so every reply write is serialized on a per-connection
 // mutex; the handler itself never blocks on a held lock or an incomplete
 // barrier (it registers the deferred reply and keeps reading).
+//
+// The first frame on every connection is opHello carrying the dialing
+// rank, so that a mid-run EOF — the peer process died — can be converted
+// into a fault attributed to that rank.
 func (o *owner) serve(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+
+	hello, err := readFrame(r)
+	if err != nil || len(hello) < 5 || hello[0] != opHello {
+		return // never identified itself; nothing to attribute
+	}
+	peer := int(pgas.GetI32(hello[1:]))
+
 	var wmu sync.Mutex
-	reply := func(payload []byte) {
+	send := func(frame []byte) {
 		wmu.Lock()
 		defer wmu.Unlock()
-		if err := writeFrame(w, payload); err != nil {
-			return // peer gone; its rank's failure is reported by the parent
+		if err := writeFrame(w, frame); err != nil {
+			return // peer gone; its EOF on the read side attributes the failure
 		}
 		w.Flush()
+	}
+	reply := func(payload []byte) {
+		send(append([]byte{replyOK}, payload...))
+	}
+	replyFault := func(fe *pgas.FaultError) {
+		send(append([]byte{replyFaulted}, encodeFault(fe)...))
 	}
 	for {
 		req, err := readFrame(r)
 		if err != nil {
-			return // EOF at teardown
+			// Mid-run EOF: the peer died. At teardown markDead no-ops —
+			// released peers exit and their EOFs are expected.
+			o.markDead(peer, fmt.Errorf("connection from rank %d lost: %v", peer, err))
+			return
 		}
-		o.apply(req, reply)
+		o.apply(req, reply, replyFault)
 	}
 }
 
@@ -77,10 +175,31 @@ var okByte = []byte{1}
 var noByte = []byte{0}
 
 // apply executes one request against the local state and delivers the
-// reply, immediately or (Lock, Barrier) when granted.
-func (o *owner) apply(req []byte, reply func([]byte)) {
+// reply, immediately or (Lock, Barrier) when granted. Once the world is
+// faulted every operation is refused with the registered fault, so a
+// requester that has not yet observed the death learns of it on its next
+// operation instead of acting on a half-dead world.
+func (o *owner) apply(req []byte, reply func([]byte), replyFault func(*pgas.FaultError)) {
 	if len(req) == 0 {
 		panic("tcp: empty request frame")
+	}
+	if fe := o.getFault(); fe != nil {
+		replyFault(fe)
+		return
+	}
+	// grant adapts a deferred lock/barrier release to the reply protocol:
+	// the waiter either acquired/was released (nil) or the world faulted
+	// while it was parked.
+	grant := func(err error) {
+		if err == nil {
+			reply(nil)
+			return
+		}
+		if fe, ok := pgas.AsFault(err); ok {
+			replyFault(fe)
+			return
+		}
+		replyFault(&pgas.FaultError{Rank: -1, Phase: "service", Err: err})
 	}
 	op, b := req[0], req[1:]
 	switch op {
@@ -121,7 +240,7 @@ func (o *owner) apply(req []byte, reply func([]byte)) {
 		}
 	case opLock:
 		id := pgas.GetI32(b)
-		o.locks.lock(int(id), func() { reply(nil) })
+		o.locks.lock(int(id), grant)
 	case opTryLock:
 		id := pgas.GetI32(b)
 		if o.locks.tryLock(int(id)) {
@@ -143,7 +262,9 @@ func (o *owner) apply(req []byte, reply func([]byte)) {
 		if o.bar == nil {
 			panic(fmt.Sprintf("tcp: rank %d received opBarrier but is not the barrier host", o.rank))
 		}
-		o.bar.enter(func() { reply(nil) })
+		o.bar.enter(grant)
+	case opPing:
+		reply(nil)
 	default:
 		panic(fmt.Sprintf("tcp: rank %d received unknown opcode %d", o.rank, op))
 	}

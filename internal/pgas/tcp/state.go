@@ -98,16 +98,19 @@ func (h *heap) acc(seg, off int, vals []float64) {
 // lock. A blocked acquisition never blocks the goroutine that delivers
 // it: the grant callback is queued and invoked, FIFO, when the holder
 // unlocks — a remote waiter's callback writes its deferred reply frame, a
-// local waiter's closes a channel.
+// local waiter's closes a channel. Grants take an error: nil means the
+// lock is held; non-nil means the world faulted (fail) while the caller
+// waited, and the lock was never acquired.
 type lockMgr struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	locks []*lockState
+	err   error // non-nil once the world faulted: no further grants succeed
 }
 
 type lockState struct {
 	held    bool
-	waiters []func() // FIFO grant callbacks
+	waiters []func(error) // FIFO grant callbacks
 }
 
 func newLockMgr() *lockMgr {
@@ -124,24 +127,35 @@ func (m *lockMgr) add() int {
 	return len(m.locks) - 1
 }
 
-// state returns lock id, waiting for its collective allocation. Callers
+// state returns lock id, waiting for its collective allocation (or for
+// the manager to be poisoned, whichever happens first; nil then). Callers
 // must hold m.mu only through the accessor methods below.
 func (m *lockMgr) state(id int) *lockState {
-	for id >= len(m.locks) {
+	for id >= len(m.locks) && m.err == nil {
 		m.cond.Wait()
+	}
+	if id >= len(m.locks) {
+		return nil
 	}
 	return m.locks[id]
 }
 
-// lock acquires lock id, invoking grant exactly once when the lock is
-// held by the caller — immediately if free, after FIFO queueing if not.
-func (m *lockMgr) lock(id int, grant func()) {
+// lock acquires lock id, invoking grant exactly once — with nil when the
+// lock is held by the caller (immediately if free, after FIFO queueing if
+// not), or with the world's fault if one is registered.
+func (m *lockMgr) lock(id int, grant func(error)) {
 	m.mu.Lock()
 	st := m.state(id)
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		grant(err)
+		return
+	}
 	if !st.held {
 		st.held = true
 		m.mu.Unlock()
-		grant()
+		grant(nil)
 		return
 	}
 	st.waiters = append(st.waiters, grant)
@@ -152,7 +166,7 @@ func (m *lockMgr) tryLock(id int) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := m.state(id)
-	if st.held {
+	if m.err != nil || st.held {
 		return false
 	}
 	st.held = true
@@ -165,7 +179,11 @@ func (m *lockMgr) tryLock(id int) bool {
 func (m *lockMgr) unlock(id int) {
 	m.mu.Lock()
 	st := m.state(id)
-	var grant func()
+	if st == nil {
+		m.mu.Unlock()
+		return // poisoned before allocation; the fault is surfacing elsewhere
+	}
+	var grant func(error)
 	if len(st.waiters) > 0 {
 		grant = st.waiters[0]
 		st.waiters = st.waiters[1:]
@@ -175,7 +193,29 @@ func (m *lockMgr) unlock(id int) {
 	}
 	m.mu.Unlock()
 	if grant != nil {
-		grant()
+		grant(nil)
+	}
+}
+
+// fail poisons the manager: every queued waiter is granted err, and every
+// later lock call is granted err immediately. Held bits are left as they
+// are — the world is coming down, nothing will unlock.
+func (m *lockMgr) fail(err error) {
+	m.mu.Lock()
+	if m.err != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.err = err
+	var all []func(error)
+	for _, st := range m.locks {
+		all = append(all, st.waiters...)
+		st.waiters = nil
+	}
+	m.cond.Broadcast() // wake state() waiters parked on unallocated ids
+	m.mu.Unlock()
+	for _, g := range all {
+		g(err)
 	}
 }
 
@@ -190,24 +230,33 @@ func (m *lockMgr) unlock(id int) {
 // goroutine exits the process: were it released first, the process could
 // die before the serve goroutines had written the remote ranks' reply
 // frames, severing their connections mid-barrier.
+// Releases take an error: nil on a completed round, the world's fault
+// when the barrier can never complete because a member died (fail).
 type barrierMgr struct {
 	mu      sync.Mutex
 	n       int
 	arrived int
-	remote  []func()
-	local   func()
+	remote  []func(error)
+	local   func(error)
+	err     error // non-nil once a member died: the barrier is permanently broken
 }
 
 func newBarrierMgr(n int) *barrierMgr { return &barrierMgr{n: n} }
 
 // enter records one remote arrival whose release writes a reply frame.
-func (b *barrierMgr) enter(release func()) { b.arrive(release, false) }
+func (b *barrierMgr) enter(release func(error)) { b.arrive(release, false) }
 
 // enterLocal records rank 0's own arrival.
-func (b *barrierMgr) enterLocal(release func()) { b.arrive(release, true) }
+func (b *barrierMgr) enterLocal(release func(error)) { b.arrive(release, true) }
 
-func (b *barrierMgr) arrive(release func(), isLocal bool) {
+func (b *barrierMgr) arrive(release func(error), isLocal bool) {
 	b.mu.Lock()
+	if b.err != nil {
+		err := b.err
+		b.mu.Unlock()
+		release(err)
+		return
+	}
 	if isLocal {
 		b.local = release
 	} else {
@@ -223,10 +272,32 @@ func (b *barrierMgr) arrive(release func(), isLocal bool) {
 	b.arrived = 0
 	b.mu.Unlock()
 	for _, r := range remotes {
-		r()
+		r(nil)
 	}
 	if local != nil {
-		local()
+		local(nil)
+	}
+}
+
+// fail breaks the barrier permanently: every parked arrival is released
+// with err, and every later arrival is released with err immediately — a
+// barrier missing a member can never complete again.
+func (b *barrierMgr) fail(err error) {
+	b.mu.Lock()
+	if b.err != nil {
+		b.mu.Unlock()
+		return
+	}
+	b.err = err
+	remotes, local := b.remote, b.local
+	b.remote, b.local = nil, nil
+	b.arrived = 0
+	b.mu.Unlock()
+	for _, r := range remotes {
+		r(err)
+	}
+	if local != nil {
+		local(err)
 	}
 }
 
@@ -238,11 +309,14 @@ type message struct {
 }
 
 // mailbox is the per-rank queue of incoming messages with tag/source
-// matching, identical in semantics to the shm transport's mailbox.
+// matching, identical in semantics to the shm transport's mailbox, plus
+// poisoning: once the world faults, a blocked Recv would otherwise wait
+// forever for a message its dead sender will never push.
 type mailbox struct {
 	mu   sync.Mutex
 	cv   *sync.Cond
 	msgs []message
+	err  error
 }
 
 func newMailbox() *mailbox {
@@ -258,21 +332,38 @@ func (b *mailbox) push(m message) {
 	b.mu.Unlock()
 }
 
+// poison wakes every blocked pop with err and makes later blocking pops
+// fail once no matching message is queued. Already-delivered messages
+// remain receivable: they arrived before the fault.
+func (b *mailbox) poison(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+		b.cv.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
 // pop removes and returns the first message matching (from, tag). If block
 // is true it waits for one; otherwise a zero message with from = -1 is
-// returned when nothing matches. from may be pgas.AnySource.
-func (b *mailbox) pop(from int, tag int32, block bool) message {
+// returned when nothing matches. from may be pgas.AnySource. A non-nil
+// error means the mailbox was poisoned while no matching message was
+// available.
+func (b *mailbox) pop(from int, tag int32, block bool) (message, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
 		for i, m := range b.msgs {
 			if (from == pgas.AnySource || m.from == from) && m.tag == tag {
 				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
-				return m
+				return m, nil
 			}
 		}
+		if b.err != nil {
+			return message{from: -1}, b.err
+		}
 		if !block {
-			return message{from: -1}
+			return message{from: -1}, nil
 		}
 		b.cv.Wait()
 	}

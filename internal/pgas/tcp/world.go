@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"os/exec"
@@ -27,6 +28,24 @@ type Config struct {
 	// wire: every child re-constructs the same Config by re-executing the
 	// program, so it must be deterministic.
 	SpeedFactor func(rank int) float64
+
+	// OpTimeout bounds every remote operation whose reply is immediate
+	// (everything except Lock and Barrier, whose replies are legitimately
+	// deferred). An expired deadline converts a stalled peer into a
+	// rank-attributed FaultError. Zero selects SCIOTO_TCP_OP_TIMEOUT or
+	// the 60s default; negative disables deadlines.
+	OpTimeout time.Duration
+	// Grace is how long the launcher lets surviving ranks self-report
+	// rank-attributed faults after the first rank failure before killing
+	// whatever is left. Zero selects SCIOTO_TCP_GRACE or the 3s default.
+	Grace time.Duration
+	// Heartbeat, when positive, probes every peer on a dedicated
+	// connection at this interval, converting a stalled (not just dead)
+	// peer into a fault after ~3 missed intervals. Zero selects
+	// SCIOTO_TCP_HEARTBEAT, whose absence leaves heartbeating off:
+	// crashed peers are already detected promptly by connection EOF, so
+	// the probes matter only for live-but-wedged processes.
+	Heartbeat time.Duration
 }
 
 // Environment variables of the self-exec launch protocol (see doc.go).
@@ -37,9 +56,42 @@ const (
 	envNProcs = "SCIOTO_TCP_NPROCS"
 )
 
+// Environment knobs for the failure model, read where the matching
+// Config field is zero. Both parent and children resolve them, and
+// children inherit the parent's environment, so the values agree.
+const (
+	envOpTimeout = "SCIOTO_TCP_OP_TIMEOUT"
+	envGrace     = "SCIOTO_TCP_GRACE"
+	envHeartbeat = "SCIOTO_TCP_HEARTBEAT"
+)
+
+const (
+	defaultOpTimeout = 60 * time.Second
+	defaultGrace     = 3 * time.Second
+)
+
 // bootTimeout bounds the rendezvous and mesh dials, so a lost child fails
 // the world instead of hanging it.
 const bootTimeout = 60 * time.Second
+
+// envDuration resolves a duration knob: the Config value if nonzero
+// (negative meaning "disabled" normalizes to 0), else the environment,
+// else def.
+func envDuration(cfgVal time.Duration, name string, def time.Duration) time.Duration {
+	if cfgVal < 0 {
+		return 0
+	}
+	if cfgVal > 0 {
+		return cfgVal
+	}
+	if v := os.Getenv(name); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d >= 0 {
+			return d
+		}
+		fmt.Fprintf(os.Stderr, "tcp: ignoring malformed %s=%q\n", name, v)
+	}
+	return def
+}
 
 // worldSeq counts NewWorld calls in this process. Parent and children
 // execute the same deterministic program, so call k here is call k there;
@@ -59,6 +111,9 @@ func NewWorld(cfg Config) pgas.World {
 	if cfg.ComputeScale == 0 {
 		cfg.ComputeScale = 1.0
 	}
+	cfg.OpTimeout = envDuration(cfg.OpTimeout, envOpTimeout, defaultOpTimeout)
+	cfg.Grace = envDuration(cfg.Grace, envGrace, defaultGrace)
+	cfg.Heartbeat = envDuration(cfg.Heartbeat, envHeartbeat, 0)
 	seq := atomic.AddInt64(&worldSeq, 1)
 	rankStr := os.Getenv(envRank)
 	if rankStr == "" {
@@ -164,7 +219,18 @@ func (w *parentWorld) Run(func(p pgas.Proc)) error {
 		}(i, cmd)
 	}
 
-	var firstErr error
+	// Containment policy. Before the bootstrap completes, any child
+	// failure kills the world immediately: ranks parked in rendezvous
+	// have no mesh yet and cannot detect the death themselves. After
+	// bootstrap, the first failure starts a grace timer instead —
+	// survivors detect the death through the mesh (EOF, broken barrier,
+	// fault replies) and exit with their own rank-attributed reports;
+	// only ranks still alive when the timer fires are killed. Run
+	// returns only after every child has been reaped, so no rank
+	// process outlives the world.
+	var reports []*rankReport
+	var bootErr error
+	var graceCh <-chan time.Time
 	killed := false
 	killAll := func() {
 		if killed {
@@ -175,32 +241,131 @@ func (w *parentWorld) Run(func(p pgas.Proc)) error {
 			c.Process.Kill()
 		}
 	}
+	defer killAll() // safety net: unreachable exits above still reap
 	bootDone := false
 	for exited := 0; exited < n; {
 		select {
 		case e := <-exitCh:
 			exited++
 			if e.err != nil && !killed {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("tcp: rank %d: %v%s", e.rank, e.err, childMessage(conns[e.rank]))
+				// Failures observed after killAll are the kills
+				// themselves and carry no attribution value.
+				reports = append(reports, newRankReport(e.rank, e.err, conns[e.rank]))
+				if !bootDone {
+					killAll()
+				} else if graceCh == nil {
+					graceCh = time.After(w.cfg.Grace)
 				}
-				killAll()
 			}
 		case err := <-bootCh:
 			bootCh = nil
 			bootDone = true
-			if err != nil && firstErr == nil {
-				firstErr = err
+			if err != nil {
+				bootErr = err
 				killAll()
 			}
+		case <-graceCh:
+			graceCh = nil
+			killAll()
 		}
 	}
-	if firstErr == nil && !bootDone {
-		firstErr = fmt.Errorf("tcp: all ranks exited before completing the bootstrap " +
+	if err := worldError(reports, bootErr); err != nil {
+		return err
+	}
+	if !bootDone {
+		return fmt.Errorf("tcp: all ranks exited before completing the bootstrap " +
 			"(was the world created in a different order in the child processes?)")
 	}
-	return firstErr
+	return nil
 }
+
+// rankReport is one failed child's contribution to root-cause selection.
+type rankReport struct {
+	rank    int
+	exitErr error
+	signal  bool             // killed by a signal we did not send
+	fault   *pgas.FaultError // decoded structured report, if any
+	text    []byte           // plain text report, if any
+}
+
+func newRankReport(rank int, exitErr error, conn net.Conn) *rankReport {
+	r := &rankReport{rank: rank, exitErr: exitErr}
+	if ee, ok := exitErr.(*exec.ExitError); ok && ee.ExitCode() == -1 {
+		// Signal death: no report frame is coming.
+		r.signal = true
+		return r
+	}
+	frame := childReport(conn)
+	if len(frame) >= 1 {
+		switch frame[0] {
+		case childReportFault:
+			r.fault = decodeFault(frame[1:])
+		case childReportText:
+			r.text = frame[1:]
+		}
+	}
+	return r
+}
+
+// worldError selects the root cause among the collected failure reports.
+// When a rank dies, every survivor fails too, and near-simultaneous exits
+// reach the launcher in scheduler order — so "first exit processed" may
+// be a secondary observer blaming another secondary casualty. Preference
+// order, arrival order within each tier:
+//
+//  1. a rank killed by a signal the launcher did not send — an actual
+//     process death, and the likeliest root;
+//  2. an origin fault report (any phase but "peer-death"): the rank that
+//     crashed by injection, deadline, or transport error names the cause
+//     directly;
+//  3. a plain panic report — an application failure, reported verbatim;
+//  4. a peer-death report naming a silent rank: a rank every survivor
+//     blames but which never managed to report is dead or wedged;
+//  5. any report at all.
+func worldError(reports []*rankReport, bootErr error) error {
+	for _, r := range reports {
+		if r.signal {
+			return fmt.Errorf("tcp: rank %d killed: %w", r.rank,
+				&pgas.FaultError{Rank: r.rank, Phase: "exit", Err: r.exitErr})
+		}
+	}
+	for _, r := range reports {
+		if r.fault != nil && r.fault.Phase != "peer-death" {
+			return fmt.Errorf("tcp: rank %d reported: %w", r.rank, r.fault)
+		}
+	}
+	for _, r := range reports {
+		if r.text != nil {
+			return fmt.Errorf("tcp: rank %d: %v\n%s", r.rank, r.exitErr, r.text)
+		}
+	}
+	reported := make(map[int]bool, len(reports))
+	for _, r := range reports {
+		reported[r.rank] = true
+	}
+	for _, r := range reports {
+		if r.fault != nil && !reported[r.fault.Rank] {
+			return fmt.Errorf("tcp: rank %d reported: %w", r.rank, r.fault)
+		}
+	}
+	for _, r := range reports {
+		if r.fault != nil {
+			return fmt.Errorf("tcp: rank %d reported: %w", r.rank, r.fault)
+		}
+	}
+	if len(reports) > 0 {
+		r := reports[0]
+		return fmt.Errorf("tcp: rank %d: %v", r.rank, r.exitErr)
+	}
+	return bootErr
+}
+
+// Child report frame kinds, sent on the rendezvous connection just
+// before a failing child exits.
+const (
+	childReportText  = byte(1)
+	childReportFault = byte(2)
+)
 
 // rendezvous accepts one hello per rank, then broadcasts the peer address
 // table on every connection. The connections stay open so a failing child
@@ -239,18 +404,18 @@ func rendezvous(l net.Listener, conns []net.Conn) error {
 	return nil
 }
 
-// childMessage drains the error frame a failing child sends on its
+// childReport drains the report frame a failing child sends on its
 // rendezvous connection just before exiting, if one is there.
-func childMessage(c net.Conn) string {
+func childReport(c net.Conn) []byte {
 	if c == nil {
-		return ""
+		return nil
 	}
 	c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
 	frame, err := readFrame(c)
-	if err != nil || len(frame) < 1 || frame[0] != 1 {
-		return ""
+	if err != nil {
+		return nil
 	}
-	return "\n" + string(frame[1:])
+	return frame
 }
 
 // childWorld is one spawned rank's side of the world.
@@ -265,9 +430,11 @@ func (w *childWorld) NProcs() int { return w.cfg.NProcs }
 // Run bootstraps the mesh, executes the SPMD body for this rank, enters
 // the completion barrier, and exits the process: on a rank process,
 // nothing after the launching Run call ever executes. A body panic is
-// reported to the parent and exits nonzero.
+// reported to the parent and exits nonzero; a *pgas.FaultError panic is
+// shipped structurally so the parent's error keeps the rank attribution.
 func (w *childWorld) Run(body func(p pgas.Proc)) error {
 	own := newOwner(w.rank, w.cfg.NProcs)
+	dialRng := rand.New(rand.NewSource(w.cfg.Seed*6151 + int64(w.rank) + 3))
 
 	// The peer listener must exist before the hello is sent: the moment
 	// any peer learns our address from the table, it may dial and issue
@@ -278,7 +445,7 @@ func (w *childWorld) Run(body func(p pgas.Proc)) error {
 	}
 	go own.acceptLoop(l)
 
-	parent, err := net.DialTimeout("tcp", w.parentAddr, bootTimeout)
+	parent, err := dialRetry(w.parentAddr, bootTimeout, dialRng)
 	if err != nil {
 		childFail(nil, w.rank, fmt.Errorf("dialing rendezvous %s: %v", w.parentAddr, err))
 	}
@@ -301,11 +468,27 @@ func (w *childWorld) Run(body func(p pgas.Proc)) error {
 		if j == w.rank {
 			continue
 		}
-		c, err := net.DialTimeout("tcp", addr, bootTimeout)
+		c, err := dialRetry(addr, bootTimeout, dialRng)
 		if err != nil {
 			childFail(parent, w.rank, fmt.Errorf("dialing rank %d at %s: %v", j, addr, err))
 		}
-		peers[j] = newPeerConn(j, c)
+		pc, err := newPeerConn(w.rank, j, c)
+		if err != nil {
+			childFail(parent, w.rank, fmt.Errorf("hello to rank %d: %v", j, err))
+		}
+		peers[j] = pc
+	}
+	// Severing the outgoing connections when a fault registers unblocks
+	// any RPC parked on a reply that is never coming.
+	own.addCloser(func() {
+		for _, pc := range peers {
+			if pc != nil {
+				pc.c.Close()
+			}
+		}
+	})
+	if w.cfg.Heartbeat > 0 {
+		startHeartbeat(own, w.rank, addrs, w.cfg)
 	}
 
 	speed := 1.0
@@ -317,17 +500,30 @@ func (w *childWorld) Run(body func(p pgas.Proc)) error {
 	func() {
 		defer func() {
 			if rec := recover(); rec != nil {
+				if fe, ok := rec.(*pgas.FaultError); ok {
+					childFailFault(parent, w.rank, fe)
+				}
 				buf := make([]byte, 16<<10)
 				n := runtime.Stack(buf, false)
 				childFail(parent, w.rank, fmt.Errorf("rank %d panicked: %v\n%s", w.rank, rec, buf[:n]))
 			}
 		}()
 		body(p)
-	}()
 
-	// Completion barrier: no rank may tear down its service while a
-	// sibling still has operations in flight.
-	p.Barrier()
+		// Completion barrier: no rank may tear down its service while a
+		// sibling still has operations in flight. Non-zero ranks arm the
+		// teardown flag first — once they are released, siblings start
+		// exiting and the resulting EOFs must not register as deaths.
+		// Rank 0 stays armed through the barrier: it hosts the counter,
+		// and a rank dying mid-completion-barrier must still break the
+		// barrier for the survivors; its own EOFs can only arrive after
+		// the round has completed.
+		if w.rank != 0 {
+			own.enterTeardown()
+		}
+		p.Barrier()
+	}()
+	own.enterTeardown()
 	os.Exit(0)
 	return nil
 }
@@ -338,7 +534,17 @@ func childFail(parent net.Conn, rank int, err error) {
 	msg := fmt.Sprintf("tcp: rank %d: %v", rank, err)
 	fmt.Fprintln(os.Stderr, msg)
 	if parent != nil {
-		writeFrame(parent, append([]byte{1}, msg...))
+		writeFrame(parent, append([]byte{childReportText}, msg...))
+	}
+	os.Exit(1)
+}
+
+// childFailFault ships a structured fault report so the parent's error
+// keeps the rank attribution, then exits nonzero.
+func childFailFault(parent net.Conn, rank int, fe *pgas.FaultError) {
+	fmt.Fprintf(os.Stderr, "tcp: rank %d: %v\n", rank, fe)
+	if parent != nil {
+		writeFrame(parent, append([]byte{childReportFault}, encodeFault(fe)...))
 	}
 	os.Exit(1)
 }

@@ -40,6 +40,7 @@ import (
 	"scioto/internal/core"
 	"scioto/internal/pgas"
 	"scioto/internal/pgas/dsim"
+	"scioto/internal/pgas/faulty"
 	"scioto/internal/pgas/shm"
 	"scioto/internal/pgas/tcp"
 )
@@ -70,7 +71,28 @@ type (
 	Proc = pgas.Proc
 	// Transport names a machine implementation ("shm", "dsim", or "tcp").
 	Transport = pgas.Transport
+	// FaultError is the structured error Run returns when a rank fails:
+	// it names the failing rank, the phase of the failure, and (when
+	// observed locally) the operation that surfaced it. Retrieve it from
+	// a Run error with AsFault or errors.As.
+	FaultError = pgas.FaultError
+	// FaultConfig parameterizes the deterministic fault-injection layer
+	// (see Config.Faults).
+	FaultConfig = faulty.Config
 )
+
+// NoCrash is the FaultConfig.CrashRank value meaning "crash nobody".
+const NoCrash = faulty.NoCrash
+
+// AsFault extracts the *FaultError from an error returned by Run (or
+// World.Run), if one is present anywhere in its chain.
+func AsFault(err error) (*FaultError, bool) { return pgas.AsFault(err) }
+
+// FaultsFromEnv reads the SCIOTO_FAULT_* environment variables into a
+// FaultConfig; ok reports whether any were set. Run consults it
+// automatically, so setting the variables is enough to chaos-test an
+// unmodified program.
+func FaultsFromEnv() (cfg FaultConfig, ok bool) { return faulty.FromEnv() }
 
 // Re-exported constants.
 const (
@@ -136,6 +158,14 @@ type Config struct {
 	// SpeedFactor models heterogeneous processors: the returned multiplier
 	// scales each rank's computation cost (1.0 = nominal).
 	SpeedFactor func(rank int) float64
+
+	// Faults, when non-nil, wraps the machine in the deterministic
+	// fault-injection layer: seed-driven dropped operations, delays, lock
+	// and barrier stalls, and a one-shot rank crash (see FaultConfig).
+	// When nil, the SCIOTO_FAULT_* environment variables are consulted
+	// instead (FaultsFromEnv), so fault injection can be switched on
+	// without touching the program.
+	Faults *FaultConfig
 }
 
 // NewWorld constructs the configured machine without running anything,
@@ -144,9 +174,10 @@ func (c Config) NewWorld() (pgas.World, error) {
 	if c.Procs <= 0 {
 		return nil, fmt.Errorf("scioto: Config.Procs must be positive, got %d", c.Procs)
 	}
+	var w pgas.World
 	switch c.Transport {
 	case TransportDSim:
-		return dsim.NewWorld(dsim.Config{
+		w = dsim.NewWorld(dsim.Config{
 			NProcs:      c.Procs,
 			Seed:        c.Seed,
 			Latency:     c.Latency,
@@ -154,28 +185,42 @@ func (c Config) NewWorld() (pgas.World, error) {
 			PerByte:     c.PerByte,
 			Occupancy:   c.Occupancy,
 			SpeedFactor: c.SpeedFactor,
-		}), nil
+		})
 	case TransportSHM, "":
-		return shm.NewWorld(shm.Config{
+		w = shm.NewWorld(shm.Config{
 			NProcs:        c.Procs,
 			Seed:          c.Seed,
 			RemoteLatency: c.Latency,
 			RemotePerByte: c.PerByte,
 			SpeedFactor:   c.SpeedFactor,
-		}), nil
+		})
 	case TransportTCP:
-		return tcp.NewWorld(tcp.Config{
+		w = tcp.NewWorld(tcp.Config{
 			NProcs:      c.Procs,
 			Seed:        c.Seed,
 			SpeedFactor: c.SpeedFactor,
-		}), nil
+		})
 	default:
 		return nil, fmt.Errorf("scioto: unknown transport %q", c.Transport)
 	}
+	// Fault injection wraps the transport last, so injected faults travel
+	// the same panic/recover path as real ones. The env fallback also runs
+	// in re-executed tcp rank processes (the variables are inherited), so
+	// parent and children agree on the world construction sequence.
+	if c.Faults != nil {
+		w = faulty.Wrap(w, *c.Faults)
+	} else if fc, ok := faulty.FromEnv(); ok {
+		w = faulty.Wrap(w, fc)
+	}
+	return w, nil
 }
 
 // Run launches the SPMD body on every process of the configured machine
 // with a Scioto runtime attached, and returns when all processes finish.
+// If a rank fails — a panic in the body, a peer process death on the tcp
+// transport, or an injected fault — Run tears the world down and returns
+// an error carrying a *FaultError that names the failing rank and phase
+// (retrieve it with AsFault).
 func Run(cfg Config, body func(rt *Runtime)) error {
 	w, err := cfg.NewWorld()
 	if err != nil {

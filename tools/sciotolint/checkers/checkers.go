@@ -66,6 +66,26 @@ func isProcType(t types.Type) bool {
 	return obj.Name() == "Proc" && obj.Pkg() != nil && obj.Pkg().Name() == pgasPkgName
 }
 
+// isProcImplMethod reports whether fd declares a method with one of the
+// given names on a concrete receiver — a transport or interposing wrapper
+// (e.g. pgas/faulty) implementing the Proc contract by delegation. The
+// invariants the checkers enforce bind the interface's consumers, not its
+// implementations: a wrapper's Lock forwarding to inner.Lock is not a
+// leaked acquisition, and a wrapper's Local returning inner.Local(seg) is
+// not an escaping protocol window — the obligation transfers to the
+// wrapper's caller, where the same checkers see it.
+func isProcImplMethod(fd *ast.FuncDecl, names ...string) bool {
+	if fd.Recv == nil {
+		return false
+	}
+	for _, n := range names {
+		if fd.Name.Name == n {
+			return true
+		}
+	}
+	return false
+}
+
 // exprKey renders an expression to a canonical string, used to match the
 // (proc, id) arguments of Lock/Unlock pairs.
 func exprKey(e ast.Expr) string { return types.ExprString(e) }

@@ -32,7 +32,14 @@ func runLocalEscape(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
-				localEscapeFunc(pass, fd.Body)
+				// A concrete method named Local is a transport or wrapper
+				// implementing the accessor by delegation — returning
+				// inner.Local(seg) there is the implementation, not an
+				// escape (the caller's window rules still apply at the
+				// call site).
+				if !isProcImplMethod(fd, "Local") {
+					localEscapeFunc(pass, fd.Body)
+				}
 				return false
 			}
 			return true

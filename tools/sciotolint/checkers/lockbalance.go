@@ -28,6 +28,11 @@ import (
 // a branch on ok. The analysis is intraprocedural and keys locks by the
 // source text of the argument pair, so Lock/Unlock calls must spell the
 // pair the same way — which is also what a human reader needs.
+//
+// Methods named Lock, TryLock, or Unlock on a concrete receiver are
+// exempt: they are a transport or wrapper (e.g. pgas/faulty) implementing
+// the lock primitive by delegation, so the balance obligation lies with
+// their caller, not inside them.
 var LockBalance = &analysis.Analyzer{
 	Name: "lockbalance",
 	Doc: "flags p.Lock(proc, id) with a return path lacking a matching Unlock " +
@@ -93,7 +98,7 @@ func runLockBalance(pass *analysis.Pass) error {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.FuncDecl:
-				if n.Body != nil {
+				if n.Body != nil && !isProcImplMethod(n, "Lock", "TryLock", "Unlock") {
 					c.checkFunc(n.Body)
 				}
 			case *ast.FuncLit:

@@ -69,3 +69,17 @@ func goodInline(p pgas.Proc, seg pgas.Seg, wire []byte) {
 	p.Barrier()
 	_ = p.Local(seg)[0]
 }
+
+// A wrapper transport (the shape of pgas/faulty) implements Local by
+// delegation: returning inner.Local there is the implementation, not an
+// escape.
+type wrapper struct{ inner pgas.Proc }
+
+func (w *wrapper) Local(seg pgas.Seg) []byte {
+	return w.inner.Local(seg)
+}
+
+// A differently named method returning the slice is still an escape.
+func (w *wrapper) grab(seg pgas.Seg) []byte {
+	return w.inner.Local(seg) // want `Local slice returned from the function`
+}

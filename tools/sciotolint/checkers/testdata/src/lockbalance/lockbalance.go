@@ -106,3 +106,26 @@ func goodLoop(p pgas.Proc, id pgas.LockID) {
 		p.Unlock(0, id)
 	}
 }
+
+// A wrapper transport (the shape of pgas/faulty) implements the lock
+// primitives by delegation: the method IS the acquisition, and the
+// balance obligation lies with its caller, so no diagnostic fires inside.
+type wrapper struct{ inner pgas.Proc }
+
+func (w *wrapper) Lock(proc int, id pgas.LockID) {
+	w.inner.Lock(proc, id)
+}
+
+func (w *wrapper) TryLock(proc int, id pgas.LockID) bool {
+	return w.inner.TryLock(proc, id)
+}
+
+func (w *wrapper) Unlock(proc int, id pgas.LockID) {
+	w.inner.Unlock(proc, id)
+}
+
+// The exemption is by method name, not by receiver: a differently named
+// helper on the same wrapper is an ordinary consumer and is still checked.
+func (w *wrapper) leakyHelper(id pgas.LockID) {
+	w.inner.Lock(0, id) // want `not released on the path falling off the end of the function`
+}
