@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet chaos all
+.PHONY: build test race lint vet chaos bench-smoke all
 
 all: build lint test
 
@@ -32,3 +32,11 @@ vet:
 chaos:
 	$(GO) test -race -count=1 ./internal/pgas/faulty/
 	$(GO) test -race -count=1 -run 'TestCrashContainment|TestInjectedCrashOverTCP|TestHeartbeat|TestOpContext|TestBackoff|TestDialRetry' ./internal/pgas/tcp/
+
+# One iteration of the Table 1 benchmarks (shm and simulated cluster).
+# This is a smoke test, not a measurement: it proves the benchmark
+# harness still builds and runs, so a refactor cannot silently rot the
+# perf tooling between full EXPERIMENTS.md regenerations. CI runs the
+# same target.
+bench-smoke:
+	$(GO) test -run=NONE -bench=Table1 -benchtime=1x ./internal/bench/

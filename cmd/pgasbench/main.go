@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"scioto"
@@ -45,6 +46,7 @@ func main() {
 		runLatency(p, *iters)
 		runBandwidth(p, *iters)
 		runAtomics(p, *iters)
+		runNb(p, *iters)
 		runCollectives(p, *iters)
 	})
 	transportflag.Check(err)
@@ -125,6 +127,69 @@ func runAtomics(p pgas.Proc, iters int) {
 	total := int64(iters) * int64(p.NProcs())
 	report(p, "atomics: hot counter %.2f Mop/s, spread %.2f Mop/s",
 		float64(total)/hot.Seconds()/1e6, float64(total)/spread.Seconds()/1e6)
+}
+
+// runNb measures the steal-shaped remote sequence — two word reads, a bulk
+// get, a fetch-add, and a word store against one victim — first as serial
+// blocking operations (five round trips) and then as the pipelined
+// non-blocking form the runtime's steal path uses (two completion rounds).
+// It also reports heap allocations per pipelined sequence: the runtime
+// pools its in-flight records and frame buffers, so the steady state
+// should be zero on every transport.
+func runNb(p pgas.Proc, iters int) {
+	const chunk = 4 * 64
+	seg := p.AllocData(chunk)
+	words := p.AllocWords(4)
+	p.Barrier()
+	if p.Rank() == 0 {
+		buf := make([]byte, chunk)
+		var bottom, limit, old int64
+
+		serialOnce := func() {
+			bottom = p.Load64(1, words, 0)
+			limit = p.Load64(1, words, 2)
+			p.Get(buf, 1, seg, 0)
+			p.FetchAdd64(1, words, 3, 1)
+			p.Store64(1, words, 0, bottom+1)
+		}
+		pipelinedOnce := func() {
+			p.NbLoad64(1, words, 0, &bottom)
+			p.NbLoad64(1, words, 2, &limit)
+			p.Flush()
+			p.NbGet(buf, 1, seg, 0)
+			p.NbFetchAdd64(1, words, 3, 1, &old)
+			p.NbStore64(1, words, 0, bottom+1)
+			p.Flush()
+		}
+
+		t0 := p.Now()
+		for i := 0; i < iters; i++ {
+			serialOnce()
+		}
+		serial := (p.Now() - t0) / time.Duration(iters)
+
+		// Warm the pools before timing and counting the pipelined form.
+		for i := 0; i < iters/10+1; i++ {
+			pipelinedOnce()
+		}
+		t0 = p.Now()
+		for i := 0; i < iters; i++ {
+			pipelinedOnce()
+		}
+		pipe := (p.Now() - t0) / time.Duration(iters)
+
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < iters; i++ {
+			pipelinedOnce()
+		}
+		runtime.ReadMemStats(&m1)
+		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(iters)
+
+		fmt.Printf("nb steal sequence: serial %v, pipelined %v (%.2fx), %.2f allocs/op\n",
+			serial, pipe, float64(serial)/float64(pipe), allocs)
+	}
+	p.Barrier()
 }
 
 // runCollectives measures barrier and allreduce cost.

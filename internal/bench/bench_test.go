@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"scioto/internal/pgas/shm"
 	"scioto/internal/uts"
 )
 
@@ -37,6 +38,28 @@ func TestTable1Ordering(t *testing.T) {
 	}
 	if cl.RemoteSteal < cl.RemoteInsert {
 		t.Errorf("steal (%v) should cost at least a remote insert (%v)", cl.RemoteSteal, cl.RemoteInsert)
+	}
+}
+
+// BenchmarkTable1Cluster and BenchmarkTable1SHM are the CI bench-smoke
+// targets (`go test -run=NONE -bench=Table1 -benchtime=1x`): one full
+// Table 1 measurement per iteration on the calibrated dsim cluster and on
+// the real shared-memory transport, with the headline steal latency
+// exported as a custom metric so regressions show up in benchmark output.
+
+func BenchmarkTable1Cluster(b *testing.B) {
+	o := Table1Options{Iters: 200}.withDefaults()
+	for i := 0; i < b.N; i++ {
+		tm := measureOpsOn(ClusterWorld(2, 1), o)
+		b.ReportMetric(float64(tm.RemoteSteal.Nanoseconds())/1e3, "steal-µs")
+	}
+}
+
+func BenchmarkTable1SHM(b *testing.B) {
+	o := Table1Options{Iters: 200}.withDefaults()
+	for i := 0; i < b.N; i++ {
+		tm := measureOpsOn(shm.NewWorld(shm.Config{NProcs: 2, Seed: 1}), o)
+		b.ReportMetric(float64(tm.RemoteSteal.Nanoseconds())/1e3, "steal-µs")
 	}
 }
 

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"scioto/internal/pgas"
+	"scioto/internal/pgas/shm"
+)
+
+// BenchmarkRemoteSteal times the pipelined steal path end to end on the
+// shm transport: rank 1 keeps its queue topped up while rank 0 performs
+// the measured steals. Allocations are reported per steal; after pool
+// warm-up the steady state should be zero (see TestStealPathZeroAllocs
+// for the hard assertion).
+func BenchmarkRemoteSteal(b *testing.B) {
+	const chunk = 4
+	w := shm.NewWorld(shm.Config{NProcs: 2, Seed: 3})
+	b.ReportAllocs()
+	if err := w.Run(func(p pgas.Proc) {
+		q := newTaskQueue(p, ModeSplit, HeaderBytes+64, 256)
+		done := p.AllocWords(1)
+		p.Barrier()
+		var s Stats
+		wire := NewTask(0, 64).wire()
+		if p.Rank() == 1 {
+			// Keep the shared end stocked until rank 0 finishes.
+			for p.RelaxedLoad64(done, 0) == 0 {
+				q.addRemote(1, wire, &s)
+			}
+			return
+		}
+		stealOne := func() {
+			for {
+				batch, res := q.steal(1, chunk, false, &s)
+				if res == stealOK {
+					batch.recycle()
+					return
+				}
+			}
+		}
+		for i := 0; i < 32; i++ {
+			stealOne() // warm the pools before the timed region
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stealOne()
+		}
+		b.StopTimer()
+		p.Store64(1, done, 0, 1)
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestStealPathZeroAllocs is the allocation gate on the steal hot path:
+// after pool warm-up, a steady-state steal must not allocate. GC is
+// disabled for the measurement so sync.Pool eviction between samples
+// cannot fake an allocation.
+func TestStealPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the gate runs in normal builds")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	w := shm.NewWorld(shm.Config{NProcs: 2, Seed: 4})
+	var allocs float64
+	if err := w.Run(func(p pgas.Proc) {
+		a := MeasureStealAllocs(p, 64, 4, 200)
+		if p.Rank() == 0 {
+			allocs = a
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("steal path allocates %.2f objects/steal in steady state, want 0", allocs)
+	}
+}

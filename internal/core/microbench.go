@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"scioto/internal/pgas"
@@ -89,13 +90,73 @@ func MeasureOps(p pgas.Proc, bodySize, chunk, iters int) OpTimings {
 	if p.Rank() == 0 {
 		t0 := p.Now()
 		for i := 0; i < iters; i++ {
-			slots, res := q.steal(1, chunk, false, &s)
-			if res != stealOK || len(slots) != chunk {
-				panic(fmt.Sprintf("core: microbench steal failed: %v (%d slots)", res, len(slots)))
+			batch, res := q.steal(1, chunk, false, &s)
+			if res != stealOK || len(batch.slots) != chunk {
+				panic(fmt.Sprintf("core: microbench steal failed: %v", res))
 			}
+			batch.recycle()
 		}
 		out.RemoteSteal = per(p.Now() - t0)
 	}
 	p.Barrier()
 	return out
+}
+
+// MeasureStealAllocs reports the average heap allocations per successful
+// steal on the calling rank, exercising the same pipelined path as
+// MeasureOps. It must be called collectively on a world with at least two
+// processes; rank 0 steals from rank 1 and returns the average (other
+// ranks return 0). The steady-state figure should be zero: the bulk
+// buffer, the transport's in-flight operation records, and the wire
+// frames are all pooled.
+func MeasureStealAllocs(p pgas.Proc, bodySize, chunk, iters int) float64 {
+	if p.NProcs() < 2 {
+		panic("core: MeasureStealAllocs needs at least 2 processes")
+	}
+	if iters <= 0 {
+		iters = 100
+	}
+	slotSize := HeaderBytes + bodySize
+	capacity := iters*chunk + 8
+	q := newTaskQueue(p, ModeSplit, slotSize, capacity)
+	var s Stats
+	task := NewTask(0, bodySize)
+	wire := task.wire()
+
+	p.Barrier()
+	if p.Rank() == 1 {
+		for i := 0; i < iters*chunk; i++ {
+			if !q.addRemote(1, wire, &s) {
+				panic("core: alloc bench victim overflow")
+			}
+		}
+	}
+	p.Barrier()
+	var allocs float64
+	if p.Rank() == 0 {
+		steals := func(n int) {
+			for i := 0; i < n; i++ {
+				batch, res := q.steal(1, chunk, false, &s)
+				if res != stealOK {
+					panic(fmt.Sprintf("core: alloc bench steal failed: %v", res))
+				}
+				batch.recycle()
+			}
+		}
+		// Warm the pools (batch, transport op records, frame buffers)
+		// before measuring the steady state.
+		warm := iters / 10
+		if warm < 1 {
+			warm = 1
+		}
+		steals(warm)
+		measured := iters - warm
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		steals(measured)
+		runtime.ReadMemStats(&m1)
+		allocs = float64(m1.Mallocs-m0.Mallocs) / float64(measured)
+	}
+	p.Barrier()
+	return allocs
 }

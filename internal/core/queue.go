@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"scioto/internal/pgas"
@@ -67,6 +68,18 @@ type taskQueue struct {
 	data pgas.Seg // capacity * slotSize bytes per process
 	meta pgas.Seg // nQWords words per process
 	lock pgas.LockID
+
+	// nbOld receives the discarded previous value of the pipelined
+	// dirty-mark fetch-add in steal. It lives on the queue rather than the
+	// stack so the completion write (performed by a transport goroutine on
+	// tcp) has a stable, non-escaping destination.
+	nbOld int64
+	// nbBottom and nbLimit are the destinations of the pipelined index
+	// loads in steal and addRemote (which reads the top word into
+	// nbLimit). On the queue for the same reason as nbOld: an out-pointer
+	// to a stack local escapes through the interface call and costs a
+	// heap allocation per steal.
+	nbBottom, nbLimit int64
 
 	tracer *trace.Recorder // nil = tracing disabled
 }
@@ -279,16 +292,25 @@ func (q *taskQueue) popLocked(s *Stats) (*Task, bool) {
 // rank, which is how local low-affinity adds reach the shared portion.
 func (q *taskQueue) addRemote(proc int, wire []byte, s *Stats) bool {
 	q.p.Lock(proc, q.lock)
-	bottom := q.p.Load64(proc, q.meta, wBottom)
-	top := q.p.Load64(proc, q.meta, wTop)
+	// Both index words travel in one pipelined round instead of two
+	// sequential remote loads.
+	q.p.NbLoad64(proc, q.meta, wBottom, &q.nbBottom)
+	q.p.NbLoad64(proc, q.meta, wTop, &q.nbLimit)
+	q.p.Flush()
+	bottom, top := q.nbBottom, q.nbLimit
 	if top-(bottom-1) > int64(q.capacity) {
 		q.p.Unlock(proc, q.lock)
 		return false
 	}
 	newBottom := bottom - 1
 	off := q.slotOff(newBottom)
-	q.p.Put(proc, q.data, off, wire)
-	q.p.Store64(proc, q.meta, wBottom, newBottom)
+	// The descriptor Put overlaps the index store that publishes it:
+	// operations to one target apply in issue order (pgas.Proc), so no
+	// reader can observe the lowered bottom before the slot bytes landed.
+	// Both complete before Unlock releases the shared region.
+	q.p.NbPut(proc, q.data, off, wire)
+	q.p.NbStore64(proc, q.meta, wBottom, newBottom)
+	q.p.Flush()
 	q.p.Unlock(proc, q.lock)
 	if proc == q.p.Rank() {
 		s.LocalSharedInserts++
@@ -307,23 +329,49 @@ const (
 	stealBusy
 )
 
+// stealBatch carries the slot bytes taken by one steal: slots are
+// slotSize-sized windows into one bulk buffer. Batches are pooled — the
+// caller recycles them once the slots are decoded (decodeTask copies), so
+// the steady-state steal path allocates nothing.
+type stealBatch struct {
+	buf   []byte
+	slots [][]byte
+}
+
+var stealPool = sync.Pool{New: func() any { return new(stealBatch) }}
+
+// recycle returns the batch to the pool. The caller must not retain the
+// slot slices afterwards.
+func (b *stealBatch) recycle() {
+	b.slots = b.slots[:0]
+	stealPool.Put(b)
+}
+
 // steal attempts to take up to chunk tasks from the shared end of the queue
-// on process victim. Stolen descriptors are returned as raw slot bytes
-// (slotSize each). markDirty, when true, increments the victim's dirty
-// counter (termination detection) before publishing the new steal index.
-func (q *taskQueue) steal(victim, chunk int, markDirty bool, s *Stats) ([][]byte, stealResult) {
+// on process victim. Stolen descriptors are returned as a pooled batch of
+// raw slot bytes (slotSize each) that the caller recycles after decoding.
+// markDirty, when true, increments the victim's dirty counter (termination
+// detection) before publishing the new steal index.
+//
+// The remote sequence is pipelined into two completion rounds under the
+// lock — (bottom, limit) loads, then transfer+mark+publish — instead of up
+// to five sequential round trips, mirroring how Scioto's ARMCI
+// implementation overlaps its queue transfers with non-blocking one-sided
+// operations.
+func (q *taskQueue) steal(victim, chunk int, markDirty bool, s *Stats) (*stealBatch, stealResult) {
 	s.StealAttempts++
 	if !q.p.TryLock(victim, q.lock) {
 		s.StealsBusy++
 		return nil, stealBusy
 	}
-	bottom := q.p.Load64(victim, q.meta, wBottom)
-	var limit int64
-	if q.mode == ModeSplit {
-		limit = q.p.Load64(victim, q.meta, wSplit)
-	} else {
-		limit = q.p.Load64(victim, q.meta, wTop)
+	limitWord := wSplit
+	if q.mode != ModeSplit {
+		limitWord = wTop
 	}
+	q.p.NbLoad64(victim, q.meta, wBottom, &q.nbBottom)
+	q.p.NbLoad64(victim, q.meta, limitWord, &q.nbLimit)
+	q.p.Flush()
+	bottom, limit := q.nbBottom, q.nbLimit
 	avail := limit - bottom
 	if avail <= 0 {
 		q.p.Unlock(victim, q.lock)
@@ -334,29 +382,41 @@ func (q *taskQueue) steal(victim, chunk int, markDirty bool, s *Stats) ([][]byte
 	if k > avail {
 		k = avail
 	}
+	b := stealPool.Get().(*stealBatch)
+	n := int(k) * q.slotSize
+	if cap(b.buf) < n {
+		b.buf = make([]byte, n)
+	}
+	buf := b.buf[:n]
 	// Bulk transfer: the ring layout means at most two contiguous extents.
-	buf := make([]byte, int(k)*q.slotSize)
+	// The extent Gets, the dirty mark, and the store publishing the new
+	// steal index leave as one pipelined batch. Overlapping the store with
+	// the Gets is safe because operations to one target apply in issue
+	// order (pgas.Proc): the owner cannot observe the advanced bottom —
+	// and push fresh work onto the stolen slots — before the Gets have
+	// read them. All must still complete before Unlock releases the
+	// region.
 	first := int64(q.capacity) - q.slotIndex(bottom)
 	if first > k {
 		first = k
 	}
-	q.p.Get(buf[:int(first)*q.slotSize], victim, q.data, q.slotOff(bottom))
+	q.p.NbGet(buf[:int(first)*q.slotSize], victim, q.data, q.slotOff(bottom))
 	if first < k {
-		q.p.Get(buf[int(first)*q.slotSize:], victim, q.data, q.slotOff(bottom+first))
+		q.p.NbGet(buf[int(first)*q.slotSize:], victim, q.data, q.slotOff(bottom+first))
 	}
 	if markDirty {
-		q.p.FetchAdd64(victim, q.meta, wDirty, 1)
+		q.p.NbFetchAdd64(victim, q.meta, wDirty, 1, &q.nbOld)
 		s.DirtyMarksSent++
 	}
-	q.p.Store64(victim, q.meta, wBottom, bottom+k)
+	q.p.NbStore64(victim, q.meta, wBottom, bottom+k)
+	q.p.Flush()
 	q.p.Unlock(victim, q.lock)
-	out := make([][]byte, int(k))
-	for i := range out {
-		out[i] = buf[i*q.slotSize : (i+1)*q.slotSize]
+	for i := 0; i < int(k); i++ {
+		b.slots = append(b.slots, buf[i*q.slotSize:(i+1)*q.slotSize])
 	}
 	s.StealsOK++
 	s.TasksStolen += k
-	return out, stealOK
+	return b, stealOK
 }
 
 // dirtyCounter reads this process's dirty counter with an ordered load.

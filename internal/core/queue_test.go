@@ -71,17 +71,18 @@ func TestQueueRemoteAddThenSteal(t *testing.T) {
 		p.Barrier()
 		if p.Rank() == 0 {
 			// Steal back from rank 1's shared region.
-			slots, res := q.steal(1, 4, false, &s)
-			if res != stealOK || len(slots) != 4 {
-				panic(fmt.Sprintf("steal: %v/%d", res, len(slots)))
+			batch, res := q.steal(1, 4, false, &s)
+			if res != stealOK || len(batch.slots) != 4 {
+				panic(fmt.Sprintf("steal: %v", res))
 			}
 			// The last prepended values sit at the lowest indices: 5,4,3,2.
-			for i, slot := range slots {
+			for i, slot := range batch.slots {
 				want := int64(5 - i)
 				if got := pgas.GetI64(decodeTask(slot).Body()); got != want {
 					panic(fmt.Sprintf("steal slot %d = %d, want %d", i, got, want))
 				}
 			}
+			batch.recycle()
 		}
 	})
 }
@@ -307,22 +308,24 @@ func TestQueueStealConcurrencyStress(t *testing.T) {
 			p.Store64(0, done, 0, 1)
 		} else {
 			for p.Load64(0, done, 0) == 0 {
-				slots, res := q.steal(1, 7, false, &s)
+				batch, res := q.steal(1, 7, false, &s)
 				if res == stealOK {
-					for _, slot := range slots {
+					for _, slot := range batch.slots {
 						seen[pgas.GetI64(decodeTask(slot).Body())]++
 					}
+					batch.recycle()
 				}
 			}
 			// Final sweep after the producer finished.
 			for {
-				slots, res := q.steal(1, 7, false, &s)
+				batch, res := q.steal(1, 7, false, &s)
 				if res != stealOK {
 					break
 				}
-				for _, slot := range slots {
+				for _, slot := range batch.slots {
 					seen[pgas.GetI64(decodeTask(slot).Body())]++
 				}
+				batch.recycle()
 			}
 		}
 		p.Barrier()

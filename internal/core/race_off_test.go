@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build (see race_on_test.go). Its instrumentation allocates, which would
+// fail the zero-allocation gate on the steal path.
+const raceEnabled = false

@@ -317,10 +317,10 @@ func (tc *TC) Process() {
 					tc.stats.DirtyMarksElided++
 				}
 			}
-			slots, res := tc.q.steal(victim, tc.cfg.ChunkSize, markDirty, &tc.stats)
+			batch, res := tc.q.steal(victim, tc.cfg.ChunkSize, markDirty, &tc.stats)
 			switch res {
 			case stealOK:
-				tc.tracer.Record(p.Now(), trace.StealOK, int64(victim), int64(len(slots)))
+				tc.tracer.Record(p.Now(), trace.StealOK, int64(victim), int64(len(batch.slots)))
 			case stealEmpty:
 				tc.tracer.Record(p.Now(), trace.StealEmpty, int64(victim), 0)
 			case stealBusy:
@@ -328,7 +328,8 @@ func (tc *TC) Process() {
 			}
 			if res == stealOK {
 				tc.td.noteBalance()
-				tc.enqueueStolen(slots)
+				tc.enqueueStolen(batch.slots)
+				batch.recycle()
 				tc.stats.IdleTime += p.Now() - idle0
 				continue
 			}
@@ -352,7 +353,8 @@ func (tc *TC) Process() {
 	p.Barrier()
 }
 
-// enqueueStolen pushes stolen slot images onto the local queue.
+// enqueueStolen pushes stolen slot images onto the local queue. decodeTask
+// copies the slot bytes, so the caller may recycle the batch afterwards.
 func (tc *TC) enqueueStolen(slots [][]byte) {
 	for _, slot := range slots {
 		t := decodeTask(slot)
@@ -403,11 +405,23 @@ func (tc *TC) GlobalStats() Stats {
 		p.Store64(p.Rank(), seg, i, v)
 	}
 	p.Barrier()
+	// Pipeline the whole gather — one non-blocking load per (rank, word),
+	// completed by a single Flush. Issued serially this collective is
+	// O(P·statsWords) round trips per process, which at large P dwarfs
+	// the task-parallel phase it is trying to measure.
+	n := p.NProcs()
+	cells := make([]int64, n*statsWords)
+	for r := 0; r < n; r++ {
+		for i := 0; i < statsWords; i++ {
+			p.NbLoad64(r, seg, i, &cells[r*statsWords+i])
+		}
+	}
+	p.Flush()
 	var total Stats
 	acc := make([]int64, statsWords)
-	for r := 0; r < p.NProcs(); r++ {
+	for r := 0; r < n; r++ {
 		for i := range acc {
-			acc[i] += p.Load64(r, seg, i)
+			acc[i] += cells[r*statsWords+i]
 		}
 	}
 	total.fromSlice(acc)

@@ -281,6 +281,44 @@ func (p *proc) CAS64(proc int, seg pgas.Seg, idx int, old, new int64) bool {
 	return p.inner.CAS64(proc, seg, idx, old, new)
 }
 
+// Non-blocking operations inject at issue time — the fault stream sees
+// the same operation sequence whether a program uses blocking or
+// non-blocking forms, so an injected crash/drop schedule is insensitive
+// to pipelining. Wait and Flush are completion points, not new
+// operations, and delegate without injection.
+
+func (p *proc) NbGet(dst []byte, proc int, seg pgas.Seg, off int) pgas.Nb {
+	p.inject(proc, "NbGet", func() string {
+		return fmt.Sprintf("seg=%d, off=%d, n=%d", seg, off, len(dst))
+	})
+	return p.inner.NbGet(dst, proc, seg, off)
+}
+
+func (p *proc) NbPut(proc int, seg pgas.Seg, off int, src []byte) pgas.Nb {
+	p.inject(proc, "NbPut", func() string {
+		return fmt.Sprintf("seg=%d, off=%d, n=%d", seg, off, len(src))
+	})
+	return p.inner.NbPut(proc, seg, off, src)
+}
+
+func (p *proc) NbLoad64(proc int, seg pgas.Seg, idx int, out *int64) pgas.Nb {
+	p.inject(proc, "NbLoad64", func() string { return fmt.Sprintf("seg=%d, idx=%d", seg, idx) })
+	return p.inner.NbLoad64(proc, seg, idx, out)
+}
+
+func (p *proc) NbStore64(proc int, seg pgas.Seg, idx int, val int64) pgas.Nb {
+	p.inject(proc, "NbStore64", func() string { return fmt.Sprintf("seg=%d, idx=%d", seg, idx) })
+	return p.inner.NbStore64(proc, seg, idx, val)
+}
+
+func (p *proc) NbFetchAdd64(proc int, seg pgas.Seg, idx int, delta int64, old *int64) pgas.Nb {
+	p.inject(proc, "NbFetchAdd64", func() string { return fmt.Sprintf("seg=%d, idx=%d", seg, idx) })
+	return p.inner.NbFetchAdd64(proc, seg, idx, delta, old)
+}
+
+func (p *proc) Wait(h pgas.Nb) { p.inner.Wait(h) }
+func (p *proc) Flush()         { p.inner.Flush() }
+
 func (p *proc) Lock(proc int, id pgas.LockID) {
 	p.inject(proc, "Lock", func() string { return fmt.Sprintf("host=%d, id=%d", proc, id) })
 	if p.cfg.LockStall > 0 {

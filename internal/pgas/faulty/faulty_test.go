@@ -133,6 +133,19 @@ func TestInjectedDrop(t *testing.T) {
 	}
 }
 
+// TestNbFaultInjection checks that faults injected at issue time on
+// pending non-blocking operations still surface as rank-attributed
+// FaultErrors from Run — the pipeline must not swallow them.
+func TestNbFaultInjection(t *testing.T) {
+	pgastest.RunNbFaultInjection(t, func(n int) pgas.World {
+		return Wrap(shm.NewWorld(shm.Config{NProcs: n}), Config{
+			Seed:      13,
+			DropProb:  0.05,
+			CrashRank: NoCrash,
+		})
+	})
+}
+
 // TestDeterministicInjection: identical seeds produce identical fault
 // schedules; different seeds are allowed to differ (and do, for this pair).
 // The world is dsim because the property under test is end-to-end: each

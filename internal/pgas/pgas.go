@@ -37,6 +37,9 @@
 // segments hold 64-bit integers and are accessed with atomic operations.
 // Bulk data operations are not atomic with respect to one another except as
 // documented; callers synchronize with locks, exactly as ARMCI programs do.
+// Every one-sided operation also has a non-blocking form (NbGet, NbPut,
+// NbLoad64, NbStore64, NbFetchAdd64) returning a handle completed by
+// Wait/Flush; see the Proc interface for the overlap and ordering rules.
 //
 // Failure model. A transport operation that cannot complete — the target
 // process died, a frame was lost, a deadline expired — has no meaningful
@@ -65,6 +68,16 @@ const AnySource = -1
 // are small integers assigned in collective allocation order, so every
 // process holds the same handle for the same logical segment.
 type Seg int
+
+// Nb identifies a pending non-blocking one-sided operation issued by a
+// Proc, in the style of ARMCI's armci_hdl_t. Handles are only meaningful
+// to the Proc that issued them and only until the operation completes.
+type Nb uint64
+
+// NbDone is the handle of an operation that completed at issue time (a
+// self-targeting operation, or any operation on a transport that completes
+// inline). Wait(NbDone) returns immediately.
+const NbDone Nb = 0
 
 // LockID identifies a collectively allocated lock. Each process hosts one
 // instance of every lock; Lock(p, id) acquires the instance hosted on
@@ -134,6 +147,47 @@ type Proc interface {
 	FetchAdd64(proc int, seg Seg, idx int, delta int64) int64
 	// CAS64 atomically compares-and-swaps the word, reporting success.
 	CAS64(proc int, seg Seg, idx int, old, new int64) bool
+
+	// Non-blocking one-sided operations, mirroring ARMCI_NbGet/NbPut.
+	// Each Nb method initiates the transfer and returns a handle; the
+	// operation is guaranteed complete only once Wait on its handle or
+	// Flush has returned. Until then the caller must not read an output
+	// location (dst of NbGet, out of NbLoad64, old of NbFetchAdd64) and
+	// must not modify an input buffer (src of NbPut).
+	//
+	// Ordering rules (the contract the split queue's pipelined steal
+	// depends on; see DESIGN.md):
+	//
+	//   - Operations issued by one process to the SAME target rank are
+	//     applied at the target in issue order, including relative to this
+	//     process's blocking operations (per origin-target FIFO, the order
+	//     of frames on one connection).
+	//   - No ordering holds between operations to DIFFERENT targets until
+	//     Wait or Flush returns.
+	//   - Wait(h) completes h; it may complete other pending operations as
+	//     well. Flush completes every pending operation of this Proc.
+	//
+	// Transports may complete an operation at issue time and return NbDone;
+	// shm does so for every operation, keeping race-detector interleavings
+	// identical to the blocking path.
+
+	// NbGet initiates a Get of len(dst) bytes into dst.
+	NbGet(dst []byte, proc int, seg Seg, off int) Nb
+	// NbPut initiates a Put of src.
+	NbPut(proc int, seg Seg, off int, src []byte) Nb
+	// NbLoad64 initiates an atomic read whose result is stored into *out
+	// at completion.
+	NbLoad64(proc int, seg Seg, idx int, out *int64) Nb
+	// NbStore64 initiates an atomic write.
+	NbStore64(proc int, seg Seg, idx int, val int64) Nb
+	// NbFetchAdd64 initiates an atomic fetch-and-add; the previous value is
+	// stored into *old at completion.
+	NbFetchAdd64(proc int, seg Seg, idx int, delta int64, old *int64) Nb
+	// Wait blocks until the operation identified by h has completed.
+	Wait(h Nb)
+	// Flush blocks until every pending non-blocking operation issued by
+	// this Proc has completed.
+	Flush()
 
 	// RelaxedLoad64 reads word idx of this process's own instance of seg
 	// without establishing a global ordering. It is intended for owner-side

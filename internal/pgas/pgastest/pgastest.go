@@ -66,6 +66,10 @@ func RunConformanceOptions(t *testing.T, newWorld Factory, opts Options) {
 	t.Run("SingleProc", func(t *testing.T) { testSingleProc(t, newWorld) })
 	t.Run("PanicPropagates", func(t *testing.T) { testPanicPropagates(t, newWorld) })
 	t.Run("RandDeterministicPerRank", func(t *testing.T) { testRand(t, newWorld, opts) })
+	t.Run("NbCompletionOrdering", func(t *testing.T) { testNbCompletionOrdering(t, newWorld) })
+	t.Run("NbReuseAfterWait", func(t *testing.T) { testNbReuseAfterWait(t, newWorld) })
+	t.Run("NbPipelinedBatch", func(t *testing.T) { testNbPipelinedBatch(t, newWorld) })
+	t.Run("NbFlushBeforeUnlock", func(t *testing.T) { testNbFlushBeforeUnlock(t, newWorld) })
 }
 
 func run(t *testing.T, w pgas.World, body func(p pgas.Proc)) {

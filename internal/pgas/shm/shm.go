@@ -354,6 +354,41 @@ func (p *proc) CAS64(proc int, seg pgas.Seg, idx int, old, new int64) bool {
 	return atomic.CompareAndSwapInt64(&p.w.wordSegs[seg][proc][idx], old, new)
 }
 
+// Non-blocking operations complete inline: the shm transport's value is
+// race-detector coverage of the real memory operations, and deferring them
+// to Wait/Flush would hide exactly the interleavings the detector should
+// see. Handles are therefore always NbDone and Wait/Flush are no-ops,
+// which is a legal (maximally eager) completion schedule under the Proc
+// contract.
+
+func (p *proc) NbGet(dst []byte, proc int, seg pgas.Seg, off int) pgas.Nb {
+	p.Get(dst, proc, seg, off)
+	return pgas.NbDone
+}
+
+func (p *proc) NbPut(proc int, seg pgas.Seg, off int, src []byte) pgas.Nb {
+	p.Put(proc, seg, off, src)
+	return pgas.NbDone
+}
+
+func (p *proc) NbLoad64(proc int, seg pgas.Seg, idx int, out *int64) pgas.Nb {
+	*out = p.Load64(proc, seg, idx)
+	return pgas.NbDone
+}
+
+func (p *proc) NbStore64(proc int, seg pgas.Seg, idx int, val int64) pgas.Nb {
+	p.Store64(proc, seg, idx, val)
+	return pgas.NbDone
+}
+
+func (p *proc) NbFetchAdd64(proc int, seg pgas.Seg, idx int, delta int64, old *int64) pgas.Nb {
+	*old = p.FetchAdd64(proc, seg, idx, delta)
+	return pgas.NbDone
+}
+
+func (p *proc) Wait(pgas.Nb) {}
+func (p *proc) Flush()       {}
+
 func (p *proc) RelaxedLoad64(seg pgas.Seg, idx int) int64 {
 	return atomic.LoadInt64(&p.w.wordSegs[seg][p.rank][idx])
 }

@@ -62,13 +62,27 @@
 // # Wire protocol
 //
 // Every message is a length-prefixed frame: a little-endian uint32 byte
-// count followed by the payload. A request payload is one opcode byte
-// followed by fixed-width little-endian fields (and trailing bulk bytes
-// where noted). A reply is a status byte — replyOK followed by the result
-// payload, or replyFaulted followed by an encoded fault (see below) when
-// the serving rank's world has faulted — with no opcode, because each
-// connection carries at most one outstanding request. The first frame on
-// every mesh connection (data and heartbeat alike) is opHello, so the
+// count followed by the payload. On the rendezvous connections the
+// payload is as documented in the bootstrap section. On the mesh
+// connections (data and heartbeat alike) every frame additionally starts
+// with a uint32 sequence number assigned by the dialing side: a request
+// is [seq u32][opcode][fixed-width little-endian fields] (with trailing
+// bulk bytes where noted), and a reply is [seq u32][status byte][payload]
+// where seq echoes the request being answered. Correlating replies by
+// sequence number is what permits pipelining — many requests in flight on
+// one connection — which the non-blocking Proc operations exploit: their
+// frames accumulate in the connection's write buffer and leave as a
+// single write at the next flush, and the replies stream back in order.
+// The service applies one connection's requests strictly in frame order,
+// which is the per-origin-target FIFO ordering the pgas.Proc contract
+// promises for non-blocking operations. The status byte is replyOK
+// followed by the result payload, or replyFaulted followed by an encoded
+// fault (see below) when the serving rank's world has faulted. Frames are
+// assembled (length prefix included) in pooled buffers and written with a
+// single Write call, so the steady-state operation path performs one
+// syscall per flush and allocates nothing.
+//
+// The first frame on every mesh connection is opHello (seq 0), so the
 // serving rank can attribute a mid-run EOF to the dialing rank. One
 // request/reply op exists per remote Proc method:
 //

@@ -2,16 +2,17 @@ package tcp
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
 // startHeartbeat launches one pinger goroutine per peer. Each pinger owns
-// a dedicated connection — sharing the data connection would interleave
-// pings with the strict request/reply RPC stream — and sends opPing every
-// interval, expecting the ok reply within three intervals. A miss marks
-// the peer dead.
+// a dedicated connection — on the shared data connection a ping would
+// queue behind bulk transfers and deferred lock grants, muddying its
+// timing — and sends opPing every interval, expecting the ok reply within
+// three intervals. A miss marks the peer dead.
 //
 // Heartbeats catch the failure EOF detection cannot: a peer that is alive
 // but wedged (deadlocked service, livelocked host). For plain crashes the
@@ -41,16 +42,19 @@ func pingLoop(own *owner, self, peer int, addr string, interval time.Duration, r
 	r := bufio.NewReader(c)
 	w := bufio.NewWriter(c)
 	hello := append([]byte{opHello}, appendI32(nil, int32(self))...)
-	if err := writeFrame(w, hello); err != nil || w.Flush() != nil {
+	if err := writeFrameSeq(w, 0, hello, nil); err != nil || w.Flush() != nil {
 		own.markDead(peer, fmt.Errorf("heartbeat hello to rank %d: %v", peer, err))
 		return
 	}
+	ping := []byte{opPing}
+	var seq uint32
 	for {
 		if own.teardown.Load() || own.getFault() != nil {
 			return
 		}
 		c.SetDeadline(time.Now().Add(3 * interval))
-		err := writeFrame(w, []byte{opPing})
+		seq++
+		err := writeFrameSeq(w, seq, ping, nil)
 		if err == nil {
 			err = w.Flush()
 		}
@@ -58,11 +62,11 @@ func pingLoop(own *owner, self, peer int, addr string, interval time.Duration, r
 		if err == nil {
 			reply, err = readFrame(r)
 		}
-		if err == nil && (len(reply) == 0 || reply[0] != replyOK) {
-			if len(reply) > 0 && reply[0] == replyFaulted {
+		if err == nil && (len(reply) < 5 || binary.LittleEndian.Uint32(reply) != seq || reply[4] != replyOK) {
+			if len(reply) >= 5 && reply[4] == replyFaulted {
 				// The peer is alive but its world is faulted: adopt its
 				// attribution rather than blaming the messenger.
-				fe := decodeFault(reply[1:])
+				fe := decodeFault(reply[5:])
 				fe.Op = fmt.Sprintf("Ping(rank=%d)", peer)
 				own.adopt(fe)
 				return

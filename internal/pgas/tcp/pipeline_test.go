@@ -1,0 +1,46 @@
+package tcp
+
+import (
+	"fmt"
+	"testing"
+
+	"scioto/internal/pgas"
+)
+
+// TestStealPipelineOutstanding pins down the property the non-blocking
+// layer exists for: a steal-shaped batch of Nb requests issued before one
+// Flush travels as multiple simultaneously outstanding requests on ONE
+// mesh connection, instead of serial round trips. The assertion runs
+// inside the SPMD body (rank 0's own process) against the transport's
+// in-flight high-water mark, so a regression to issue-and-wait semantics
+// fails the test even if results stay correct.
+//
+// The bound is deterministic: issue registers a request as pending before
+// its frame is flushed, so after four unflushed Nb issues the rank-1
+// connection has four pending requests at once.
+func TestStealPipelineOutstanding(t *testing.T) {
+	w := NewWorld(Config{NProcs: 2, Seed: 1})
+	if err := w.Run(func(pp pgas.Proc) {
+		p := pp.(*proc)
+		seg := p.AllocData(1024)
+		words := p.AllocWords(2)
+		p.Barrier()
+		if p.Rank() == 0 {
+			buf := make([]byte, 256)
+			var bottom, old int64
+			p.NbLoad64(1, words, 0, &bottom)
+			p.NbGet(buf, 1, seg, 0)
+			p.NbFetchAdd64(1, words, 1, 1, &old)
+			p.NbStore64(1, words, 0, 7)
+			p.Flush()
+			if got := p.peers[1].maxOutstanding(); got < 2 {
+				panic(fmt.Sprintf(
+					"steal-shaped Nb batch peaked at %d outstanding request(s) on the rank-1 connection; pipelining is broken",
+					got))
+			}
+		}
+		p.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

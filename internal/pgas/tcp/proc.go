@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"net"
@@ -11,75 +12,290 @@ import (
 	"scioto/internal/pgas"
 )
 
-// peerConn is this rank's connection to one remote rank's service. Each
-// connection carries strict request/reply RPC: the mutex admits one
-// outstanding request at a time, so replies need no correlation ids.
+// peerConn is this rank's connection to one remote rank's service. The
+// connection is pipelined: every request frame carries a client-assigned
+// sequence number, many requests may be outstanding at once, and a
+// per-connection demux goroutine routes each reply to the pendingOp
+// registered under its sequence number. Frames are written through a
+// bufio.Writer, so consecutive non-blocking issues coalesce into a single
+// wire write at the next flush; blocking operations flush immediately.
 type peerConn struct {
-	rank int
-	mu   sync.Mutex
-	c    net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	rank    int
+	c       net.Conn
+	own     *owner
+	timeout time.Duration // deadline for bounded ops; 0 disables deadlines
+
+	wmu       sync.Mutex // serializes frame writes and flushes
+	w         *bufio.Writer
+	unflushed bool // frames sit in w since the last flush
+
+	pmu         sync.Mutex // guards the fields below
+	nextSeq     uint32
+	pending     map[uint32]*pendingOp
+	bounded     int   // pending ops with a deadline (all but Lock/Barrier)
+	deadErr     error // set once the demux dies; fails all later issues
+	maxInflight int   // high-water mark of len(pending), test instrumentation
 }
 
-// newPeerConn wraps a freshly dialed connection and sends the hello frame
-// identifying the dialing rank, so the remote service can attribute a
-// later unexpected EOF on this connection.
-func newPeerConn(self, rank int, c net.Conn) (*peerConn, error) {
-	pc := &peerConn{rank: rank, c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+// pendingOp is one in-flight request. done is a 1-slot channel signaled
+// (not closed) by the demux goroutine, so completed ops can be pooled and
+// reused. The demux fills the result destinations before signaling; the
+// channel receive is the happens-before edge that lets the issuing
+// goroutine read them.
+type pendingOp struct {
+	done    chan struct{}
+	bounded bool
+	dst     []byte // Get destination: reply payload is copied here
+	out     *int64 // NbLoad64/NbFetchAdd64 result cell
+	v       int64  // first 8 payload bytes as i64 (Load64, FetchAdd64)
+	b       byte   // first payload byte (TryLock, CAS64)
+	n       int    // reply payload length
+	fault   *pgas.FaultError
+	err     error
+}
+
+// opPool recycles pendingOps so the steady-state operation path (and in
+// particular the work-stealing hot path) allocates nothing. Ops that
+// complete with a fault are abandoned to the GC: their owner panics out
+// before returning them.
+var opPool = sync.Pool{New: func() any { return &pendingOp{done: make(chan struct{}, 1)} }}
+
+func getOp() *pendingOp { return opPool.Get().(*pendingOp) }
+
+func putOp(op *pendingOp) {
+	op.bounded = false
+	op.dst = nil
+	op.out = nil
+	op.v = 0
+	op.b = 0
+	op.n = 0
+	op.fault = nil
+	op.err = nil
+	opPool.Put(op)
+}
+
+// newPeerConn wraps a freshly dialed connection, sends the hello frame
+// identifying the dialing rank (so the remote service can attribute a
+// later unexpected EOF on this connection), and starts the reply demux.
+func newPeerConn(self, rank int, c net.Conn, own *owner, timeout time.Duration) (*peerConn, error) {
+	pc := &peerConn{
+		rank:    rank,
+		c:       c,
+		own:     own,
+		timeout: timeout,
+		w:       bufio.NewWriter(c),
+		pending: make(map[uint32]*pendingOp),
+	}
 	hello := append([]byte{opHello}, appendI32(nil, int32(self))...)
-	if err := writeFrame(pc.w, hello); err != nil {
+	if err := writeFrameSeq(pc.w, 0, hello, nil); err != nil {
 		return nil, err
 	}
 	if err := pc.w.Flush(); err != nil {
 		return nil, err
 	}
+	go pc.demux(bufio.NewReader(c))
 	return pc, nil
 }
 
-// rpc sends one request frame and blocks for the reply. A transport error
-// mid-operation has no meaningful local recovery in a SPMD program, so it
-// panics with a *pgas.FaultError; the recover in childWorld.Run reports
-// it to the parent. timeout bounds the exchange for operations whose
-// reply is immediate; 0 means unbounded (Lock, Barrier — their replies
-// are legitimately deferred, and a dead peer is detected by EOF or
-// heartbeat instead). info formats the operation context lazily: it is
-// only invoked on failure, keeping the success path allocation-light.
-func (pc *peerConn) rpc(own *owner, timeout time.Duration, req []byte, info func() string) []byte {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if fe := own.getFault(); fe != nil {
+// issue registers op under a fresh sequence number and writes its request
+// frame ([seq][head][tail]). bounded marks operations whose reply is
+// immediate and therefore deadline-eligible — everything except Lock and
+// Barrier, whose replies are legitimately deferred. When flush is set the
+// frame (and any coalesced predecessors) is pushed onto the wire and the
+// read deadline armed; otherwise it stays in the write buffer so
+// consecutive non-blocking issues become one write at flushWrites. head
+// and tail are copied before issue returns, so the caller's request
+// scratch may be reused immediately. info formats the operation context
+// lazily: it is only invoked on failure.
+func (pc *peerConn) issue(op *pendingOp, head, tail []byte, bounded, flush bool, info func() string) {
+	if fe := pc.own.getFault(); fe != nil {
 		panic(refault(fe, info()))
 	}
-	if timeout > 0 {
-		pc.c.SetDeadline(time.Now().Add(timeout))
+	op.bounded = bounded
+	pc.pmu.Lock()
+	if err := pc.deadErr; err != nil {
+		pc.pmu.Unlock()
+		pc.fail(err, info)
+	}
+	pc.nextSeq++
+	seq := pc.nextSeq
+	pc.pending[seq] = op
+	if bounded {
+		pc.bounded++
+	}
+	if n := len(pc.pending); n > pc.maxInflight {
+		pc.maxInflight = n
+	}
+	pc.pmu.Unlock()
+
+	pc.wmu.Lock()
+	if bounded && pc.timeout > 0 {
+		pc.c.SetWriteDeadline(time.Now().Add(pc.timeout))
 	} else {
-		pc.c.SetDeadline(time.Time{})
+		pc.c.SetWriteDeadline(time.Time{})
 	}
-	if err := writeFrame(pc.w, req); err != nil {
-		pc.fail(own, err, info)
+	err := writeFrameSeq(pc.w, seq, head, tail)
+	if err == nil {
+		if flush {
+			err = pc.w.Flush()
+			pc.unflushed = false
+			if err == nil {
+				pc.armReadDeadline()
+			}
+		} else {
+			pc.unflushed = true
+		}
 	}
-	if err := pc.w.Flush(); err != nil {
-		pc.fail(own, err, info)
-	}
-	reply, err := readFrame(pc.r)
+	pc.wmu.Unlock()
 	if err != nil {
-		pc.fail(own, err, info)
+		// The stream is broken; the demux's read error will abort every
+		// pending op (including this one) shortly.
+		pc.fail(err, info)
 	}
-	if len(reply) == 0 {
-		pc.fail(own, fmt.Errorf("empty reply frame"), info)
+}
+
+// flushWrites pushes coalesced non-blocking request frames onto the wire
+// and arms the read deadline for their replies.
+func (pc *peerConn) flushWrites(info func() string) {
+	pc.wmu.Lock()
+	var err error
+	if pc.unflushed {
+		pc.unflushed = false
+		err = pc.w.Flush()
 	}
-	switch reply[0] {
-	case replyOK:
-		return reply[1:]
-	case replyFaulted:
-		fe := decodeFault(reply[1:])
+	if err == nil {
+		pc.armReadDeadline()
+	}
+	pc.wmu.Unlock()
+	if err != nil {
+		pc.fail(err, info)
+	}
+}
+
+// armReadDeadline (re)arms the connection's read deadline while bounded
+// requests are outstanding; the demux clears it when the last bounded
+// reply arrives. Re-arming at every flush means each bounded op is
+// covered by a deadline set no earlier than the flush that sent it.
+func (pc *peerConn) armReadDeadline() {
+	if pc.timeout <= 0 {
+		return
+	}
+	pc.pmu.Lock()
+	if pc.bounded > 0 {
+		pc.c.SetReadDeadline(time.Now().Add(pc.timeout))
+	}
+	pc.pmu.Unlock()
+}
+
+// demux is the per-connection reply reader: it routes each
+// [seq][status][payload] frame to the pendingOp issued under seq, fills
+// the op's result destinations, and signals completion. A read error —
+// EOF, an expired deadline — aborts every outstanding op.
+func (pc *peerConn) demux(r *bufio.Reader) {
+	for {
+		fb, err := readFrameP(r)
+		if err != nil {
+			pc.abort(err)
+			return
+		}
+		if len(fb.b) < 5 {
+			putFrame(fb)
+			pc.abort(fmt.Errorf("short reply frame (%d bytes)", len(fb.b)))
+			return
+		}
+		seq := binary.LittleEndian.Uint32(fb.b)
+		status, payload := fb.b[4], fb.b[5:]
+		pc.pmu.Lock()
+		op := pc.pending[seq]
+		if op != nil {
+			delete(pc.pending, seq)
+			if op.bounded {
+				pc.bounded--
+				if pc.bounded == 0 {
+					pc.c.SetReadDeadline(time.Time{})
+				}
+			}
+		}
+		pc.pmu.Unlock()
+		if op == nil {
+			putFrame(fb)
+			pc.abort(fmt.Errorf("reply with unknown sequence number %d", seq))
+			return
+		}
+		switch status {
+		case replyOK:
+			if op.dst != nil {
+				copy(op.dst, payload)
+			}
+			if len(payload) >= 8 {
+				op.v = pgas.GetI64(payload)
+				if op.out != nil {
+					*op.out = op.v
+				}
+			}
+			if len(payload) > 0 {
+				op.b = payload[0]
+			}
+			op.n = len(payload)
+		case replyFaulted:
+			op.fault = decodeFault(payload) // copies; safe past putFrame
+		default:
+			op.err = fmt.Errorf("corrupt reply status %d", status)
+		}
+		putFrame(fb)
+		op.done <- struct{}{}
+	}
+}
+
+// abort poisons the connection: every outstanding op, and every later
+// issue, completes with err.
+func (pc *peerConn) abort(err error) {
+	pc.pmu.Lock()
+	if pc.deadErr == nil {
+		pc.deadErr = err
+	}
+	ops := pc.pending
+	pc.pending = make(map[uint32]*pendingOp)
+	pc.bounded = 0
+	pc.pmu.Unlock()
+	for _, op := range ops {
+		op.err = err
+		op.done <- struct{}{}
+	}
+}
+
+// wait blocks for op's completion. A transport error or faulted reply has
+// no meaningful local recovery in a SPMD program, so it panics with a
+// *pgas.FaultError; the recover in childWorld.Run reports it to the
+// parent. On success the caller owns the op again and normally pools it.
+func (pc *peerConn) wait(op *pendingOp, info func() string) {
+	<-op.done
+	if op.fault != nil {
+		fe := op.fault
 		fe.Op = info()
 		panic(fe)
-	default:
-		pc.fail(own, fmt.Errorf("corrupt reply status %d", reply[0]), info)
-		panic("unreachable")
 	}
+	if op.err != nil {
+		pc.fail(op.err, info)
+	}
+}
+
+// roundTrip is the blocking request/reply exchange every synchronous Proc
+// method uses: issue with an immediate flush, then wait. Because frames
+// on one connection are applied in order by the remote service, the
+// round trip also completes every earlier coalesced non-blocking request
+// on this connection at the target (per-pair FIFO; see pgas.Proc).
+func (pc *peerConn) roundTrip(op *pendingOp, head, tail []byte, bounded bool, info func() string) {
+	pc.issue(op, head, tail, bounded, true, info)
+	pc.wait(op, info)
+}
+
+// maxOutstanding reports the high-water mark of simultaneously pending
+// requests on this connection (test instrumentation for pipelining).
+func (pc *peerConn) maxOutstanding() int {
+	pc.pmu.Lock()
+	defer pc.pmu.Unlock()
+	return pc.maxInflight
 }
 
 // fail converts a transport error on this connection into a FaultError
@@ -87,8 +303,8 @@ func (pc *peerConn) rpc(own *owner, timeout time.Duration, req []byte, info func
 // by the service side, which severs outgoing connections), that fault is
 // the cause and keeps its attribution; otherwise the failure is
 // attributed to the rank this connection talks to.
-func (pc *peerConn) fail(own *owner, err error, info func() string) {
-	if fe := own.getFault(); fe != nil {
+func (pc *peerConn) fail(err error, info func() string) {
+	if fe := pc.own.getFault(); fe != nil {
 		panic(refault(fe, info()))
 	}
 	panic(&pgas.FaultError{Rank: pc.rank, Op: info(), Phase: "op", Err: err})
@@ -113,7 +329,8 @@ func faultFor(err error, op string) *pgas.FaultError {
 // proc is the pgas.Proc handle of one rank process. Operations targeting
 // the rank itself act directly on the owner state — the same state the
 // service goroutines mutate for remote peers, which is what makes the two
-// paths coherent; operations targeting a peer are RPCs.
+// paths coherent; operations targeting a peer are framed requests on the
+// pipelined peer connections.
 type proc struct {
 	cfg   Config
 	rank  int
@@ -123,6 +340,23 @@ type proc struct {
 	rng   *rand.Rand
 	start time.Time
 	alloc procAlloc
+
+	// req is the request-assembly scratch. A Proc is single-goroutine by
+	// contract, and writeFrameSeq copies the bytes before returning, so
+	// one buffer serves every operation without allocating.
+	req []byte
+
+	// Pending non-blocking operations, in issue order, plus the set of
+	// connections holding their (possibly still unflushed) frames.
+	nb      []nbRef
+	nbConns []*peerConn
+	nbSeq   uint64 // handles issued; Nb(k) names the k-th
+	nbDone  uint64 // handles at or below this value have completed
+}
+
+type nbRef struct {
+	op *pendingOp
+	pc *peerConn
 }
 
 // procAlloc tracks this rank's collective allocation order.
@@ -149,7 +383,7 @@ func (p *proc) NProcs() int { return p.cfg.NProcs }
 
 // Barrier enters the counter barrier hosted on rank 0. Rank 0 enters
 // locally and parks on a channel until the round completes; other ranks
-// block in the opBarrier RPC whose reply is the release. A fault breaks
+// block on the opBarrier reply, which is the release. A fault breaks
 // the barrier: parked ranks are released with the fault and panic.
 func (p *proc) Barrier() {
 	if p.rank == 0 {
@@ -160,8 +394,23 @@ func (p *proc) Barrier() {
 		}
 		return
 	}
-	p.peers[0].rpc(p.own, 0, []byte{opBarrier}, func() string { return "Barrier()" })
+	p.req = append(p.req[:0], opBarrier)
+	op := getOp()
+	p.peers[0].roundTrip(op, p.req, nil, false, barrierInfo)
+	putOp(op)
 }
+
+// Operation-context formatters for the non-allocating paths: package-level
+// func values capture nothing, so passing them costs no allocation.
+var (
+	barrierInfo = func() string { return "Barrier()" }
+	nbGetInfo   = func() string { return "NbGet(pipelined)" }
+	nbPutInfo   = func() string { return "NbPut(pipelined)" }
+	nbLoadInfo  = func() string { return "NbLoad64(pipelined)" }
+	nbStoreInfo = func() string { return "NbStore64(pipelined)" }
+	nbFAddInfo  = func() string { return "NbFetchAdd64(pipelined)" }
+	nbFlushInfo = func() string { return "Flush()" }
+)
 
 // Collective allocation is purely local: every rank appends to its own
 // heap in the same order, so handle k names the same logical segment on
@@ -194,15 +443,26 @@ func (p *proc) AllocLock() pgas.LockID {
 	return pgas.LockID(id)
 }
 
+// reqGet assembles the shared opGet request for Get and NbGet.
+func (p *proc) reqGet(seg pgas.Seg, off, n int) {
+	p.req = append(p.req[:0], opGet)
+	p.req = appendI32(p.req, int32(seg))
+	p.req = appendI64(p.req, int64(off))
+	p.req = appendI64(p.req, int64(n))
+}
+
 func (p *proc) Get(dst []byte, proc int, seg pgas.Seg, off int) {
 	if proc == p.rank {
 		copy(dst, p.own.heap.dataSeg(int(seg))[off:off+len(dst)])
 		return
 	}
-	req := append([]byte{opGet}, appendI64(appendI64(appendI32(nil, int32(seg)), int64(off)), int64(len(dst)))...)
-	copy(dst, p.peers[proc].rpc(p.own, p.cfg.OpTimeout, req, func() string {
+	p.reqGet(seg, off, len(dst))
+	op := getOp()
+	op.dst = dst
+	p.peers[proc].roundTrip(op, p.req, nil, true, func() string {
 		return fmt.Sprintf("Get(rank=%d, seg=%d, off=%d, n=%d)", proc, seg, off, len(dst))
-	}))
+	})
+	putOp(op)
 }
 
 func (p *proc) Put(proc int, seg pgas.Seg, off int, src []byte) {
@@ -210,10 +470,14 @@ func (p *proc) Put(proc int, seg pgas.Seg, off int, src []byte) {
 		copy(p.own.heap.dataSeg(int(seg))[off:off+len(src)], src)
 		return
 	}
-	req := append([]byte{opPut}, appendI64(appendI32(nil, int32(seg)), int64(off))...)
-	p.peers[proc].rpc(p.own, p.cfg.OpTimeout, append(req, src...), func() string {
+	p.req = append(p.req[:0], opPut)
+	p.req = appendI32(p.req, int32(seg))
+	p.req = appendI64(p.req, int64(off))
+	op := getOp()
+	p.peers[proc].roundTrip(op, p.req, src, true, func() string {
 		return fmt.Sprintf("Put(rank=%d, seg=%d, off=%d, n=%d)", proc, seg, off, len(src))
 	})
+	putOp(op)
 }
 
 func (p *proc) AccF64(proc int, seg pgas.Seg, off int, vals []float64) {
@@ -221,24 +485,39 @@ func (p *proc) AccF64(proc int, seg pgas.Seg, off int, vals []float64) {
 		p.own.heap.acc(int(seg), off, vals)
 		return
 	}
-	req := append([]byte{opAcc}, appendI64(appendI32(nil, int32(seg)), int64(off))...)
+	p.req = append(p.req[:0], opAcc)
+	p.req = appendI32(p.req, int32(seg))
+	p.req = appendI64(p.req, int64(off))
 	enc := make([]byte, len(vals)*pgas.F64Bytes)
 	pgas.PutF64Slice(enc, vals)
-	p.peers[proc].rpc(p.own, p.cfg.OpTimeout, append(req, enc...), func() string {
+	op := getOp()
+	p.peers[proc].roundTrip(op, p.req, enc, true, func() string {
 		return fmt.Sprintf("AccF64(rank=%d, seg=%d, off=%d, n=%d)", proc, seg, off, len(vals))
 	})
+	putOp(op)
 }
 
 func (p *proc) Local(seg pgas.Seg) []byte { return p.own.heap.dataSeg(int(seg)) }
+
+// reqWord assembles the shared [op][seg][idx] prefix of the word ops.
+func (p *proc) reqWord(op byte, seg pgas.Seg, idx int) {
+	p.req = append(p.req[:0], op)
+	p.req = appendI32(p.req, int32(seg))
+	p.req = appendI64(p.req, int64(idx))
+}
 
 func (p *proc) Load64(proc int, seg pgas.Seg, idx int) int64 {
 	if proc == p.rank {
 		return p.own.heap.load(int(seg), idx)
 	}
-	req := append([]byte{opLoad}, appendI64(appendI32(nil, int32(seg)), int64(idx))...)
-	return pgas.GetI64(p.peers[proc].rpc(p.own, p.cfg.OpTimeout, req, func() string {
+	p.reqWord(opLoad, seg, idx)
+	op := getOp()
+	p.peers[proc].roundTrip(op, p.req, nil, true, func() string {
 		return fmt.Sprintf("Load64(rank=%d, seg=%d, idx=%d)", proc, seg, idx)
-	}))
+	})
+	v := op.v
+	putOp(op)
+	return v
 }
 
 func (p *proc) Store64(proc int, seg pgas.Seg, idx int, val int64) {
@@ -246,30 +525,154 @@ func (p *proc) Store64(proc int, seg pgas.Seg, idx int, val int64) {
 		p.own.heap.store(int(seg), idx, val)
 		return
 	}
-	req := append([]byte{opStore}, appendI64(appendI64(appendI32(nil, int32(seg)), int64(idx)), val)...)
-	p.peers[proc].rpc(p.own, p.cfg.OpTimeout, req, func() string {
+	p.reqWord(opStore, seg, idx)
+	p.req = appendI64(p.req, val)
+	op := getOp()
+	p.peers[proc].roundTrip(op, p.req, nil, true, func() string {
 		return fmt.Sprintf("Store64(rank=%d, seg=%d, idx=%d)", proc, seg, idx)
 	})
+	putOp(op)
 }
 
 func (p *proc) FetchAdd64(proc int, seg pgas.Seg, idx int, delta int64) int64 {
 	if proc == p.rank {
 		return p.own.heap.fetchAdd(int(seg), idx, delta)
 	}
-	req := append([]byte{opFAdd}, appendI64(appendI64(appendI32(nil, int32(seg)), int64(idx)), delta)...)
-	return pgas.GetI64(p.peers[proc].rpc(p.own, p.cfg.OpTimeout, req, func() string {
+	p.reqWord(opFAdd, seg, idx)
+	p.req = appendI64(p.req, delta)
+	op := getOp()
+	p.peers[proc].roundTrip(op, p.req, nil, true, func() string {
 		return fmt.Sprintf("FetchAdd64(rank=%d, seg=%d, idx=%d)", proc, seg, idx)
-	}))
+	})
+	v := op.v
+	putOp(op)
+	return v
 }
 
 func (p *proc) CAS64(proc int, seg pgas.Seg, idx int, old, new int64) bool {
 	if proc == p.rank {
 		return p.own.heap.cas(int(seg), idx, old, new)
 	}
-	req := append([]byte{opCAS}, appendI64(appendI64(appendI64(appendI32(nil, int32(seg)), int64(idx)), old), new)...)
-	return p.peers[proc].rpc(p.own, p.cfg.OpTimeout, req, func() string {
+	p.reqWord(opCAS, seg, idx)
+	p.req = appendI64(p.req, old)
+	p.req = appendI64(p.req, new)
+	op := getOp()
+	p.peers[proc].roundTrip(op, p.req, nil, true, func() string {
 		return fmt.Sprintf("CAS64(rank=%d, seg=%d, idx=%d)", proc, seg, idx)
-	})[0] == 1
+	})
+	ok := op.b == 1
+	putOp(op)
+	return ok
+}
+
+// Non-blocking operations. Remote issues write their request frame into
+// the connection's write buffer without flushing, so a batch of Nb issues
+// to one peer leaves as a single wire write — and their replies stream
+// back while later issues are still being written. Self-targeting
+// operations complete inline and return NbDone. The per-pair FIFO
+// ordering promised by pgas.Proc falls out of frame order: the remote
+// service applies one connection's frames sequentially.
+
+// issueNb registers a pending remote operation and returns its handle.
+func (p *proc) issueNb(target int, op *pendingOp, tail []byte, info func() string) pgas.Nb {
+	pc := p.peers[target]
+	pc.issue(op, p.req, tail, true, false, info)
+	p.nb = append(p.nb, nbRef{op: op, pc: pc})
+	p.nbSeq++
+	seen := false
+	for _, c := range p.nbConns {
+		if c == pc {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		p.nbConns = append(p.nbConns, pc)
+	}
+	return pgas.Nb(p.nbSeq)
+}
+
+func (p *proc) NbGet(dst []byte, proc int, seg pgas.Seg, off int) pgas.Nb {
+	if proc == p.rank {
+		copy(dst, p.own.heap.dataSeg(int(seg))[off:off+len(dst)])
+		return pgas.NbDone
+	}
+	p.reqGet(seg, off, len(dst))
+	op := getOp()
+	op.dst = dst
+	return p.issueNb(proc, op, nil, nbGetInfo)
+}
+
+func (p *proc) NbPut(proc int, seg pgas.Seg, off int, src []byte) pgas.Nb {
+	if proc == p.rank {
+		copy(p.own.heap.dataSeg(int(seg))[off:off+len(src)], src)
+		return pgas.NbDone
+	}
+	p.req = append(p.req[:0], opPut)
+	p.req = appendI32(p.req, int32(seg))
+	p.req = appendI64(p.req, int64(off))
+	return p.issueNb(proc, getOp(), src, nbPutInfo)
+}
+
+func (p *proc) NbLoad64(proc int, seg pgas.Seg, idx int, out *int64) pgas.Nb {
+	if proc == p.rank {
+		*out = p.own.heap.load(int(seg), idx)
+		return pgas.NbDone
+	}
+	p.reqWord(opLoad, seg, idx)
+	op := getOp()
+	op.out = out
+	return p.issueNb(proc, op, nil, nbLoadInfo)
+}
+
+func (p *proc) NbStore64(proc int, seg pgas.Seg, idx int, val int64) pgas.Nb {
+	if proc == p.rank {
+		p.own.heap.store(int(seg), idx, val)
+		return pgas.NbDone
+	}
+	p.reqWord(opStore, seg, idx)
+	p.req = appendI64(p.req, val)
+	return p.issueNb(proc, getOp(), nil, nbStoreInfo)
+}
+
+func (p *proc) NbFetchAdd64(proc int, seg pgas.Seg, idx int, delta int64, old *int64) pgas.Nb {
+	if proc == p.rank {
+		*old = p.own.heap.fetchAdd(int(seg), idx, delta)
+		return pgas.NbDone
+	}
+	p.reqWord(opFAdd, seg, idx)
+	p.req = appendI64(p.req, delta)
+	op := getOp()
+	op.out = old
+	return p.issueNb(proc, op, nil, nbFAddInfo)
+}
+
+func (p *proc) Wait(h pgas.Nb) {
+	if h == pgas.NbDone || uint64(h) <= p.nbDone {
+		return
+	}
+	// Completing one pipelined handle means flushing its connection and
+	// draining the reply stream up to it; the Proc contract allows
+	// completing the rest as well, which keeps the bookkeeping O(1).
+	p.Flush()
+}
+
+func (p *proc) Flush() {
+	if len(p.nb) == 0 {
+		return
+	}
+	for _, pc := range p.nbConns {
+		pc.flushWrites(nbFlushInfo)
+	}
+	for i := range p.nb {
+		ref := p.nb[i]
+		ref.pc.wait(ref.op, nbFlushInfo)
+		putOp(ref.op)
+		p.nb[i] = nbRef{}
+	}
+	p.nb = p.nb[:0]
+	p.nbConns = p.nbConns[:0]
+	p.nbDone = p.nbSeq
 }
 
 // The relaxed owner-side accessors use the same atomics as Load64/Store64:
@@ -294,9 +697,13 @@ func (p *proc) Lock(proc int, id pgas.LockID) {
 		}
 		return
 	}
-	p.peers[proc].rpc(p.own, 0, append([]byte{opLock}, appendI32(nil, int32(id))...), func() string {
+	p.req = append(p.req[:0], opLock)
+	p.req = appendI32(p.req, int32(id))
+	op := getOp()
+	p.peers[proc].roundTrip(op, p.req, nil, false, func() string {
 		return fmt.Sprintf("Lock(host=%d, id=%d)", proc, id)
 	})
+	putOp(op)
 }
 
 func (p *proc) TryLock(proc int, id pgas.LockID) bool {
@@ -306,9 +713,15 @@ func (p *proc) TryLock(proc int, id pgas.LockID) bool {
 		}
 		return p.own.locks.tryLock(int(id))
 	}
-	return p.peers[proc].rpc(p.own, p.cfg.OpTimeout, append([]byte{opTryLock}, appendI32(nil, int32(id))...), func() string {
+	p.req = append(p.req[:0], opTryLock)
+	p.req = appendI32(p.req, int32(id))
+	op := getOp()
+	p.peers[proc].roundTrip(op, p.req, nil, true, func() string {
 		return fmt.Sprintf("TryLock(host=%d, id=%d)", proc, id)
-	})[0] == 1
+	})
+	ok := op.b == 1
+	putOp(op)
+	return ok
 }
 
 func (p *proc) Unlock(proc int, id pgas.LockID) {
@@ -316,22 +729,32 @@ func (p *proc) Unlock(proc int, id pgas.LockID) {
 		p.own.locks.unlock(int(id))
 		return
 	}
-	p.peers[proc].rpc(p.own, p.cfg.OpTimeout, append([]byte{opUnlock}, appendI32(nil, int32(id))...), func() string {
+	p.req = append(p.req[:0], opUnlock)
+	p.req = appendI32(p.req, int32(id))
+	op := getOp()
+	p.peers[proc].roundTrip(op, p.req, nil, true, func() string {
 		return fmt.Sprintf("Unlock(host=%d, id=%d)", proc, id)
 	})
+	putOp(op)
 }
 
 func (p *proc) Send(to int, tag int32, data []byte) {
 	if to == p.rank {
+		// The copy transfers ownership to the mailbox (and from there to
+		// the eventual receiver), so it cannot come from a pool.
 		cp := make([]byte, len(data))
 		copy(cp, data)
 		p.own.mbox.push(message{from: p.rank, tag: tag, data: cp})
 		return
 	}
-	req := append([]byte{opSend}, appendI32(appendI32(nil, int32(p.rank)), tag)...)
-	p.peers[to].rpc(p.own, p.cfg.OpTimeout, append(req, data...), func() string {
+	p.req = append(p.req[:0], opSend)
+	p.req = appendI32(p.req, int32(p.rank))
+	p.req = appendI32(p.req, tag)
+	op := getOp()
+	p.peers[to].roundTrip(op, p.req, data, true, func() string {
 		return fmt.Sprintf("Send(to=%d, tag=%d, n=%d)", to, tag, len(data))
 	})
+	putOp(op)
 }
 
 func (p *proc) Recv(from int, tag int32) ([]byte, int) {

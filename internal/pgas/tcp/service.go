@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -124,11 +125,15 @@ func (o *owner) acceptLoop(l net.Listener) {
 	}
 }
 
-// serve applies one peer's request stream to the local state. Replies for
-// Lock and Barrier may be deferred past later grants on other
-// connections, so every reply write is serialized on a per-connection
-// mutex; the handler itself never blocks on a held lock or an incomplete
-// barrier (it registers the deferred reply and keeps reading).
+// serve applies one peer's request stream to the local state. The stream
+// is pipelined: many requests may be in flight, each prefixed with the
+// peer's sequence number, and every reply echoes the number of the
+// request it answers. Requests are applied strictly in frame order — the
+// per-pair FIFO guarantee the pgas.Proc contract promises — but replies
+// for Lock and Barrier may be deferred past later grants, so every reply
+// write is serialized on a per-connection mutex; the handler itself never
+// blocks on a held lock or an incomplete barrier (it registers the
+// deferred reply and keeps reading).
 //
 // The first frame on every connection is opHello carrying the dialing
 // rank, so that a mid-run EOF — the peer process died — can be converted
@@ -139,132 +144,148 @@ func (o *owner) serve(conn net.Conn) {
 	w := bufio.NewWriter(conn)
 
 	hello, err := readFrame(r)
-	if err != nil || len(hello) < 5 || hello[0] != opHello {
+	if err != nil || len(hello) < 9 || hello[4] != opHello {
 		return // never identified itself; nothing to attribute
 	}
-	peer := int(pgas.GetI32(hello[1:]))
+	peer := int(pgas.GetI32(hello[5:]))
 
 	var wmu sync.Mutex
-	send := func(frame []byte) {
+	send := func(seq uint32, status byte, payload []byte) {
 		wmu.Lock()
 		defer wmu.Unlock()
-		if err := writeFrame(w, frame); err != nil {
+		head := [1]byte{status}
+		if err := writeFrameSeq(w, seq, head[:], payload); err != nil {
 			return // peer gone; its EOF on the read side attributes the failure
 		}
 		w.Flush()
 	}
-	reply := func(payload []byte) {
-		send(append([]byte{replyOK}, payload...))
-	}
-	replyFault := func(fe *pgas.FaultError) {
-		send(append([]byte{replyFaulted}, encodeFault(fe)...))
-	}
 	for {
-		req, err := readFrame(r)
+		fb, err := readFrameP(r)
 		if err != nil {
 			// Mid-run EOF: the peer died. At teardown markDead no-ops —
 			// released peers exit and their EOFs are expected.
 			o.markDead(peer, fmt.Errorf("connection from rank %d lost: %v", peer, err))
 			return
 		}
-		o.apply(req, reply, replyFault)
+		if len(fb.b) < 5 {
+			putFrame(fb)
+			o.markDead(peer, fmt.Errorf("short request frame from rank %d", peer))
+			return
+		}
+		seq := binary.LittleEndian.Uint32(fb.b)
+		o.apply(seq, fb.b[4:], send)
+		// apply never retains request bytes (bulk payloads are copied into
+		// the heap or mailbox), so the frame can be recycled immediately.
+		putFrame(fb)
 	}
 }
 
 var okByte = []byte{1}
 var noByte = []byte{0}
 
+// granter adapts a deferred lock/barrier release to the reply protocol:
+// the waiter either acquired/was released (nil) or the world faulted
+// while it was parked. Built only on the deferred-reply paths so the
+// immediate operations stay closure-free.
+func granter(seq uint32, send func(uint32, byte, []byte)) func(error) {
+	return func(err error) {
+		if err == nil {
+			send(seq, replyOK, nil)
+			return
+		}
+		if fe, ok := pgas.AsFault(err); ok {
+			send(seq, replyFaulted, encodeFault(fe))
+			return
+		}
+		send(seq, replyFaulted, encodeFault(&pgas.FaultError{Rank: -1, Phase: "service", Err: err}))
+	}
+}
+
 // apply executes one request against the local state and delivers the
-// reply, immediately or (Lock, Barrier) when granted. Once the world is
-// faulted every operation is refused with the registered fault, so a
-// requester that has not yet observed the death learns of it on its next
-// operation instead of acting on a half-dead world.
-func (o *owner) apply(req []byte, reply func([]byte), replyFault func(*pgas.FaultError)) {
+// reply — immediately, or (Lock, Barrier) when granted — tagged with the
+// request's sequence number. It must not retain req past returning: the
+// caller recycles the frame. Once the world is faulted every operation is
+// refused with the registered fault, so a requester that has not yet
+// observed the death learns of it on its next operation instead of acting
+// on a half-dead world.
+func (o *owner) apply(seq uint32, req []byte, send func(seq uint32, status byte, payload []byte)) {
 	if len(req) == 0 {
 		panic("tcp: empty request frame")
 	}
 	if fe := o.getFault(); fe != nil {
-		replyFault(fe)
+		send(seq, replyFaulted, encodeFault(fe))
 		return
-	}
-	// grant adapts a deferred lock/barrier release to the reply protocol:
-	// the waiter either acquired/was released (nil) or the world faulted
-	// while it was parked.
-	grant := func(err error) {
-		if err == nil {
-			reply(nil)
-			return
-		}
-		if fe, ok := pgas.AsFault(err); ok {
-			replyFault(fe)
-			return
-		}
-		replyFault(&pgas.FaultError{Rank: -1, Phase: "service", Err: err})
 	}
 	op, b := req[0], req[1:]
 	switch op {
 	case opGet:
 		seg, off, n := pgas.GetI32(b), pgas.GetI64(b[4:]), pgas.GetI64(b[12:])
-		out := make([]byte, n)
-		copy(out, o.heap.dataSeg(int(seg))[off:off+n])
-		reply(out)
+		// Reply straight from the heap slice: writeFrameSeq copies it into
+		// the pooled frame buffer, so no per-request buffer is needed. The
+		// unsynchronized read window is the same as the old copy-then-send
+		// (bulk ops are unordered unless the application locks).
+		send(seq, replyOK, o.heap.dataSeg(int(seg))[off:off+n])
 	case opPut:
 		seg, off := pgas.GetI32(b), pgas.GetI64(b[4:])
 		src := b[12:]
 		copy(o.heap.dataSeg(int(seg))[off:int(off)+len(src)], src)
-		reply(nil)
+		send(seq, replyOK, nil)
 	case opAcc:
 		seg, off := pgas.GetI32(b), pgas.GetI64(b[4:])
 		enc := b[12:]
 		vals := make([]float64, len(enc)/pgas.F64Bytes)
 		pgas.GetF64Slice(vals, enc)
 		o.heap.acc(int(seg), int(off), vals)
-		reply(nil)
+		send(seq, replyOK, nil)
 	case opLoad:
 		seg, idx := pgas.GetI32(b), pgas.GetI64(b[4:])
-		reply(appendI64(nil, o.heap.load(int(seg), int(idx))))
+		var out [8]byte
+		pgas.PutI64(out[:], o.heap.load(int(seg), int(idx)))
+		send(seq, replyOK, out[:])
 	case opStore:
 		seg, idx, val := pgas.GetI32(b), pgas.GetI64(b[4:]), pgas.GetI64(b[12:])
 		o.heap.store(int(seg), int(idx), val)
-		reply(nil)
+		send(seq, replyOK, nil)
 	case opFAdd:
 		seg, idx, delta := pgas.GetI32(b), pgas.GetI64(b[4:]), pgas.GetI64(b[12:])
-		reply(appendI64(nil, o.heap.fetchAdd(int(seg), int(idx), delta)))
+		var out [8]byte
+		pgas.PutI64(out[:], o.heap.fetchAdd(int(seg), int(idx), delta))
+		send(seq, replyOK, out[:])
 	case opCAS:
 		seg, idx := pgas.GetI32(b), pgas.GetI64(b[4:])
 		old, new := pgas.GetI64(b[12:]), pgas.GetI64(b[20:])
 		if o.heap.cas(int(seg), int(idx), old, new) {
-			reply(okByte)
+			send(seq, replyOK, okByte)
 		} else {
-			reply(noByte)
+			send(seq, replyOK, noByte)
 		}
 	case opLock:
 		id := pgas.GetI32(b)
-		o.locks.lock(int(id), grant)
+		o.locks.lock(int(id), granter(seq, send))
 	case opTryLock:
 		id := pgas.GetI32(b)
 		if o.locks.tryLock(int(id)) {
-			reply(okByte)
+			send(seq, replyOK, okByte)
 		} else {
-			reply(noByte)
+			send(seq, replyOK, noByte)
 		}
 	case opUnlock:
 		id := pgas.GetI32(b)
 		o.locks.unlock(int(id))
-		reply(nil)
+		send(seq, replyOK, nil)
 	case opSend:
 		from, tag := pgas.GetI32(b), pgas.GetI32(b[4:])
 		data := make([]byte, len(b)-8)
 		copy(data, b[8:])
 		o.mbox.push(message{from: int(from), tag: tag, data: data})
-		reply(nil)
+		send(seq, replyOK, nil)
 	case opBarrier:
 		if o.bar == nil {
 			panic(fmt.Sprintf("tcp: rank %d received opBarrier but is not the barrier host", o.rank))
 		}
-		o.bar.enter(grant)
+		o.bar.enter(granter(seq, send))
 	case opPing:
-		reply(nil)
+		send(seq, replyOK, nil)
 	default:
 		panic(fmt.Sprintf("tcp: rank %d received unknown opcode %d", o.rank, op))
 	}

@@ -472,7 +472,7 @@ func (w *childWorld) Run(body func(p pgas.Proc)) error {
 		if err != nil {
 			childFail(parent, w.rank, fmt.Errorf("dialing rank %d at %s: %v", j, addr, err))
 		}
-		pc, err := newPeerConn(w.rank, j, c)
+		pc, err := newPeerConn(w.rank, j, c, own, w.cfg.OpTimeout)
 		if err != nil {
 			childFail(parent, w.rank, fmt.Errorf("hello to rank %d: %v", j, err))
 		}

@@ -94,9 +94,12 @@ func RunScioto(p pgas.Proc, cfg DriverConfig) (Stats, core.Stats, error) {
 func ReduceStats(p pgas.Proc, mine Stats) Stats {
 	seg := p.AllocWords(3)
 	p.Barrier() // ensure the segment is reset-visible before accumulating
-	p.FetchAdd64(0, seg, 0, mine.Nodes)
-	p.FetchAdd64(0, seg, 1, mine.Leaves)
-	// Max-reduce depth with a CAS loop.
+	// The two sums leave as one pipelined batch (their previous values are
+	// not needed); only the max-reduce needs a read-check-update loop.
+	var o0, o1 int64
+	p.NbFetchAdd64(0, seg, 0, mine.Nodes, &o0)
+	p.NbFetchAdd64(0, seg, 1, mine.Leaves, &o1)
+	p.Flush()
 	for {
 		cur := p.Load64(0, seg, 2)
 		if mine.MaxDepth <= cur || p.CAS64(0, seg, 2, cur, mine.MaxDepth) {
@@ -104,9 +107,10 @@ func ReduceStats(p pgas.Proc, mine Stats) Stats {
 		}
 	}
 	p.Barrier()
-	return Stats{
-		Nodes:    p.Load64(0, seg, 0),
-		Leaves:   p.Load64(0, seg, 1),
-		MaxDepth: p.Load64(0, seg, 2),
-	}
+	var nodes, leaves, depth int64
+	p.NbLoad64(0, seg, 0, &nodes)
+	p.NbLoad64(0, seg, 1, &leaves)
+	p.NbLoad64(0, seg, 2, &depth)
+	p.Flush()
+	return Stats{Nodes: nodes, Leaves: leaves, MaxDepth: depth}
 }

@@ -1,4 +1,4 @@
-// Package checkers implements sciotolint's five analyzers. Each one
+// Package checkers implements sciotolint's six analyzers. Each one
 // machine-checks an invariant of the Scioto runtime's PGAS programming
 // model that is otherwise enforced only by comments (see the Proc contract
 // in internal/pgas/pgas.go and the split-queue discipline in
@@ -17,6 +17,7 @@ var Analyzers = []*analysis.Analyzer{
 	Collective,
 	RelaxedWord,
 	LockBalance,
+	NbComplete,
 	LocalEscape,
 	ProcEscape,
 }

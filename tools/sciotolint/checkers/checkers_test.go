@@ -19,6 +19,10 @@ func TestLockBalance(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), checkers.LockBalance, "lockbalance")
 }
 
+func TestNbComplete(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), checkers.NbComplete, "nbcomplete")
+}
+
 func TestLocalEscape(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), checkers.LocalEscape, "localescape")
 }

@@ -5,6 +5,9 @@ package pgas
 
 type Seg int
 type LockID int
+type Nb uint64
+
+const NbDone Nb = 0
 
 type World interface {
 	NProcs() int
@@ -30,6 +33,14 @@ type Proc interface {
 	CAS64(proc int, seg Seg, idx int, old, new int64) bool
 	RelaxedLoad64(seg Seg, idx int) int64
 	RelaxedStore64(seg Seg, idx int, val int64)
+
+	NbGet(dst []byte, proc int, seg Seg, off int) Nb
+	NbPut(proc int, seg Seg, off int, src []byte) Nb
+	NbLoad64(proc int, seg Seg, idx int, out *int64) Nb
+	NbStore64(proc int, seg Seg, idx int, val int64) Nb
+	NbFetchAdd64(proc int, seg Seg, idx int, delta int64, old *int64) Nb
+	Wait(h Nb)
+	Flush()
 
 	Lock(proc int, id LockID)
 	TryLock(proc int, id LockID) bool

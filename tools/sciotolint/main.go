@@ -1,5 +1,5 @@
 // Sciotolint enforces the Scioto runtime's PGAS and split-queue invariants
-// that the Go type system cannot express. It bundles five analyzers:
+// that the Go type system cannot express. It bundles six analyzers:
 //
 //	collective  — collective Proc calls (AllocData, AllocWords, AllocLock,
 //	              Barrier, World.Run) reached only under a rank-conditional
@@ -10,6 +10,10 @@
 //	lockbalance — p.Lock(proc, id) with a path out of the function that
 //	              lacks a matching Unlock: PGAS locks are non-reentrant and
 //	              a leaked lock deadlocks the next acquirer.
+//	nbcomplete  — an issued non-blocking op (NbGet, NbPut, NbLoad64,
+//	              NbStore64, NbFetchAdd64) whose handle is never completed
+//	              with Wait or Flush before a return or an Unlock: results
+//	              are undefined until completion.
 //	localescape — a p.Local(seg) slice stored in a struct field or package
 //	              variable, captured by a goroutine, or used across a
 //	              Barrier: the slice is only safe inside the protocol
