@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet chaos bench-smoke all
+.PHONY: build test race lint vet chaos bench-smoke obs-smoke all
 
 all: build lint test
 
@@ -40,3 +40,9 @@ chaos:
 # same target.
 bench-smoke:
 	$(GO) test -run=NONE -bench=Table1 -benchtime=1x ./internal/bench/
+
+# End-to-end observability smoke: UTS on shm with the live endpoint and
+# trace dumps on, a mid-run /metrics + /healthz scrape, and a 2-rank
+# sciototrace merge. CI runs the same target.
+obs-smoke:
+	bash scripts/obs_smoke.sh

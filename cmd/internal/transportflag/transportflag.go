@@ -40,6 +40,46 @@ func (v *Value) Set(s string) error {
 // Transport returns the selected transport.
 func (v *Value) Transport() scioto.Transport { return v.t }
 
+// Obs holds the observability flags shared by the runners: -obs selects
+// the live introspection endpoint address, -trace-dir enables per-rank
+// trace dumps.
+type Obs struct {
+	addr     string
+	traceDir string
+}
+
+// ObsFlags registers -obs and -trace-dir on the default flag set and
+// returns the value to read after flag.Parse.
+func ObsFlags() *Obs {
+	o := &Obs{}
+	flag.StringVar(&o.addr, "obs", "", "serve live metrics/pprof endpoint at host:port (empty = off)")
+	flag.StringVar(&o.traceDir, "trace-dir", "", "write per-rank trace dumps here (merge with sciototrace)")
+	return o
+}
+
+// Config returns the ObsConfig to place in scioto.Config.Obs: nil when
+// neither flag was given, leaving the SCIOTO_OBS_* environment fallback
+// in effect.
+func (o *Obs) Config() *scioto.ObsConfig {
+	if o.addr == "" && o.traceDir == "" {
+		return nil
+	}
+	return &scioto.ObsConfig{Addr: o.addr, TraceDir: o.traceDir}
+}
+
+// Export publishes the flags through the SCIOTO_OBS_* environment
+// variables instead, for runners (sciotobench) whose worlds are
+// constructed deep inside library code rather than from a Config the
+// runner owns.
+func (o *Obs) Export() {
+	if o.addr != "" {
+		os.Setenv(scioto.EnvObsAddr, o.addr)
+	}
+	if o.traceDir != "" {
+		os.Setenv(scioto.EnvObsTraceDir, o.traceDir)
+	}
+}
+
 // Check handles the error returned by scioto.Run uniformly across the
 // runners: nil is a no-op; a world error exits nonzero, and when it
 // carries a *scioto.FaultError the failing rank and phase are called out

@@ -28,6 +28,7 @@ func main() {
 	procs := flag.Int("procs", 8, "number of processes")
 	transport := transportflag.Flag(scioto.TransportDSim)
 	iters := flag.Int("iters", 500, "operations per measurement")
+	obs := transportflag.ObsFlags()
 	flag.Parse()
 
 	cfg := scioto.Config{
@@ -41,7 +42,9 @@ func main() {
 	if *procs < 2 {
 		log.Fatal("pgasbench needs at least 2 processes")
 	}
-	err := scioto.Run(cfg, func(rt *scioto.Runtime) {
+	mainCfg := cfg
+	mainCfg.Obs = obs.Config()
+	err := scioto.Run(mainCfg, func(rt *scioto.Runtime) {
 		p := rt.Proc()
 		runLatency(p, *iters)
 		runBandwidth(p, *iters)
@@ -50,6 +53,66 @@ func main() {
 		runCollectives(p, *iters)
 	})
 	transportflag.Check(err)
+	runObsOverhead(cfg, *iters)
+}
+
+// runObsOverhead measures what the instrumentation layer costs per
+// operation kind: the same micro-loop runs on a bare world and on an
+// instrumented one (metrics on, no endpoint, no tracing), timed with the
+// wall clock — on dsim the virtual clock would hide real recording cost.
+func runObsOverhead(cfg scioto.Config, iters int) {
+	fmt.Println("instrumentation overhead (wall clock, instr off vs on):")
+	if _, ok := scioto.ObsFromEnv(); ok {
+		fmt.Println("  warning: SCIOTO_OBS_* is set, so the baseline run is instrumented too")
+	}
+	kinds := []string{"load64", "store64", "fetchadd64", "get-1KiB", "put-1KiB"}
+	measure := func(obsCfg *scioto.ObsConfig) map[string]float64 {
+		out := make(map[string]float64, len(kinds))
+		c := cfg
+		c.Obs = obsCfg
+		transportflag.Check(scioto.Run(c, func(rt *scioto.Runtime) {
+			p := rt.Proc()
+			seg := p.AllocData(1 << 10)
+			words := p.AllocWords(1)
+			p.Barrier()
+			if p.Rank() == 0 {
+				buf := make([]byte, 1<<10)
+				ops := map[string]func(){
+					"load64":     func() { p.Load64(1, words, 0) },
+					"store64":    func() { p.Store64(1, words, 0, 1) },
+					"fetchadd64": func() { p.FetchAdd64(1, words, 0, 1) },
+					"get-1KiB":   func() { p.Get(buf, 1, seg, 0) },
+					"put-1KiB":   func() { p.Put(1, seg, 0, buf) },
+				}
+				for _, name := range kinds {
+					op := ops[name]
+					for i := 0; i < iters/10+1; i++ {
+						op() // warm
+					}
+					t0 := time.Now()
+					for i := 0; i < iters; i++ {
+						op()
+					}
+					out[name] = float64(time.Since(t0).Nanoseconds()) / float64(iters)
+				}
+			}
+			p.Barrier()
+		}))
+		return out
+	}
+	off := measure(nil)
+	on := measure(&scioto.ObsConfig{})
+	if len(off) == 0 {
+		// Multi-process transport: rank 0 ran in a child, the parent's
+		// captured map stayed empty. The per-run numbers above still show
+		// the comparison; only the delta table is unavailable.
+		fmt.Println("  (per-op delta table unavailable on multi-process transports)")
+		return
+	}
+	for _, name := range kinds {
+		fmt.Printf("  %-10s off %8.0f ns/op, on %8.0f ns/op (%+.0f ns, %+.1f%%)\n",
+			name, off[name], on[name], on[name]-off[name], 100*(on[name]-off[name])/off[name])
+	}
 }
 
 func report(p pgas.Proc, format string, args ...any) {

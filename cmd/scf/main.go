@@ -32,6 +32,7 @@ func main() {
 	method := flag.String("method", "scioto", "fock build: scioto|counter")
 	chunk := flag.Int("chunk", 2, "steal chunk size")
 	seed := flag.Int64("seed", 7, "system seed")
+	obs := transportflag.ObsFlags()
 	flag.Parse()
 
 	var m scf.Method
@@ -50,7 +51,7 @@ func main() {
 	serial := scf.NewSystem(sysCfg).SCFSerial(*iters, 1e-8)
 	fmt.Printf("serial reference: %v (%v wall)\n", serial, time.Since(t0).Round(time.Millisecond))
 
-	cfg := scioto.Config{Procs: *procs, Transport: transport.Transport(), Seed: 3}
+	cfg := scioto.Config{Procs: *procs, Transport: transport.Transport(), Seed: 3, Obs: obs.Config()}
 	err := scioto.Run(cfg, func(rt *scioto.Runtime) {
 		res, err := scf.Run(rt.Proc(), scf.RunConfig{
 			Sys:     sysCfg,

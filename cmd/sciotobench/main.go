@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"scioto/cmd/internal/transportflag"
 	"scioto/internal/bench"
 	"scioto/internal/tce"
 	"scioto/internal/uts"
@@ -26,7 +27,11 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|fig8|ablations|all")
 	quick := flag.Bool("quick", false, "reduced problem sizes and process counts")
+	obs := transportflag.ObsFlags()
 	flag.Parse()
+	// The bench package constructs its own worlds; publish the flags
+	// through the environment fallback instead of a Config field.
+	obs.Export()
 
 	want := func(name string) bool {
 		return *exp == "all" || *exp == name ||

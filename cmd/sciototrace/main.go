@@ -1,0 +1,266 @@
+// Command sciototrace merges the per-rank trace dumps written by a run
+// with SCIOTO_OBS_TRACE_DIR (or Config.Obs.TraceDir) into a single Chrome
+// trace-event JSON file, viewable in chrome://tracing or Perfetto.
+//
+// Each rank becomes one thread row. Task executions and steal attempts
+// render as duration spans (TaskExec..TaskExecEnd, StealBegin..outcome);
+// successful steals draw a flow arrow from the thief's span to the
+// victim's row; votes, waves, releases, reacquires, task adds, injected
+// faults, and termination render as instants.
+//
+// Usage:
+//
+//	sciototrace /tmp/traces                    # merge dir/trace-rank*.json
+//	sciototrace -o run.json trace-rank*.json   # explicit files
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"scioto/internal/obs"
+	"scioto/internal/trace"
+)
+
+func main() {
+	out := flag.String("o", "scioto-trace.json", `output file ("-" for stdout)`)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sciototrace [-o out.json] <trace-dir | trace-rank*.json ...>")
+		os.Exit(2)
+	}
+
+	paths, err := resolveInputs(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	dumps := make([]*trace.Dump, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := trace.ReadDump(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		if d.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "sciototrace: warning: rank %d dropped %d events (raise SCIOTO_OBS_TRACE_LIMIT)\n", d.Rank, d.Dropped)
+		}
+		dumps = append(dumps, d)
+	}
+
+	events := convert(dumps)
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ns"}); err != nil {
+		fatal(err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "sciototrace: wrote %d events from %d ranks to %s\n", len(events), len(dumps), *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sciototrace:", err)
+	os.Exit(1)
+}
+
+// resolveInputs expands a single directory argument into its per-rank
+// dump files; explicit file arguments pass through.
+func resolveInputs(args []string) ([]string, error) {
+	if len(args) == 1 {
+		if st, err := os.Stat(args[0]); err == nil && st.IsDir() {
+			paths, err := filepath.Glob(filepath.Join(args[0], "trace-rank*.json"))
+			if err != nil {
+				return nil, err
+			}
+			if len(paths) == 0 {
+				return nil, fmt.Errorf("no trace-rank*.json files in %s", args[0])
+			}
+			sort.Strings(paths)
+			return paths, nil
+		}
+	}
+	return args, nil
+}
+
+// chromeTrace is the trace-event JSON object format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeEvent is one trace-event record. Ts and Dur are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func micros(ns int64) float64 { return float64(ns) / 1e3 }
+
+func durPtr(beginNs, endNs int64) *float64 {
+	d := micros(endNs - beginNs)
+	if d < 0 {
+		d = 0
+	}
+	return &d
+}
+
+// openSpan is a begin event awaiting its close.
+type openSpan struct {
+	atNs int64
+	ev   [4]int64
+}
+
+// convert merges per-rank dumps into Chrome trace events. Spans are
+// emitted as complete ("X") events — matching begins to ends here, rather
+// than leaning on the viewer's B/E pairing, keeps a trace with a
+// truncated tail (recorder limit hit mid-span) well-formed: an unclosed
+// begin is synthesized shut at the rank's last timestamp.
+func convert(dumps []*trace.Dump) []chromeEvent {
+	const pid = 1
+	var out []chromeEvent
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": "scioto"},
+	})
+	var flowID int64
+	for _, d := range dumps {
+		rank := d.Rank
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: rank,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
+		})
+		var lastNs int64
+		var execStack []openSpan
+		var steal *openSpan
+		for _, q := range d.Events {
+			atNs, kind := q[0], trace.Kind(q[1])
+			if atNs > lastNs {
+				lastNs = atNs
+			}
+			switch kind {
+			case trace.TaskExec:
+				execStack = append(execStack, openSpan{atNs: atNs, ev: q})
+			case trace.TaskExecEnd:
+				if len(execStack) == 0 {
+					continue // end with no begin: tolerate malformed input
+				}
+				b := execStack[len(execStack)-1]
+				execStack = execStack[:len(execStack)-1]
+				out = append(out, execSpan(pid, rank, b, atNs))
+			case trace.StealBegin:
+				steal = &openSpan{atNs: atNs, ev: q}
+			case trace.StealOK, trace.StealEmpty, trace.StealBusy:
+				if steal == nil {
+					continue
+				}
+				sp := stealSpan(pid, rank, *steal, atNs, kind, q[3])
+				out = append(out, sp)
+				if kind == trace.StealOK {
+					// Flow arrow thief → victim at the moment of success.
+					flowID++
+					victim := int(q[2])
+					out = append(out,
+						chromeEvent{Name: "steal", Cat: "flow", Ph: "s", Ts: micros(atNs), Pid: pid, Tid: rank, ID: flowID},
+						chromeEvent{Name: "steal", Cat: "flow", Ph: "f", BP: "e", Ts: micros(atNs), Pid: pid, Tid: victim, ID: flowID},
+					)
+				}
+				steal = nil
+			default:
+				out = append(out, instant(pid, rank, atNs, kind, q[2], q[3]))
+			}
+		}
+		// Synthesize closes for spans the recorder never saw end.
+		for i := len(execStack) - 1; i >= 0; i-- {
+			out = append(out, execSpan(pid, rank, execStack[i], lastNs))
+		}
+		if steal != nil {
+			out = append(out, stealSpan(pid, rank, *steal, lastNs, trace.StealBegin, 0))
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	return out
+}
+
+func execSpan(pid, rank int, b openSpan, endNs int64) chromeEvent {
+	return chromeEvent{
+		Name: "exec", Cat: "task", Ph: "X",
+		Ts: micros(b.atNs), Dur: durPtr(b.atNs, endNs), Pid: pid, Tid: rank,
+		Args: map[string]any{"handle": b.ev[2], "origin": b.ev[3]},
+	}
+}
+
+func stealSpan(pid, rank int, b openSpan, endNs int64, outcome trace.Kind, tasks int64) chromeEvent {
+	args := map[string]any{"victim": b.ev[2]}
+	switch outcome {
+	case trace.StealOK:
+		args["outcome"] = "ok"
+		args["tasks"] = tasks
+	case trace.StealEmpty:
+		args["outcome"] = "empty"
+	case trace.StealBusy:
+		args["outcome"] = "busy"
+	default:
+		args["outcome"] = "truncated"
+	}
+	return chromeEvent{
+		Name: "steal", Cat: "steal", Ph: "X",
+		Ts: micros(b.atNs), Dur: durPtr(b.atNs, endNs), Pid: pid, Tid: rank,
+		Args: args,
+	}
+}
+
+func instant(pid, rank int, atNs int64, kind trace.Kind, arg1, arg2 int64) chromeEvent {
+	args := map[string]any{"arg1": arg1, "arg2": arg2}
+	cat := "sched"
+	switch kind {
+	case trace.TaskAdd:
+		args = map[string]any{"dest": arg1, "affinity": arg2}
+	case trace.Release, trace.Reacquire:
+		args = map[string]any{"tasks": arg1}
+	case trace.Vote:
+		color := "white"
+		if arg2 != 0 {
+			color = "black"
+		}
+		args = map[string]any{"wave": arg1, "color": color}
+		cat = "td"
+	case trace.WaveDown:
+		args = map[string]any{"wave": arg1}
+		cat = "td"
+	case trace.Terminate:
+		args = map[string]any{"wave": arg1}
+		cat = "td"
+	case trace.Fault:
+		args = map[string]any{"kind": obs.FaultKindName(arg1), "target": arg2}
+		cat = "fault"
+	}
+	return chromeEvent{
+		Name: kind.String(), Cat: cat, Ph: "i", S: "t",
+		Ts: micros(atNs), Pid: pid, Tid: rank, Args: args,
+	}
+}

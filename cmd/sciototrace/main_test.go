@@ -1,0 +1,173 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"scioto/internal/obs"
+	"scioto/internal/trace"
+)
+
+// dumpOf builds a Dump through a live recorder, the same way the facade
+// produces the on-disk files.
+func dumpOf(t *testing.T, rank int, record func(r *trace.Recorder)) *trace.Dump {
+	t.Helper()
+	rec := trace.NewRecorder(rank, 0)
+	record(rec)
+	dir := t.TempDir()
+	path, err := rec.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return readDump(t, path)
+}
+
+func readDump(t *testing.T, path string) *trace.Dump {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := trace.ReadDump(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func find(events []chromeEvent, match func(chromeEvent) bool) []chromeEvent {
+	var out []chromeEvent
+	for _, e := range events {
+		if match(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestConvertSpansFlowsAndInstants(t *testing.T) {
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+	// Rank 1 (thief): a failed probe, then a successful steal from rank 0,
+	// then executes the stolen task.
+	thief := dumpOf(t, 1, func(r *trace.Recorder) {
+		r.Record(us(10), trace.StealBegin, 0, 0)
+		r.Record(us(12), trace.StealEmpty, 0, 0)
+		r.Record(us(20), trace.StealBegin, 0, 0)
+		r.Record(us(25), trace.StealOK, 0, 4)
+		r.Record(us(30), trace.TaskExec, 7, 0)
+		r.Record(us(40), trace.TaskExecEnd, 7, 0)
+		r.Record(us(41), trace.Vote, 1, 1)
+	})
+	// Rank 0 (victim): adds work, releases, sees a fault, and its last
+	// exec span is cut off by the recorder limit — must synthesize a close.
+	victim := dumpOf(t, 0, func(r *trace.Recorder) {
+		r.Record(us(1), trace.TaskAdd, 0, 100)
+		r.Record(us(2), trace.Release, 4, 0)
+		r.Record(us(5), trace.Fault, obs.FaultDelay, 1)
+		r.Record(us(8), trace.TaskExec, 7, 0)
+		r.Record(us(50), trace.Terminate, 1, 0)
+	})
+
+	events := convert([]*trace.Dump{victim, thief})
+
+	steals := find(events, func(e chromeEvent) bool { return e.Ph == "X" && e.Cat == "steal" })
+	if len(steals) != 2 {
+		t.Fatalf("got %d steal spans, want 2", len(steals))
+	}
+	byOutcome := map[string]chromeEvent{}
+	for _, e := range steals {
+		byOutcome[e.Args["outcome"].(string)] = e
+	}
+	ok, found := byOutcome["ok"]
+	if !found {
+		t.Fatal("no ok-outcome steal span")
+	}
+	if ok.Ts != 20 || ok.Dur == nil || *ok.Dur != 5 {
+		t.Fatalf("ok steal span ts=%v dur=%v, want ts=20 dur=5", ok.Ts, ok.Dur)
+	}
+	if _, found := byOutcome["empty"]; !found {
+		t.Fatal("no empty-outcome steal span")
+	}
+
+	flows := find(events, func(e chromeEvent) bool { return e.Cat == "flow" })
+	if len(flows) != 2 {
+		t.Fatalf("got %d flow events, want a start/finish pair", len(flows))
+	}
+	var start, finish chromeEvent
+	for _, e := range flows {
+		switch e.Ph {
+		case "s":
+			start = e
+		case "f":
+			finish = e
+		}
+	}
+	if start.Tid != 1 || finish.Tid != 0 || start.ID != finish.ID || finish.BP != "e" {
+		t.Fatalf("flow pair malformed: start=%+v finish=%+v", start, finish)
+	}
+
+	execs := find(events, func(e chromeEvent) bool { return e.Ph == "X" && e.Cat == "task" })
+	if len(execs) != 2 {
+		t.Fatalf("got %d exec spans, want 2 (one synthesized)", len(execs))
+	}
+	for _, e := range execs {
+		switch e.Tid {
+		case 1:
+			if e.Ts != 30 || *e.Dur != 10 {
+				t.Fatalf("thief exec span ts=%v dur=%v", e.Ts, *e.Dur)
+			}
+		case 0:
+			// Unclosed at dump time: synthesized shut at the rank's last ts.
+			if e.Ts != 8 || *e.Dur != 42 {
+				t.Fatalf("synthesized exec span ts=%v dur=%v, want ts=8 dur=42", e.Ts, *e.Dur)
+			}
+		}
+	}
+
+	faults := find(events, func(e chromeEvent) bool { return e.Cat == "fault" })
+	if len(faults) != 1 || faults[0].Args["kind"] != "delay" {
+		t.Fatalf("fault instants: %+v", faults)
+	}
+	if got := find(events, func(e chromeEvent) bool { return e.Ph == "i" && e.Name == "vote" }); len(got) != 1 {
+		t.Fatalf("vote instants: %+v", got)
+	}
+
+	// Timestamps are microseconds and globally sorted.
+	lastTs := -1.0
+	for _, e := range events {
+		if e.Ts < lastTs {
+			t.Fatalf("events not sorted: %v after %v", e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+	}
+}
+
+func TestResolveInputsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	for _, rank := range []int{2, 0, 1} {
+		rec := trace.NewRecorder(rank, 0)
+		rec.Record(time.Microsecond, trace.UserEvent, 0, 0)
+		if _, err := rec.WriteFile(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := resolveInputs([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	for i, p := range paths {
+		want := filepath.Join(dir, "trace-rank000"+string(rune('0'+i))+".json")
+		if p != want {
+			t.Fatalf("paths[%d] = %s, want %s (sorted by rank)", i, p, want)
+		}
+	}
+	if _, err := resolveInputs([]string{t.TempDir()}); err == nil {
+		t.Fatal("empty directory must be an error")
+	}
+}

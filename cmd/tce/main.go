@@ -34,6 +34,7 @@ func main() {
 	chunk := flag.Int("chunk", 4, "steal chunk size")
 	perMAC := flag.Duration("permac", 8*time.Microsecond, "modeled cost per block multiply")
 	seed := flag.Int64("seed", 11, "sparsity/data seed")
+	obs := transportflag.ObsFlags()
 	flag.Parse()
 
 	if *method != "scioto" && *method != "counter" {
@@ -42,7 +43,7 @@ func main() {
 	}
 	prm := tce.Params{NB: *nb, BS: *bs, Density: *density, Band: *band, Seed: *seed}
 
-	cfg := scioto.Config{Procs: *procs, Transport: transport.Transport(), Seed: 9}
+	cfg := scioto.Config{Procs: *procs, Transport: transport.Transport(), Seed: 9, Obs: obs.Config()}
 	err := scioto.Run(cfg, func(rt *scioto.Runtime) {
 		p := rt.Proc()
 		c := tce.New(p, prm)

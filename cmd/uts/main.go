@@ -37,6 +37,7 @@ func main() {
 	chunk := flag.Int("chunk", 10, "steal chunk size")
 	nodeCost := flag.Duration("nodecost", 316*time.Nanosecond, "modeled per-node cost")
 	limit := flag.Int64("limit", 1<<26, "abort if the tree exceeds this many nodes")
+	obs := transportflag.ObsFlags()
 	flag.Parse()
 
 	tree := uts.Params{RootSeed: *seed, B0: *b0, MaxDepth: *depth, Q: *q, M: *m}
@@ -66,6 +67,7 @@ func main() {
 		Transport: transport.Transport(),
 		Seed:      1,
 		Latency:   3 * time.Microsecond,
+		Obs:       obs.Config(),
 	}
 	err = scioto.Run(cfg, func(rt *scioto.Runtime) {
 		p := rt.Proc()

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"time"
+
+	"scioto/internal/obs"
+)
+
+// Metrics bundles the runtime-level observability instruments for one
+// rank's task collections: task execution and steal latencies, queue
+// split-pointer movement, and termination-detection progress. It follows
+// the same nil-object discipline as trace.Recorder — every method is a
+// no-op on a nil *Metrics — so the scheduler records unconditionally and
+// a run without observability pays one nil check per site and nothing
+// else. The instruments live in an obs.Registry, so they are scraped
+// live by the introspection endpoint and merged across ranks by
+// obs.Merger.
+//
+// All instruments are created at construction, in a fixed order, keeping
+// per-rank registries congruent for the cross-rank merge.
+type Metrics struct {
+	tasksExecuted *obs.Counter
+	taskLatency   *obs.Histogram
+	inlineExecs   *obs.Counter
+	tasksAdded    *obs.Counter
+
+	stealLat    [3]*obs.Histogram // indexed by stealResult: ok, empty, busy
+	tasksStolen *obs.Counter
+
+	releases   *obs.Counter
+	reacquires *obs.Counter
+	queueDepth *obs.Gauge
+
+	waves        *obs.Counter
+	votes        *obs.Counter
+	terminations *obs.Counter
+}
+
+// NewMetrics creates the scheduler instrument set in reg. A nil registry
+// yields a nil (disabled) Metrics.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	m := &Metrics{}
+	m.tasksExecuted = reg.Counter("scioto_tasks_executed_total",
+		"tasks executed by this rank")
+	m.taskLatency = reg.Histogram("scioto_task_exec_seconds",
+		"task callback execution latency")
+	m.inlineExecs = reg.Counter("scioto_tasks_inline_total",
+		"tasks executed inline because the local queue was full")
+	m.tasksAdded = reg.Counter("scioto_tasks_added_total",
+		"tasks added by this rank")
+	for i, outcome := range [3]string{"ok", "empty", "busy"} {
+		m.stealLat[i] = reg.Histogram(
+			`scioto_steal_latency_seconds{outcome="`+outcome+`"}`,
+			"steal attempt latency by outcome")
+	}
+	m.tasksStolen = reg.Counter("scioto_tasks_stolen_total",
+		"tasks this rank stole from victims")
+	m.releases = reg.Counter("scioto_queue_releases_total",
+		"split-pointer releases making private tasks stealable")
+	m.reacquires = reg.Counter("scioto_queue_reacquires_total",
+		"split-pointer reacquires reclaiming shared tasks")
+	m.queueDepth = reg.Gauge("scioto_queue_depth",
+		"tasks pending in this rank's patch (refreshed when idle)")
+	m.waves = reg.Counter("scioto_td_waves_total",
+		"termination-detection waves observed")
+	m.votes = reg.Counter("scioto_td_votes_total",
+		"termination-detection votes cast")
+	m.terminations = reg.Counter("scioto_td_terminations_total",
+		"task-parallel phases terminated")
+	return m
+}
+
+func (m *Metrics) noteExec(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.tasksExecuted.Inc()
+	m.taskLatency.Observe(d)
+}
+
+func (m *Metrics) noteInline() {
+	if m == nil {
+		return
+	}
+	m.inlineExecs.Inc()
+}
+
+func (m *Metrics) noteAdd() {
+	if m == nil {
+		return
+	}
+	m.tasksAdded.Inc()
+}
+
+// noteSteal records one steal attempt: its outcome-classified latency
+// and, on success, the number of tasks transferred.
+func (m *Metrics) noteSteal(res stealResult, d time.Duration, tasks int) {
+	if m == nil {
+		return
+	}
+	m.stealLat[res].Observe(d)
+	if tasks > 0 {
+		m.tasksStolen.Add(int64(tasks))
+	}
+}
+
+func (m *Metrics) noteRelease() {
+	if m == nil {
+		return
+	}
+	m.releases.Inc()
+}
+
+func (m *Metrics) noteReacquire() {
+	if m == nil {
+		return
+	}
+	m.reacquires.Inc()
+}
+
+func (m *Metrics) setQueueDepth(n int64) {
+	if m == nil {
+		return
+	}
+	m.queueDepth.Set(n)
+}
+
+func (m *Metrics) noteWave() {
+	if m == nil {
+		return
+	}
+	m.waves.Inc()
+}
+
+func (m *Metrics) noteVote() {
+	if m == nil {
+		return
+	}
+	m.votes.Inc()
+}
+
+func (m *Metrics) noteTerminate() {
+	if m == nil {
+		return
+	}
+	m.terminations.Inc()
+}

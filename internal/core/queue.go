@@ -81,7 +81,8 @@ type taskQueue struct {
 	// heap allocation per steal.
 	nbBottom, nbLimit int64
 
-	tracer *trace.Recorder // nil = tracing disabled
+	tracer  *trace.Recorder // nil = tracing disabled
+	metrics *Metrics        // nil = metrics disabled
 }
 
 // newTaskQueue collectively allocates a task queue. All processes must call
@@ -210,6 +211,7 @@ func (q *taskQueue) maybeRelease(ordered bool, s *Stats) {
 	k := (top - split) / 2
 	q.p.Store64(me, q.meta, wSplit, split+k)
 	q.tracer.Record(q.p.Now(), trace.Release, k, 0)
+	q.metrics.noteRelease()
 	s.Releases++
 	s.TasksReleased += k
 }
@@ -239,6 +241,7 @@ func (q *taskQueue) reacquire(s *Stats) bool {
 	q.p.Store64(me, q.meta, wSplit, split-k)
 	q.p.Unlock(me, q.lock)
 	q.tracer.Record(q.p.Now(), trace.Reacquire, k, 0)
+	q.metrics.noteReacquire()
 	s.Reacquires++
 	s.TasksReacquired += k
 	return true

@@ -24,8 +24,11 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
+	"scioto/internal/obs"
 	"scioto/internal/pgas"
+	"scioto/internal/trace"
 )
 
 // Handle is a portable reference to a collectively registered task callback.
@@ -125,18 +128,80 @@ type Runtime struct {
 	p    pgas.Proc
 	clos []any
 	rng  *rand.Rand
+
+	// Observer state, attached by the facade when observability is on.
+	// Collections created after SetObserver auto-wire their metrics and
+	// tracer from these; both are nil-safe when disabled.
+	obsReg *obs.Registry
+	tracer *trace.Recorder
+}
+
+// Observer state registered per proc handle. Application drivers
+// (internal/uts, scf, tce) attach their own Runtime from a raw pgas.Proc,
+// so the facade cannot hand them an observer-wired Runtime; instead it
+// registers the observer against the proc and every Attach on that proc
+// inherits it.
+var (
+	procObsMu sync.Mutex
+	procObs   map[pgas.Proc]procObserver
+)
+
+type procObserver struct {
+	reg    *obs.Registry
+	tracer *trace.Recorder
+}
+
+// RegisterProcObserver makes every future Attach on p observer-wired.
+// Pair with UnregisterProcObserver when the proc's run ends.
+func RegisterProcObserver(p pgas.Proc, reg *obs.Registry, tracer *trace.Recorder) {
+	procObsMu.Lock()
+	if procObs == nil {
+		procObs = make(map[pgas.Proc]procObserver)
+	}
+	procObs[p] = procObserver{reg: reg, tracer: tracer}
+	procObsMu.Unlock()
+}
+
+// UnregisterProcObserver drops the observer registration for p.
+func UnregisterProcObserver(p pgas.Proc) {
+	procObsMu.Lock()
+	delete(procObs, p)
+	procObsMu.Unlock()
 }
 
 // Attach initializes the Scioto runtime on the calling process. Collective:
 // all processes must attach before creating task collections.
 func Attach(p pgas.Proc) *Runtime {
-	return &Runtime{p: p, rng: p.Rand()}
+	rt := &Runtime{p: p, rng: p.Rand()}
+	procObsMu.Lock()
+	if st, ok := procObs[p]; ok {
+		rt.obsReg = st.reg
+		rt.tracer = st.tracer
+	}
+	procObsMu.Unlock()
+	return rt
 }
 
 // Proc exposes the underlying pgas process handle, for applications that
 // mix task parallelism with direct one-sided communication (the common
 // case: Global Arrays access from inside tasks).
 func (rt *Runtime) Proc() pgas.Proc { return rt.p }
+
+// SetObserver attaches this rank's metrics registry and trace recorder.
+// Task collections created afterwards wire themselves automatically;
+// either argument may be nil to leave that channel disabled.
+func (rt *Runtime) SetObserver(reg *obs.Registry, tracer *trace.Recorder) {
+	rt.obsReg = reg
+	rt.tracer = tracer
+}
+
+// Tracer returns the runtime's attached trace recorder (nil when tracing
+// is disabled — itself a valid, disabled recorder).
+func (rt *Runtime) Tracer() *trace.Recorder { return rt.tracer }
+
+// Registry returns the runtime's attached metrics registry (nil when
+// observability is disabled — itself a valid, disabled registry).
+func (rt *Runtime) Registry() *obs.Registry { return rt.obsReg }
 
 // Rank returns the calling process's rank.
 func (rt *Runtime) Rank() int { return rt.p.Rank() }

@@ -111,12 +111,15 @@ type TC struct {
 	sinceOrder int  // executed tasks since last ordered release check
 	stealNear  bool // hierarchical stealing: next probe is node-local
 
-	tracer *trace.Recorder // nil = tracing disabled
+	tracer  *trace.Recorder // nil = tracing disabled
+	metrics *Metrics        // nil = metrics disabled
 }
 
 // NewTC collectively creates a task collection. All processes must call it
 // with an identical configuration, and must then register the same
-// callbacks in the same order.
+// callbacks in the same order. When the runtime has an observer attached
+// (Runtime.SetObserver), the collection auto-wires its metrics and tracer
+// from it.
 func NewTC(rt *Runtime, cfg Config) *TC {
 	cfg = cfg.withDefaults()
 	if cfg.MaxBodySize < 0 || cfg.ChunkSize <= 0 || cfg.MaxTasks <= 0 {
@@ -133,6 +136,15 @@ func NewTC(rt *Runtime, cfg Config) *TC {
 	if cfg.MaxDeferred > 0 {
 		tc.deps = newDepPool(rt.p, cfg.MaxDeferred, slotSize)
 	}
+	if rt.obsReg != nil {
+		// NewMetrics lookups are idempotent, so every collection a rank
+		// creates shares one instrument set; series reflect the rank's
+		// whole task-parallel activity.
+		tc.SetMetrics(NewMetrics(rt.obsReg))
+	}
+	if rt.tracer != nil {
+		tc.SetTracer(rt.tracer)
+	}
 	rt.p.Barrier()
 	return tc
 }
@@ -145,6 +157,18 @@ func (tc *TC) SetTracer(r *trace.Recorder) {
 	tc.q.tracer = r
 	tc.td.tracer = r
 }
+
+// SetMetrics attaches scheduler metrics to this collection (nil detaches).
+// Local operation, usually performed automatically by NewTC when the
+// runtime carries an observer.
+func (tc *TC) SetMetrics(m *Metrics) {
+	tc.metrics = m
+	tc.q.metrics = m
+	tc.td.metrics = m
+}
+
+// Metrics returns the attached metrics (nil when disabled).
+func (tc *TC) Metrics() *Metrics { return tc.metrics }
 
 // Tracer returns the attached recorder (nil when tracing is disabled).
 func (tc *TC) Tracer() *trace.Recorder { return tc.tracer }
@@ -195,6 +219,7 @@ func (tc *TC) Add(proc int, affinity int32, t *Task) error {
 	me := tc.rt.Rank()
 
 	tc.tracer.Record(tc.rt.p.Now(), trace.TaskAdd, int64(proc), int64(affinity))
+	tc.metrics.noteAdd()
 	if tc.ctd != nil {
 		// Counter-based termination charges the outstanding count before
 		// the task becomes visible anywhere.
@@ -226,6 +251,7 @@ func (tc *TC) Add(proc int, affinity int32, t *Task) error {
 	// bounding queue memory (work-first fallback).
 	tc.stats.TasksAdded++
 	tc.stats.InlineExecs++
+	tc.metrics.noteInline()
 	tc.execute(decodeTask(wire))
 	return nil
 }
@@ -239,7 +265,10 @@ func (tc *TC) execute(t *Task) {
 	t0 := tc.rt.p.Now()
 	tc.tracer.Record(t0, trace.TaskExec, int64(h), int64(t.Origin()))
 	tc.callbacks[h](tc, t)
-	tc.stats.WorkTime += tc.rt.p.Now() - t0
+	d := tc.rt.p.Now() - t0
+	tc.tracer.Record(t0+d, trace.TaskExecEnd, int64(h), 0)
+	tc.metrics.noteExec(d)
+	tc.stats.WorkTime += d
 	tc.stats.TasksExecuted++
 	if t.Origin() == tc.rt.Rank() {
 		tc.stats.ExecutedLocal++
@@ -307,6 +336,7 @@ func (tc *TC) Process() {
 		idle0 := p.Now()
 		if !tc.cfg.DisableStealing && n > 1 {
 			victim := tc.pickVictim()
+			tc.tracer.Record(idle0, trace.StealBegin, int64(victim), 0)
 			markDirty := tc.ctd == nil
 			if markDirty && !tc.cfg.DisableColoringOpt {
 				// §5.3: the victim only needs to be marked dirty if the
@@ -318,21 +348,29 @@ func (tc *TC) Process() {
 				}
 			}
 			batch, res := tc.q.steal(victim, tc.cfg.ChunkSize, markDirty, &tc.stats)
+			stolen := 0
+			if res == stealOK {
+				stolen = len(batch.slots)
+			}
+			stealEnd := p.Now()
 			switch res {
 			case stealOK:
-				tc.tracer.Record(p.Now(), trace.StealOK, int64(victim), int64(len(batch.slots)))
+				tc.tracer.Record(stealEnd, trace.StealOK, int64(victim), int64(stolen))
 			case stealEmpty:
-				tc.tracer.Record(p.Now(), trace.StealEmpty, int64(victim), 0)
+				tc.tracer.Record(stealEnd, trace.StealEmpty, int64(victim), 0)
 			case stealBusy:
-				tc.tracer.Record(p.Now(), trace.StealBusy, int64(victim), 0)
+				tc.tracer.Record(stealEnd, trace.StealBusy, int64(victim), 0)
 			}
+			tc.metrics.noteSteal(res, stealEnd-idle0, stolen)
 			if res == stealOK {
 				tc.td.noteBalance()
 				tc.enqueueStolen(batch.slots)
 				batch.recycle()
+				tc.metrics.setQueueDepth(tc.q.totalCountHint())
 				tc.stats.IdleTime += p.Now() - idle0
 				continue
 			}
+			tc.metrics.setQueueDepth(0)
 		}
 
 		// Passive: we just verified the queue is empty and failed to find
@@ -366,6 +404,7 @@ func (tc *TC) enqueueStolen(slots [][]byte) {
 		}
 		if !ok {
 			tc.stats.InlineExecs++
+			tc.metrics.noteInline()
 			tc.execute(t)
 		}
 	}

@@ -85,8 +85,9 @@ type termDetector struct {
 
 	terminated bool
 
-	stats  *Stats
-	tracer *trace.Recorder // nil = tracing disabled
+	stats   *Stats
+	tracer  *trace.Recorder // nil = tracing disabled
+	metrics *Metrics        // nil = metrics disabled
 }
 
 // newTermDetector collectively allocates the detector's word segment.
@@ -175,6 +176,7 @@ func (td *termDetector) step(passive bool, queueDirty func() int64) bool {
 		if down == termSignal {
 			td.propagateDown(termSignal)
 			td.tracer.Record(td.p.Now(), trace.Terminate, td.wave, 0)
+			td.metrics.noteTerminate()
 			td.terminated = true
 			return true
 		}
@@ -184,6 +186,7 @@ func (td *termDetector) step(passive bool, queueDirty func() int64) bool {
 			td.voted = false
 			td.stats.WavesSeen++
 			td.tracer.Record(td.p.Now(), trace.WaveDown, down, 0)
+			td.metrics.noteWave()
 		}
 		if td.wave > 0 && !td.forwarded {
 			td.propagateDown(td.wave)
@@ -231,6 +234,7 @@ func (td *termDetector) step(passive bool, queueDirty func() int64) bool {
 		if color == colorWhite {
 			td.propagateDown(termSignal)
 			td.tracer.Record(td.p.Now(), trace.Terminate, td.wave, 0)
+			td.metrics.noteTerminate()
 			td.terminated = true
 			td.voted = true
 			return true
@@ -242,6 +246,7 @@ func (td *termDetector) step(passive bool, queueDirty func() int64) bool {
 	// Cast our vote upward.
 	td.p.Store64(td.parent, td.seg, td.upCellOf(me), encodeVote(td.wave, color))
 	td.tracer.Record(td.p.Now(), trace.Vote, td.wave, color)
+	td.metrics.noteVote()
 	td.voted = true
 	td.stats.Votes++
 	if color == colorBlack {

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"scioto/internal/pgas"
+)
+
+// Merger reduces congruent per-rank registries into a global Snapshot
+// over the pgas, with the same pipelined-gather shape as the task
+// collection's GlobalStats: every rank publishes its flattened word
+// vector into a symmetric segment, then gathers all ranks' vectors with
+// one non-blocking load per (rank, word) completed by a single Flush, so
+// the collective costs two barriers plus one pipelined round instead of
+// O(P·words) serial round trips.
+//
+// Requirements: NewMerger is collective (it allocates a symmetric
+// segment) and every rank's registry must be congruent — the same
+// instruments registered in the same order, which SPMD instrumentation
+// produces naturally. Congruence is verified at Merge time with a schema
+// fingerprint word; a mismatch panics on every rank rather than summing
+// unrelated counters silently.
+type Merger struct {
+	p     pgas.Proc
+	reg   *Registry
+	seg   pgas.Seg
+	words int // flattened registry width, excluding the schema word
+
+	// cells receives the pipelined gather (NProcs * (words+1) values). It
+	// lives on the Merger so repeated merges reuse one allocation and the
+	// non-blocking loads' out-pointers have a stable heap destination.
+	cells []int64
+	local []int64
+}
+
+// NewMerger collectively creates a merger for the registry. Register
+// every instrument before calling it: the symmetric segment is sized to
+// the registry's width at this moment, and a later Merge with a grown
+// registry panics.
+func NewMerger(p pgas.Proc, reg *Registry) *Merger {
+	words := reg.NumWords()
+	return &Merger{
+		p:     p,
+		reg:   reg,
+		seg:   p.AllocWords(words + 1), // +1: schema fingerprint
+		words: words,
+	}
+}
+
+// Merge collectively reduces all ranks' registries and returns the
+// rank-wise sum, valid on every rank. Counters, histogram buckets, and
+// sums add; gauges add too (a merged gauge reads as the global level,
+// e.g. total queued tasks). Must be called by all ranks together.
+func (m *Merger) Merge() *Snapshot {
+	if w := m.reg.NumWords(); w != m.words {
+		panic(fmt.Sprintf("obs: registry grew from %d to %d words since NewMerger; register instruments before creating the merger", m.words, w))
+	}
+	p := m.p
+	me := p.Rank()
+	n := p.NProcs()
+	stride := m.words + 1
+
+	m.local = m.reg.snapshotWords(m.local[:0])
+	p.Store64(me, m.seg, 0, int64(m.reg.SchemaHash()))
+	for i, v := range m.local {
+		p.Store64(me, m.seg, 1+i, v)
+	}
+	p.Barrier()
+
+	if cap(m.cells) < n*stride {
+		m.cells = make([]int64, n*stride)
+	}
+	cells := m.cells[:n*stride]
+	for r := 0; r < n; r++ {
+		for i := 0; i < stride; i++ {
+			p.NbLoad64(r, m.seg, i, &cells[r*stride+i])
+		}
+	}
+	p.Flush()
+
+	mySchema := int64(m.reg.SchemaHash())
+	sum := make([]int64, m.words)
+	for r := 0; r < n; r++ {
+		if cells[r*stride] != mySchema {
+			panic(fmt.Sprintf("obs: rank %d's registry schema differs from rank %d's; merged registries must register the same instruments in the same order", r, me))
+		}
+		for i := 0; i < m.words; i++ {
+			sum[i] += cells[r*stride+1+i]
+		}
+	}
+	p.Barrier()
+	return &Snapshot{reg: m.reg, vals: sum, ranks: n}
+}
+
+// Snapshot is a merged (or single-rank) view of a registry's values,
+// decoupled from the live instruments.
+type Snapshot struct {
+	reg   *Registry
+	vals  []int64
+	ranks int
+}
+
+// Ranks reports how many ranks were merged.
+func (s *Snapshot) Ranks() int { return s.ranks }
+
+// find locates a named instrument's offset in the flattened vector.
+func (s *Snapshot) find(name string) (*metric, int, bool) {
+	off := 0
+	for _, m := range s.reg.snapshotMetrics() {
+		if m.name == name {
+			return m, off, true
+		}
+		off += m.words()
+	}
+	return nil, 0, false
+}
+
+// Counter reads a merged counter (0 when absent).
+func (s *Snapshot) Counter(name string) int64 {
+	if m, off, ok := s.find(name); ok && m.kind == KindCounter {
+		return s.vals[off]
+	}
+	return 0
+}
+
+// Gauge reads a merged gauge (0 when absent).
+func (s *Snapshot) Gauge(name string) int64 {
+	if m, off, ok := s.find(name); ok && m.kind == KindGauge {
+		return s.vals[off]
+	}
+	return 0
+}
+
+// HistCount reads a merged histogram's observation count.
+func (s *Snapshot) HistCount(name string) int64 {
+	if m, off, ok := s.find(name); ok && m.kind == KindHistogram {
+		return s.vals[off+HistBuckets]
+	}
+	return 0
+}
+
+// HistSum reads a merged histogram's total observed time.
+func (s *Snapshot) HistSum(name string) time.Duration {
+	if m, off, ok := s.find(name); ok && m.kind == KindHistogram {
+		return time.Duration(s.vals[off+HistBuckets+1])
+	}
+	return 0
+}
+
+// WriteProm renders the merged values in Prometheus text format with a
+// scope="merged" label distinguishing them from per-rank series.
+func (s *Snapshot) WriteProm(w io.Writer) {
+	typeSeen := make(map[string]bool)
+	off := 0
+	for _, m := range s.reg.snapshotMetrics() {
+		base, labels := splitName(m.name)
+		if !typeSeen[base] {
+			typeSeen[base] = true
+			if m.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", base, m.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, m.kind)
+		}
+		const extra = `scope="merged"`
+		switch m.kind {
+		case KindCounter, KindGauge:
+			fmt.Fprintf(w, "%s %d\n", seriesName(base, labels, extra), s.vals[off])
+		case KindHistogram:
+			var hs histSnapshot
+			copy(hs.buckets[:], s.vals[off:off+HistBuckets])
+			hs.count = s.vals[off+HistBuckets]
+			hs.sumNS = s.vals[off+HistBuckets+1]
+			writeHistSeries(w, base, labels, extra, hs)
+		}
+		off += m.words()
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format rendering (version 0.0.4, the format every
+// Prometheus-compatible scraper accepts). Series names may carry a fixed
+// label set — `base{op="get"}` — and rendering splices extra labels (the
+// rank, for the per-rank endpoint) into the brace set, so one instrument
+// name works both standalone and labeled.
+
+// splitName separates a series name into its base and its fixed label
+// body (without braces): `a{b="c"}` → ("a", `b="c"`).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// seriesName renders base plus the union of the fixed and extra label
+// bodies.
+func seriesName(base, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base
+	case labels == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + labels + "}"
+	default:
+		return base + "{" + extra + "," + labels + "}"
+	}
+}
+
+// formatLe renders a histogram bucket bound for the `le` label.
+func formatLe(bound float64) string {
+	if math.IsInf(bound, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(bound, 'g', -1, 64)
+}
+
+// writeMetric renders one instrument. extra is an additional label body
+// (e.g. `rank="3"`) spliced into every series; typeSeen dedupes HELP/TYPE
+// lines when multiple instruments (or ranks) share a base name.
+func writeMetric(w io.Writer, m *metric, extra string, typeSeen map[string]bool) {
+	base, labels := splitName(m.name)
+	if !typeSeen[base] {
+		typeSeen[base] = true
+		if m.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", base, m.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", base, m.kind)
+	}
+	switch m.kind {
+	case KindCounter:
+		fmt.Fprintf(w, "%s %d\n", seriesName(base, labels, extra), m.c.Value())
+	case KindGauge:
+		fmt.Fprintf(w, "%s %d\n", seriesName(base, labels, extra), m.g.Value())
+	case KindHistogram:
+		writeHistSeries(w, base, labels, extra, histValues(&m.h))
+	}
+}
+
+// histValues extracts a consistent-enough snapshot of a live histogram.
+type histSnapshot struct {
+	buckets [HistBuckets]int64
+	count   int64
+	sumNS   int64
+}
+
+func histValues(h *Histogram) histSnapshot {
+	var s histSnapshot
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	s.count = h.count.Load()
+	s.sumNS = h.sum.Load()
+	// A scrape races benignly with Observe; clamp the count so the
+	// rendered +Inf cumulative bucket never exceeds _count.
+	var total int64
+	for _, b := range s.buckets {
+		total += b
+	}
+	if s.count < total {
+		s.count = total
+	}
+	return s
+}
+
+// writeHistSeries renders cumulative buckets, sum (seconds), and count.
+func writeHistSeries(w io.Writer, base, labels, extra string, s histSnapshot) {
+	cum := int64(0)
+	for i := 0; i < HistBuckets; i++ {
+		cum += s.buckets[i]
+		le := `le="` + formatLe(BucketBound(i)) + `"`
+		lb := le
+		if labels != "" {
+			lb = labels + "," + le
+		}
+		fmt.Fprintf(w, "%s %d\n", seriesName(base+"_bucket", lb, extra), cum)
+	}
+	fmt.Fprintf(w, "%s %s\n", seriesName(base+"_sum", labels, extra),
+		strconv.FormatFloat(float64(s.sumNS)/1e9, 'g', -1, 64))
+	fmt.Fprintf(w, "%s %d\n", seriesName(base+"_count", labels, extra), s.count)
+}
+
+// WriteProm renders the registry in Prometheus text format. extraLabel,
+// when non-empty, is a label body (e.g. `rank="3"`) added to every series.
+// Safe on a nil registry (renders nothing).
+func (r *Registry) WriteProm(w io.Writer, extraLabel string) {
+	if r == nil {
+		return
+	}
+	typeSeen := make(map[string]bool)
+	for _, m := range r.snapshotMetrics() {
+		writeMetric(w, m, extraLabel, typeSeen)
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the live introspection endpoint for one OS process's hub:
+//
+//	/metrics      Prometheus text format, every hosted rank, rank label
+//	/healthz      JSON liveness: status, hosted ranks, uptime
+//	/debug/pprof  the standard Go profiler endpoints
+//
+// The endpoint is read-only and opt-in (scioto.Config.Obs / the
+// SCIOTO_OBS_ADDR environment variable); on the tcp transport each rank
+// process serves its own endpoint on base port + rank.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the endpoint on addr (host:port; port 0 picks an
+// ephemeral port — read the result from Addr). The server runs until
+// Close.
+func Serve(addr string, hub *Hub) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		hub.WriteProm(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"ranks":          hub.Ranks(),
+			"uptime_seconds": hub.Uptime().Seconds(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr reports the listener's actual address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() { s.srv.Close() }

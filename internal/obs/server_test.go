@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	hub := NewHub()
+	hub.Registry(0).Counter("scioto_test_total", "test counter").Add(42)
+	s, err := Serve("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(string(body), `scioto_test_total{rank="0"} 42`) {
+		t.Fatalf("metrics body missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Ranks  []int  `json:"ranks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || len(health.Ranks) != 1 || health.Ranks[0] != 0 {
+		t.Fatalf("health = %+v", health)
+	}
+
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", resp.StatusCode)
+	}
+}

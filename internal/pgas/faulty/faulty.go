@@ -74,6 +74,17 @@ type Config struct {
 	// BarrierStall, when nonzero, stalls every Barrier entry by that
 	// duration, modeling a partitioned barrier reassembling.
 	BarrierStall time.Duration
+	// Observe, when non-nil, is called once per injected fault, before
+	// the fault takes effect (before the panic for drops and crashes,
+	// before the sleep for delays and stalls). kind is one of "drop",
+	// "crash", "delay", "lock-stall", "barrier-stall"; now is the
+	// observing rank's transport clock; target is the rank the faulted
+	// operation addressed. The observability layer hooks this to count
+	// injected faults and stamp them into the rank's trace. Observe is
+	// not an environment knob: it is wired programmatically by the
+	// facade, and runs on the rank's own goroutine, so it may use
+	// per-rank state without synchronization.
+	Observe func(now time.Duration, rank int, kind, op string, target int)
 }
 
 // Environment knobs, read by FromEnv. Each maps to the Config field of
@@ -177,6 +188,14 @@ type proc struct {
 
 var _ pgas.Proc = (*proc)(nil)
 
+// observe reports one injected fault to the configured observer, just
+// before the fault takes effect.
+func (p *proc) observe(kind, op string, target int) {
+	if p.cfg.Observe != nil {
+		p.cfg.Observe(p.inner.Now(), p.inner.Rank(), kind, op, target)
+	}
+}
+
 // inject runs the fault schedule for one communication operation: crash
 // first (the process dies before the frame leaves), then drop, then
 // delay. target is the rank the operation addresses; detail is formatted
@@ -184,6 +203,7 @@ var _ pgas.Proc = (*proc)(nil)
 func (p *proc) inject(target int, op string, detail func() string) {
 	p.ops++
 	if p.cfg.CrashRank == p.inner.Rank() && p.ops >= max64(p.cfg.CrashAfterOps, 1) {
+		p.observe("crash", op, p.inner.Rank())
 		panic(&pgas.FaultError{
 			Rank:  p.inner.Rank(),
 			Op:    op + "(" + detail() + ")",
@@ -192,6 +212,7 @@ func (p *proc) inject(target int, op string, detail func() string) {
 		})
 	}
 	if p.cfg.DropProb > 0 && target != p.inner.Rank() && p.rng.Float64() < p.cfg.DropProb {
+		p.observe("drop", op, target)
 		panic(&pgas.FaultError{
 			Rank:  target,
 			Op:    op + "(" + detail() + ")",
@@ -200,6 +221,7 @@ func (p *proc) inject(target int, op string, detail func() string) {
 		})
 	}
 	if p.cfg.MaxDelay > 0 && p.cfg.DelayProb > 0 && p.rng.Float64() < p.cfg.DelayProb {
+		p.observe("delay", op, target)
 		// 1+Int63n keeps the delay nonzero so "delayed" always means
 		// something observable in wall-clock traces.
 		time.Sleep(time.Duration(1 + p.rng.Int63n(int64(p.cfg.MaxDelay))))
@@ -235,6 +257,7 @@ func (p *proc) Rand() *rand.Rand        { return p.inner.Rand() }
 func (p *proc) Barrier() {
 	p.inject(p.inner.Rank(), "Barrier", func() string { return "" })
 	if p.cfg.BarrierStall > 0 {
+		p.observe("barrier-stall", "Barrier", p.inner.Rank())
 		time.Sleep(p.cfg.BarrierStall)
 	}
 	p.inner.Barrier()
@@ -322,6 +345,7 @@ func (p *proc) Flush()         { p.inner.Flush() }
 func (p *proc) Lock(proc int, id pgas.LockID) {
 	p.inject(proc, "Lock", func() string { return fmt.Sprintf("host=%d, id=%d", proc, id) })
 	if p.cfg.LockStall > 0 {
+		p.observe("lock-stall", "Lock", proc)
 		time.Sleep(p.cfg.LockStall)
 	}
 	p.inner.Lock(proc, id)
@@ -330,6 +354,7 @@ func (p *proc) Lock(proc int, id pgas.LockID) {
 func (p *proc) TryLock(proc int, id pgas.LockID) bool {
 	p.inject(proc, "TryLock", func() string { return fmt.Sprintf("host=%d, id=%d", proc, id) })
 	if p.cfg.LockStall > 0 {
+		p.observe("lock-stall", "TryLock", proc)
 		time.Sleep(p.cfg.LockStall)
 	}
 	return p.inner.TryLock(proc, id)
@@ -338,6 +363,7 @@ func (p *proc) TryLock(proc int, id pgas.LockID) bool {
 func (p *proc) Unlock(proc int, id pgas.LockID) {
 	p.inject(proc, "Unlock", func() string { return fmt.Sprintf("host=%d, id=%d", proc, id) })
 	if p.cfg.LockStall > 0 {
+		p.observe("lock-stall", "Unlock", proc)
 		time.Sleep(p.cfg.LockStall)
 	}
 	p.inner.Unlock(proc, id)
@@ -352,6 +378,7 @@ func (p *proc) Recv(from int, tag int32) ([]byte, int) {
 	// Receives are local mailbox pops; only the delay class applies
 	// (a delayed matching frame), never drops or crash accounting.
 	if p.cfg.MaxDelay > 0 && p.cfg.DelayProb > 0 && p.rng.Float64() < p.cfg.DelayProb {
+		p.observe("delay", "Recv", from)
 		time.Sleep(time.Duration(1 + p.rng.Int63n(int64(p.cfg.MaxDelay))))
 	}
 	return p.inner.Recv(from, tag)

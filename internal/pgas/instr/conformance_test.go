@@ -1,0 +1,27 @@
+package instr_test
+
+import (
+	"testing"
+
+	"scioto/internal/obs"
+	"scioto/internal/pgas"
+	"scioto/internal/pgas/dsim"
+	"scioto/internal/pgas/instr"
+	"scioto/internal/pgas/pgastest"
+	"scioto/internal/pgas/shm"
+)
+
+// The instrumented wrapper must be semantically transparent: the full
+// conformance suite passes over it on both in-process transports.
+
+func TestConformanceInstrumentedSHM(t *testing.T) {
+	pgastest.RunConformance(t, func(n int) pgas.World {
+		return instr.Wrap(shm.NewWorld(shm.Config{NProcs: n, Seed: 11}), obs.NewHub(), instr.Options{})
+	})
+}
+
+func TestConformanceInstrumentedDSim(t *testing.T) {
+	pgastest.RunConformance(t, func(n int) pgas.World {
+		return instr.Wrap(dsim.NewWorld(dsim.Config{NProcs: n, Seed: 11}), obs.NewHub(), instr.Options{})
+	})
+}

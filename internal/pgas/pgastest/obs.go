@@ -1,0 +1,69 @@
+package pgastest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scioto/internal/obs"
+	"scioto/internal/pgas"
+)
+
+// testObsMerge: the metrics merge collective must produce the exact global
+// view on every transport. Each rank builds a congruent registry, records
+// rank-distinct values, and validates the merged closed-form totals — all
+// inside the body, so the check also runs in the separate OS processes of
+// multi-process transports.
+func testObsMerge(t *testing.T, f Factory) {
+	const n = 4
+	w := f(n)
+	run(t, w, func(p pgas.Proc) {
+		me := p.Rank()
+		reg := obs.NewRegistry(me)
+		// Instruments created in the same order on every rank: congruence
+		// is what makes the word-level merge meaningful.
+		c := reg.Counter("pgastest_ops_total", "test counter")
+		g := reg.Gauge("pgastest_depth", "test gauge")
+		h := reg.Histogram("pgastest_latency_seconds", "test histogram")
+
+		c.Add(int64(me+1) * 10)
+		g.Set(int64(me + 5))
+		for i := 0; i < me+1; i++ {
+			h.Observe(time.Duration(me+1) * time.Microsecond)
+		}
+
+		m := obs.NewMerger(p, reg)
+		snap := m.Merge()
+		if snap.Ranks() != n {
+			panic(fmt.Sprintf("rank %d: merged snapshot covers %d ranks, want %d", me, snap.Ranks(), n))
+		}
+		var wantC, wantG, wantHC int64
+		var wantHS time.Duration
+		for r := 0; r < n; r++ {
+			wantC += int64(r+1) * 10
+			wantG += int64(r + 5)
+			wantHC += int64(r + 1)
+			wantHS += time.Duration(r+1) * time.Duration(r+1) * time.Microsecond
+		}
+		if got := snap.Counter("pgastest_ops_total"); got != wantC {
+			panic(fmt.Sprintf("rank %d: merged counter %d, want %d", me, got, wantC))
+		}
+		if got := snap.Gauge("pgastest_depth"); got != wantG {
+			panic(fmt.Sprintf("rank %d: merged gauge %d, want %d", me, got, wantG))
+		}
+		if got := snap.HistCount("pgastest_latency_seconds"); got != wantHC {
+			panic(fmt.Sprintf("rank %d: merged hist count %d, want %d", me, got, wantHC))
+		}
+		if got := snap.HistSum("pgastest_latency_seconds"); got != wantHS {
+			panic(fmt.Sprintf("rank %d: merged hist sum %v, want %v", me, got, wantHS))
+		}
+
+		// A second merge through the same merger must observe fresh values:
+		// the gather reads live cells, not a construction-time copy.
+		c.Inc()
+		snap = m.Merge()
+		if got := snap.Counter("pgastest_ops_total"); got != wantC+n {
+			panic(fmt.Sprintf("rank %d: re-merged counter %d, want %d", me, got, wantC+n))
+		}
+	})
+}

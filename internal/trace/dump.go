@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Dump is the on-disk form of one rank's trace, written per rank at the
+// end of a run and merged across ranks by cmd/sciototrace. Events are
+// encoded as compact [at, kind, arg1, arg2] quadruples to keep multi-
+// megabyte traces readable by eye and cheap to parse.
+type Dump struct {
+	Rank    int        `json:"rank"`
+	Dropped int64      `json:"dropped"`
+	Events  [][4]int64 `json:"events"`
+}
+
+// WriteDump serializes the recorder's current events to w.
+func (r *Recorder) WriteDump(w io.Writer) error {
+	d := Dump{Rank: r.Rank(), Dropped: r.Dropped()}
+	evs := r.Events()
+	d.Events = make([][4]int64, len(evs))
+	for i, e := range evs {
+		d.Events[i] = [4]int64{int64(e.At), int64(e.Kind), e.Arg1, e.Arg2}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&d)
+}
+
+// WriteFile dumps the recorder to dir/trace-rankNNNN.json, creating dir
+// if needed, and returns the path written.
+func (r *Recorder) WriteFile(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("trace-rank%04d.json", r.Rank()))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := r.WriteDump(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// ReadDump parses a dump written by WriteDump, validating event kinds.
+func ReadDump(rd io.Reader) (*Dump, error) {
+	var d Dump
+	if err := json.NewDecoder(rd).Decode(&d); err != nil {
+		return nil, fmt.Errorf("trace: parse dump: %w", err)
+	}
+	for i, q := range d.Events {
+		if q[1] < 0 || q[1] >= int64(NumKinds) {
+			return nil, fmt.Errorf("trace: dump event %d has unknown kind %d", i, q[1])
+		}
+	}
+	return &d, nil
+}
+
+// DumpEvents converts a dump's quadruples back into Events.
+func (d *Dump) DumpEvents() []Event {
+	out := make([]Event, len(d.Events))
+	for i, q := range d.Events {
+		out[i] = Event{At: time.Duration(q[0]), Kind: Kind(q[1]), Arg1: q[2], Arg2: q[3]}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRecorder(0, 100000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(time.Duration(i), TaskExec, int64(g), int64(i))
+			}
+		}(g)
+	}
+	// Read concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = r.Events()
+			_ = r.Dropped()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := len(r.Events()); got != 8000 {
+		t.Fatalf("events = %d, want 8000", got)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", r.Dropped())
+	}
+}
+
+func TestDroppedCount(t *testing.T) {
+	r := NewRecorder(1, 3)
+	for i := 0; i < 10; i++ {
+		r.Record(time.Duration(i), UserEvent, 0, 0)
+	}
+	if len(r.Events()) != 3 {
+		t.Fatalf("events = %d, want 3", len(r.Events()))
+	}
+	if r.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", r.Dropped())
+	}
+}
+
+func TestEventsReturnsSnapshot(t *testing.T) {
+	r := NewRecorder(0, 10)
+	r.Record(1, TaskExec, 1, 2)
+	evs := r.Events()
+	r.Record(2, Terminate, 0, 0)
+	if len(evs) != 1 {
+		t.Fatal("snapshot must not see later records")
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	r := NewRecorder(3, 100)
+	r.Record(10*time.Microsecond, TaskExec, 7, 1)
+	r.Record(20*time.Microsecond, StealBegin, 2, 0)
+	r.Record(30*time.Microsecond, StealOK, 2, 5)
+	r.Record(40*time.Microsecond, Fault, 1, 2)
+
+	var buf bytes.Buffer
+	if err := r.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rank != 3 || d.Dropped != 0 {
+		t.Fatalf("header = %+v", d)
+	}
+	evs := d.DumpEvents()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	if evs[1].Kind != StealBegin || evs[1].At != 20*time.Microsecond || evs[1].Arg1 != 2 {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+	if evs[3].Kind != Fault {
+		t.Fatalf("event 3 kind = %v", evs[3].Kind)
+	}
+}
+
+func TestReadDumpRejectsBadKind(t *testing.T) {
+	in := strings.NewReader(`{"rank":0,"dropped":0,"events":[[1,99,0,0]]}`)
+	if _, err := ReadDump(in); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "traces")
+	r := NewRecorder(12, 10)
+	r.Record(1, Terminate, 0, 0)
+	path, err := r.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "trace-rank0012.json" {
+		t.Fatalf("path = %s", path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := ReadDump(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rank != 12 || len(d.Events) != 1 {
+		t.Fatalf("dump = %+v", d)
+	}
+}
+
+func TestNewKindStrings(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

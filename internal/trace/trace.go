@@ -1,15 +1,26 @@
 // Package trace records per-process runtime events (task executions,
-// steals, split-pointer movements, termination-detection votes) with
-// virtual/wall timestamps, for schedule debugging and for the ablation
-// analyses in EXPERIMENTS.md. Recording is allocation-cheap (events are
-// appended to a preallocated slice) and disabled by default — the runtime
-// only records into a Recorder the user attaches.
+// steals, split-pointer movements, termination-detection votes, injected
+// faults) with virtual/wall timestamps, for schedule debugging, for the
+// ablation analyses in EXPERIMENTS.md, and for export to merged
+// cross-rank Chrome traces (cmd/sciototrace). Recording is
+// allocation-cheap (events are appended to a preallocated slice) and
+// disabled by default — the runtime only records into a Recorder the user
+// attaches.
+//
+// Concurrency contract: Record is safe for concurrent callers. The
+// common case is single-goroutine (the rank's SPMD body), but attached
+// recorders are also written by the fault-injection observer and read by
+// the live introspection endpoint while a run is in flight, so the
+// recorder serializes internally with a mutex rather than pushing a
+// single-writer invariant onto every instrumentation site. Events() and
+// the other accessors return consistent snapshots.
 package trace
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -18,17 +29,20 @@ type Kind uint8
 
 // Event kinds recorded by the Scioto runtime.
 const (
-	TaskExec   Kind = iota // arg1 = callback handle, arg2 = origin rank
-	TaskAdd                // arg1 = destination rank, arg2 = affinity
-	StealOK                // arg1 = victim, arg2 = tasks stolen
-	StealEmpty             // arg1 = victim
-	StealBusy              // arg1 = victim
-	Release                // arg1 = tasks released
-	Reacquire              // arg1 = tasks reacquired
-	Vote                   // arg1 = wave, arg2 = color (0 white, 1 black)
-	WaveDown               // arg1 = wave
-	Terminate              //
-	UserEvent              // free-form application event
+	TaskExec    Kind = iota // arg1 = callback handle, arg2 = origin rank
+	TaskAdd                 // arg1 = destination rank, arg2 = affinity
+	StealOK                 // arg1 = victim, arg2 = tasks stolen
+	StealEmpty              // arg1 = victim
+	StealBusy               // arg1 = victim
+	Release                 // arg1 = tasks released
+	Reacquire               // arg1 = tasks reacquired
+	Vote                    // arg1 = wave, arg2 = color (0 white, 1 black)
+	WaveDown                // arg1 = wave
+	Terminate               //
+	UserEvent               // free-form application event
+	StealBegin              // arg1 = victim; closed by StealOK/StealEmpty/StealBusy
+	TaskExecEnd             // arg1 = callback handle; closes the matching TaskExec
+	Fault                   // arg1 = injected fault kind code (obs.FaultKindName), arg2 = target rank
 	numKinds
 )
 
@@ -57,10 +71,19 @@ func (k Kind) String() string {
 		return "terminate"
 	case UserEvent:
 		return "user"
+	case StealBegin:
+		return "steal-begin"
+	case TaskExecEnd:
+		return "exec-end"
+	case Fault:
+		return "fault"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
+
+// NumKinds is the number of defined event kinds (dump validation).
+const NumKinds = int(numKinds)
 
 // Event is one recorded occurrence.
 type Event struct {
@@ -71,11 +94,14 @@ type Event struct {
 
 // Recorder collects events for one process. A nil *Recorder is a valid,
 // disabled recorder: every method is a no-op, so runtime code records
-// unconditionally.
+// unconditionally. A non-nil Recorder is safe for concurrent use.
 type Recorder struct {
-	rank   int
-	events []Event
-	limit  int
+	rank int
+
+	mu      sync.Mutex
+	events  []Event
+	limit   int
+	dropped int64
 }
 
 // NewRecorder creates a recorder for the given rank retaining up to limit
@@ -88,12 +114,20 @@ func NewRecorder(rank, limit int) *Recorder {
 	return &Recorder{rank: rank, events: make([]Event, 0, 1024), limit: limit}
 }
 
-// Record appends an event. Safe on a nil recorder.
+// Record appends an event. Safe on a nil recorder and safe for
+// concurrent callers.
 func (r *Recorder) Record(at time.Duration, kind Kind, arg1, arg2 int64) {
-	if r == nil || len(r.events) >= r.limit {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.events) >= r.limit {
+		r.dropped++
+		r.mu.Unlock()
 		return
 	}
 	r.events = append(r.events, Event{At: at, Kind: kind, Arg1: arg1, Arg2: arg2})
+	r.mu.Unlock()
 }
 
 // Rank reports the recorder's rank.
@@ -104,12 +138,26 @@ func (r *Recorder) Rank() int {
 	return r.rank
 }
 
-// Events returns the recorded events in order.
+// Events returns a snapshot copy of the recorded events in order.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	return r.events
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Dropped reports how many events were discarded after the limit filled.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Counts tallies events per kind.
@@ -118,7 +166,7 @@ func (r *Recorder) Counts() map[Kind]int {
 	if r == nil {
 		return out
 	}
-	for _, e := range r.events {
+	for _, e := range r.Events() {
 		out[e.Kind]++
 	}
 	return out

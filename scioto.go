@@ -35,14 +35,19 @@ package scioto
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"time"
 
 	"scioto/internal/core"
+	"scioto/internal/obs"
 	"scioto/internal/pgas"
 	"scioto/internal/pgas/dsim"
 	"scioto/internal/pgas/faulty"
+	"scioto/internal/pgas/instr"
 	"scioto/internal/pgas/shm"
 	"scioto/internal/pgas/tcp"
+	"scioto/internal/trace"
 )
 
 // Core types, re-exported from the runtime implementation.
@@ -166,6 +171,77 @@ type Config struct {
 	// instead (FaultsFromEnv), so fault injection can be switched on
 	// without touching the program.
 	Faults *FaultConfig
+
+	// Obs, when non-nil, enables the observability layer: every transport
+	// operation and scheduler event records into per-rank metrics, the
+	// live introspection endpoint serves them, and injected faults are
+	// counted and traced. When nil, the SCIOTO_OBS_* environment
+	// variables are consulted instead (ObsFromEnv), so an unmodified
+	// program can be observed by setting SCIOTO_OBS_ADDR — including tcp
+	// rank processes, which inherit the environment.
+	Obs *ObsConfig
+}
+
+// ObsConfig parameterizes the observability layer (see Config.Obs).
+// The zero value enables metrics collection with no endpoint and no
+// trace dumps.
+type ObsConfig struct {
+	// Addr, when non-empty, serves the live introspection endpoint at
+	// host:port: Prometheus text at /metrics, JSON liveness at /healthz,
+	// and the Go profiler under /debug/pprof. Port 0 picks an ephemeral
+	// port (logged to stderr). On the tcp transport each rank process
+	// serves on port+rank.
+	Addr string
+	// TraceDir, when non-empty, attaches a trace recorder to every rank
+	// and dumps each rank's events to TraceDir/trace-rankNNNN.json when
+	// the rank's body returns (or panics — the dump is deferred). Merge
+	// the per-rank files into a Chrome trace with cmd/sciototrace.
+	TraceDir string
+	// TraceLimit caps each rank's recorder (0 = the recorder default).
+	TraceLimit int
+}
+
+// Environment knobs, read by ObsFromEnv. Each maps to the ObsConfig
+// field of the same name.
+const (
+	EnvObsAddr       = "SCIOTO_OBS_ADDR"
+	EnvObsTraceDir   = "SCIOTO_OBS_TRACE_DIR"
+	EnvObsTraceLimit = "SCIOTO_OBS_TRACE_LIMIT"
+)
+
+// ObsFromEnv assembles an ObsConfig from the SCIOTO_OBS_* environment
+// variables. ok reports whether any knob was set; when none is,
+// observability stays off. A malformed trace limit is reported and
+// ignored, mirroring FaultsFromEnv.
+func ObsFromEnv() (cfg ObsConfig, ok bool) {
+	set := false
+	if v := os.Getenv(EnvObsAddr); v != "" {
+		cfg.Addr = v
+		set = true
+	}
+	if v := os.Getenv(EnvObsTraceDir); v != "" {
+		cfg.TraceDir = v
+		set = true
+	}
+	if v := os.Getenv(EnvObsTraceLimit); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "scioto: ignoring malformed %s=%q\n", EnvObsTraceLimit, v)
+		} else {
+			cfg.TraceLimit = n
+			set = true
+		}
+	}
+	return cfg, set
+}
+
+// obsConfig resolves the effective observability configuration: the
+// explicit Config.Obs, or the environment fallback.
+func (c Config) obsConfig() (ObsConfig, bool) {
+	if c.Obs != nil {
+		return *c.Obs, true
+	}
+	return ObsFromEnv()
 }
 
 // NewWorld constructs the configured machine without running anything,
@@ -203,14 +279,37 @@ func (c Config) NewWorld() (pgas.World, error) {
 	default:
 		return nil, fmt.Errorf("scioto: unknown transport %q", c.Transport)
 	}
-	// Fault injection wraps the transport last, so injected faults travel
-	// the same panic/recover path as real ones. The env fallback also runs
-	// in re-executed tcp rank processes (the variables are inherited), so
-	// parent and children agree on the world construction sequence.
-	if c.Faults != nil {
-		w = faulty.Wrap(w, *c.Faults)
-	} else if fc, ok := faulty.FromEnv(); ok {
-		w = faulty.Wrap(w, fc)
+	// Wrapping order: transport → faulty → instr. Fault injection wraps
+	// the transport so injected faults travel the same panic/recover path
+	// as real ones; instrumentation wraps outermost so injected delays
+	// and stalls are measured like any other latency. The env fallbacks
+	// also run in re-executed tcp rank processes (the variables are
+	// inherited), so parent and children agree on the world construction
+	// sequence.
+	obsCfg, obsOn := c.obsConfig()
+	var hub *obs.Hub
+	if obsOn {
+		hub = obs.NewHub()
+	}
+	fc, faultsOn := c.Faults, true
+	if fc == nil {
+		var envCfg FaultConfig
+		envCfg, faultsOn = faulty.FromEnv()
+		fc = &envCfg
+	}
+	if faultsOn {
+		cfg := *fc
+		if hub != nil {
+			cfg.Observe = hub.RecordFault
+		}
+		w = faulty.Wrap(w, cfg)
+	}
+	if obsOn {
+		w = instr.Wrap(w, hub, instr.Options{
+			Addr:        obsCfg.Addr,
+			PerRankPort: c.Transport == TransportTCP,
+			TraceLimit:  obsCfg.TraceLimit,
+		})
 	}
 	return w, nil
 }
@@ -226,7 +325,30 @@ func Run(cfg Config, body func(rt *Runtime)) error {
 	if err != nil {
 		return err
 	}
+	hub := instr.HubOf(w)
+	obsCfg, _ := cfg.obsConfig()
 	return w.Run(func(p pgas.Proc) {
+		if hub != nil {
+			rank := p.Rank()
+			var rec *trace.Recorder
+			if obsCfg.TraceDir != "" {
+				rec = trace.NewRecorder(rank, obsCfg.TraceLimit)
+				hub.SetTracer(rank, rec)
+				// Deferred without a recover: a crashing rank still dumps
+				// the events leading up to the fault, then the panic
+				// continues into World.Run's containment.
+				defer func() {
+					if _, err := rec.WriteFile(obsCfg.TraceDir); err != nil {
+						fmt.Fprintf(os.Stderr, "scioto: rank %d trace dump failed: %v\n", rank, err)
+					}
+				}()
+			}
+			// Registered against the proc rather than set on one Runtime:
+			// application drivers attach their own Runtime from the raw
+			// proc handle, and must inherit the observer too.
+			core.RegisterProcObserver(p, hub.Registry(rank), rec)
+			defer core.UnregisterProcObserver(p)
+		}
 		body(core.Attach(p))
 	})
 }

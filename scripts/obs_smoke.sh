@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end smoke test of the observability layer.
+#
+# Runs UTS on the shm transport with the live endpoint and trace dumps
+# enabled, scrapes /metrics and /healthz while the run is in flight, then
+# merges the per-rank dumps with sciototrace and checks the Chrome trace
+# is non-trivial. Run via `make obs-smoke`; CI runs the same target.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/uts" ./cmd/uts
+go build -o "$tmp/sciototrace" ./cmd/sciototrace
+
+# -nodecost stretches the run into the seconds range so the mid-run
+# scrape has a live server to hit (shm spins real time per node).
+"$tmp/uts" -transport shm -procs 2 -depth 9 -nodecost 2ms \
+	-obs 127.0.0.1:0 -trace-dir "$tmp/traces" \
+	>"$tmp/out.log" 2>"$tmp/err.log" &
+pid=$!
+
+# The runner announces the ephemeral endpoint on stderr:
+#   scioto: obs endpoint rank N serving http://HOST:PORT/metrics
+addr=""
+for _ in $(seq 1 200); do
+	addr=$(sed -n 's|.*serving http://\([^/]*\)/metrics.*|\1|p' "$tmp/err.log" | head -1)
+	[ -n "$addr" ] && break
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "FAIL: uts exited before announcing the endpoint" >&2
+		cat "$tmp/err.log" >&2
+		exit 1
+	fi
+	sleep 0.05
+done
+if [ -z "$addr" ]; then
+	echo "FAIL: no endpoint announcement within 10s" >&2
+	cat "$tmp/err.log" >&2
+	exit 1
+fi
+
+curl -fsS "http://$addr/metrics" >"$tmp/metrics.txt"
+grep -q 'scioto_pgas_op_latency_seconds' "$tmp/metrics.txt" ||
+	{ echo "FAIL: /metrics has no pgas op histograms" >&2; exit 1; }
+grep -q '^# TYPE scioto_pgas_bytes_total counter' "$tmp/metrics.txt" ||
+	{ echo "FAIL: /metrics has no byte counters" >&2; exit 1; }
+curl -fsS "http://$addr/healthz" | grep -q '"status":"ok"' ||
+	{ echo "FAIL: /healthz not ok" >&2; exit 1; }
+
+wait "$pid"
+pid=""
+grep -q 'verified' "$tmp/out.log" ||
+	{ echo "FAIL: uts run did not verify" >&2; cat "$tmp/out.log" >&2; exit 1; }
+
+for rank in 0000 0001; do
+	[ -s "$tmp/traces/trace-rank$rank.json" ] ||
+		{ echo "FAIL: missing trace dump for rank $rank" >&2; exit 1; }
+done
+
+"$tmp/sciototrace" -o "$tmp/merged.json" "$tmp/traces"
+grep -q '"name":"exec"' "$tmp/merged.json" ||
+	{ echo "FAIL: merged trace has no exec spans" >&2; exit 1; }
+grep -q '"name":"steal"' "$tmp/merged.json" ||
+	{ echo "FAIL: merged trace has no steal spans" >&2; exit 1; }
+
+echo "obs smoke: live scrape + 2-rank trace merge OK (endpoint $addr)"
