@@ -150,6 +150,8 @@ func (q *taskQueue) totalCountHint() int64 {
 // pushPrivate inserts a task descriptor at the owner end of the private
 // portion without locking. It reports false when the queue is full (after
 // an ordered refresh of the steal-end index).
+//
+//scioto:noalloc
 func (q *taskQueue) pushPrivate(wire []byte, s *Stats) bool {
 	me := q.p.Rank()
 	top := q.p.RelaxedLoad64(q.meta, wTop)
@@ -173,6 +175,8 @@ func (q *taskQueue) pushPrivate(wire []byte, s *Stats) bool {
 
 // popPrivate removes and returns the task at the owner end of the private
 // portion without locking. ok is false when the private portion is empty.
+//
+//scioto:noalloc
 func (q *taskQueue) popPrivate(s *Stats) (*Task, bool) {
 	top := q.p.RelaxedLoad64(q.meta, wTop)
 	split := q.p.RelaxedLoad64(q.meta, wSplit)
@@ -293,6 +297,8 @@ func (q *taskQueue) popLocked(s *Stats) (*Task, bool) {
 // queue on process proc, using one-sided operations under the queue lock.
 // It reports false if the target queue is full. proc may equal the caller's
 // rank, which is how local low-affinity adds reach the shared portion.
+//
+//scioto:noalloc
 func (q *taskQueue) addRemote(proc int, wire []byte, s *Stats) bool {
 	q.p.Lock(proc, q.lock)
 	// Both index words travel in one pipelined round instead of two
@@ -361,6 +367,8 @@ func (b *stealBatch) recycle() {
 // to five sequential round trips, mirroring how Scioto's ARMCI
 // implementation overlaps its queue transfers with non-blocking one-sided
 // operations.
+//
+//scioto:noalloc
 func (q *taskQueue) steal(victim, chunk int, markDirty bool, s *Stats) (*stealBatch, stealResult) {
 	s.StealAttempts++
 	if !q.p.TryLock(victim, q.lock) {
@@ -388,6 +396,7 @@ func (q *taskQueue) steal(victim, chunk int, markDirty bool, s *Stats) (*stealBa
 	b := stealPool.Get().(*stealBatch)
 	n := int(k) * q.slotSize
 	if cap(b.buf) < n {
+		//scioto:alloc-ok grows the pooled batch buffer; happens only until the pool is warm, amortized to zero per steal
 		b.buf = make([]byte, n)
 	}
 	buf := b.buf[:n]

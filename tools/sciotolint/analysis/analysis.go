@@ -8,13 +8,16 @@
 //
 // Differences from golang.org/x/tools/go/analysis, all deliberate:
 //
-//   - No Facts and no Requires graph: sciotolint's analyzers are all
-//     single-package syntax+types checks.
+//   - No Facts and no Requires graph: cross-package propagation is done
+//     instead by whole-program analyzers (RunProgram) over an explicit
+//     call graph (see program.go), which is a better fit for sciotolint's
+//     global SPMD invariants than per-package fact streams.
 //   - Package loading is driver-side (see load.go) via `go list -export`,
 //     using the compiler's export data for dependencies instead of
 //     go/packages.
 //   - Suppression uses staticcheck-style //lint:ignore directives,
-//     filtered by the driver (see ignore.go).
+//     filtered by the driver (see ignore.go); a directive that suppresses
+//     nothing is itself reported as stale.
 package analysis
 
 import (
@@ -24,7 +27,11 @@ import (
 	"go/types"
 )
 
-// An Analyzer describes one static check.
+// An Analyzer describes one static check. Exactly one of Run and
+// RunProgram is set: Run analyzers see one package at a time (and work in
+// both the standalone and `go vet -vettool` drivers), RunProgram analyzers
+// see the whole type-checked program with its call graph and only run in
+// the standalone driver, which is the one CI uses repo-wide.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in //lint:ignore
 	// directives. It must be a valid Go identifier.
@@ -35,6 +42,11 @@ type Analyzer struct {
 
 	// Run applies the analyzer to a single package.
 	Run func(*Pass) error
+
+	// RunProgram applies the analyzer to the whole loaded program at once.
+	// Analyzers that propagate facts through calls (collective congruence,
+	// lock ordering) implement this instead of Run.
+	RunProgram func(*ProgramPass) error
 }
 
 // A Pass provides one analyzer with the parsed, type-checked view of a
@@ -45,6 +57,18 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Build describes the package's compile unit (sources plus the export
+	// data of its dependency closure). Analyzers that re-invoke the
+	// compiler (noallocgate) need it; nil when the driver cannot supply
+	// one, in which case such analyzers skip the package.
+	Build *BuildInfo
+
+	// ForTest marks a test-variant package whose non-test files are also
+	// analyzed as the base package. Analyzers whose work is per-unit
+	// rather than per-file (noallocgate compiles the unit) skip variants
+	// to avoid doing everything twice.
+	ForTest bool
 
 	// Report delivers one diagnostic. Set by the driver.
 	Report func(Diagnostic)
@@ -60,6 +84,23 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer *Analyzer
+}
+
+// A ProgramPass provides a whole-program analyzer with the loaded,
+// type-checked program — every target package over one shared FileSet,
+// plus the interprocedural call graph — and a sink for diagnostics.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	// Report delivers one diagnostic. Set by the driver. Pos must belong
+	// to Prog.Fset.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
 // NewInfo returns a types.Info with every map the checkers consult

@@ -45,20 +45,34 @@ func TestData() string {
 
 // Run loads dir/src/<pkgpath> for each named package, applies a, and
 // checks the diagnostics against the fixtures' want comments.
+//
+// A per-package (Run) analyzer is applied to each named package
+// separately. A whole-program (RunProgram) analyzer sees all named
+// packages — plus any fixture packages they import, such as the pgas
+// stub — as one program, and wants are checked across all named
+// packages' files.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
+	if a.RunProgram != nil {
+		runProgram(t, dir, a, pkgpaths)
+		return
+	}
 	for _, pkgpath := range pkgpaths {
 		run(t, dir, a, pkgpath)
 	}
 }
 
-func run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
-	t.Helper()
-	ld := &loader{
+func newLoader(dir string) *loader {
+	return &loader{
 		srcRoot: filepath.Join(dir, "src"),
 		fset:    token.NewFileSet(),
 		pkgs:    make(map[string]*loadedPkg),
 	}
+}
+
+func run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	ld := newLoader(dir)
 	lp, err := ld.load(pkgpath)
 	if err != nil {
 		t.Fatalf("%s: loading fixture: %v", pkgpath, err)
@@ -71,6 +85,9 @@ func run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
 		Files:     lp.files,
 		Pkg:       lp.types,
 		TypesInfo: lp.info,
+		// Import-free fixtures (the noallocgate ones) can be recompiled
+		// with an empty importcfg, so hand every fixture its unit.
+		Build: &analysis.BuildInfo{Dir: lp.dir, SrcFiles: lp.srcFiles},
 		Report: func(d analysis.Diagnostic) {
 			d.Analyzer = a
 			diags = append(diags, d)
@@ -81,6 +98,53 @@ func run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
 	}
 
 	checkWants(t, ld.fset, lp.files, diags)
+}
+
+func runProgram(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths []string) {
+	t.Helper()
+	ld := newLoader(dir)
+	var targetFiles []*ast.File
+	for _, pkgpath := range pkgpaths {
+		lp, err := ld.load(pkgpath)
+		if err != nil {
+			t.Fatalf("%s: loading fixture: %v", pkgpath, err)
+		}
+		targetFiles = append(targetFiles, lp.files...)
+	}
+
+	// Every loaded fixture package — the named ones and their fixture
+	// imports — joins the program, in deterministic order.
+	paths := make([]string, 0, len(ld.pkgs))
+	for path := range ld.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	var pkgs []*analysis.Package
+	for _, path := range paths {
+		lp := ld.pkgs[path]
+		pkgs = append(pkgs, &analysis.Package{
+			ImportPath: path,
+			Fset:       ld.fset,
+			Files:      lp.files,
+			Types:      lp.types,
+			Info:       lp.info,
+		})
+	}
+
+	var diags []analysis.Diagnostic
+	pp := &analysis.ProgramPass{
+		Analyzer: a,
+		Prog:     analysis.NewProgram(pkgs),
+		Report: func(d analysis.Diagnostic) {
+			d.Analyzer = a
+			diags = append(diags, d)
+		},
+	}
+	if err := a.RunProgram(pp); err != nil {
+		t.Fatalf("%v: analyzer %s: %v", pkgpaths, a.Name, err)
+	}
+
+	checkWants(t, ld.fset, targetFiles, diags)
 }
 
 // A want is one expectation parsed from a fixture comment.
@@ -105,8 +169,14 @@ func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []an
 					continue
 				}
 				text = strings.TrimSpace(text)
-				text, ok = strings.CutPrefix(text, "want ")
-				if !ok {
+				if rest, ok := strings.CutPrefix(text, "want "); ok {
+					text = rest
+				} else if i := strings.Index(text, "// want "); i >= 0 {
+					// An expectation appended to a directive comment, e.g.
+					// `//scioto:alloc-ok reason // want ...` — one comment
+					// token as far as the parser is concerned.
+					text = text[i+len("// want "):]
+				} else {
 					continue
 				}
 				posn := fset.Position(c.Pos())
@@ -149,9 +219,11 @@ func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []an
 
 // loader resolves fixture packages from a GOPATH-style src tree.
 type loadedPkg struct {
-	files []*ast.File
-	types *types.Package
-	info  *types.Info
+	dir      string
+	srcFiles []string
+	files    []*ast.File
+	types    *types.Package
+	info     *types.Info
 }
 
 type loader struct {
@@ -170,16 +242,19 @@ func (ld *loader) load(pkgpath string) (*loadedPkg, error) {
 		return nil, err
 	}
 	var files []*ast.File
+	var srcFiles []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
-		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil,
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(ld.fset, path, nil,
 			parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
+		srcFiles = append(srcFiles, path)
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no Go files in %s", dir)
@@ -193,7 +268,7 @@ func (ld *loader) load(pkgpath string) (*loadedPkg, error) {
 	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %v", pkgpath, err)
 	}
-	lp := &loadedPkg{files: files, types: tpkg, info: info}
+	lp := &loadedPkg{dir: dir, srcFiles: srcFiles, files: files, types: tpkg, info: info}
 	ld.pkgs[pkgpath] = lp
 	return lp, nil
 }

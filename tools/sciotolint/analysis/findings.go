@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// A Finding is one formatted, position-attributed diagnostic — the
+// driver-level currency of sciotolint. Findings are structured (rather
+// than pre-rendered strings) so the same result set can be printed for
+// humans, emitted as JSON for CI annotation tooling, and sorted stably.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the finding in the classic compiler-diagnostic shape
+// consumed by editors and the CI problem matcher.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// findingAt builds a Finding from a diagnostic position.
+func findingAt(fset *token.FileSet, pos token.Pos, analyzer, message string) Finding {
+	posn := fset.Position(pos)
+	return Finding{
+		File:     posn.Filename,
+		Line:     posn.Line,
+		Col:      posn.Column,
+		Analyzer: analyzer,
+		Message:  message,
+	}
+}
+
+// SortFindings orders findings by (file, line, col, analyzer, message).
+// Sorting by position alone is not enough: when two analyzers hit the
+// same line their relative order would depend on analyzer execution
+// order, and CI diffs against a previous run would churn. The analyzer
+// name (then message) tie-break makes the output a pure function of the
+// finding set.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteJSON emits findings as a JSON array (never null: an empty run
+// yields []), one object per finding, for CI artifact upload and
+// machine consumption.
+func WriteJSON(w io.Writer, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fs)
+}

@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -81,14 +83,39 @@ func (ig *Ignores) Suppressed(fset *token.FileSet, d Diagnostic) bool {
 	return false
 }
 
-// Problems returns a diagnostic-style message for each malformed (missing
-// justification) directive, so silent suppressions cannot creep in.
-func (ig *Ignores) Problems(fset *token.FileSet) []string {
-	var out []string
+// Problems returns a finding for each malformed (missing justification)
+// directive, so silent suppressions cannot creep in. The findings carry
+// the pseudo-analyzer name "ignore".
+func (ig *Ignores) Problems(fset *token.FileSet) []Finding {
+	var out []Finding
 	for _, dir := range ig.directives {
 		if dir.reason == "" {
-			out = append(out, fset.Position(dir.pos).String()+
-				": malformed //lint:ignore directive: want `//lint:ignore <analyzers> <justification>`")
+			out = append(out, findingAt(fset, dir.pos, "ignore",
+				"malformed //lint:ignore directive: want `//lint:ignore <analyzers> <justification>`"))
+		}
+	}
+	return out
+}
+
+// Stale returns a finding for each well-formed directive that suppressed
+// no diagnostic. A suppression that no longer suppresses anything is
+// debt: either the invariant violation it excused was fixed (delete the
+// directive) or the analyzer it names changed shape (re-justify it). Only
+// meaningful after the complete analyzer suite has run and consulted this
+// index — the driver guarantees that by calling Stale last, from RunAll
+// only.
+func (ig *Ignores) Stale(fset *token.FileSet) []Finding {
+	var out []Finding
+	for _, dir := range ig.directives {
+		if dir.reason != "" && !dir.used {
+			names := make([]string, 0, len(dir.analyzers))
+			for name := range dir.analyzers {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			out = append(out, findingAt(fset, dir.pos, "ignore",
+				fmt.Sprintf("stale //lint:ignore %s directive: it suppresses no diagnostic; delete it",
+					strings.Join(names, ","))))
 		}
 	}
 	return out

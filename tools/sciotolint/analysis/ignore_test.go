@@ -76,7 +76,40 @@ func TestIgnoreDirectives(t *testing.T) {
 		t.Error("directive without justification suppressed a finding")
 	}
 	problems := ig.Problems(fset)
-	if len(problems) != 1 || !strings.Contains(problems[0], "malformed") {
+	if len(problems) != 1 || !strings.Contains(problems[0].Message, "malformed") {
 		t.Errorf("Problems() = %v, want one malformed-directive report", problems)
+	}
+	if problems[0].Analyzer != "ignore" || problems[0].Line != 15 {
+		t.Errorf("Problems()[0] = %+v, want analyzer %q on line 15", problems[0], "ignore")
+	}
+
+	// Both well-formed directives suppressed something above, so neither
+	// is stale (the malformed one is excluded from staleness by design).
+	if stale := ig.Stale(fset); len(stale) != 0 {
+		t.Errorf("Stale() = %v, want none (every well-formed directive was used)", stale)
+	}
+}
+
+func TestStaleDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "stale_fixture.go", ignoreSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig := BuildIgnores(fset, []*ast.File{f})
+
+	// Consult only one of the two well-formed directives.
+	relaxed := &Analyzer{Name: "relaxedword"}
+	if !ig.Suppressed(fset, Diagnostic{Pos: posOn(fset, 5), Analyzer: relaxed}) {
+		t.Fatal("setup: directive did not suppress")
+	}
+
+	stale := ig.Stale(fset)
+	if len(stale) != 1 {
+		t.Fatalf("Stale() = %v, want exactly the unused directive on line 10", stale)
+	}
+	if stale[0].Line != 10 || !strings.Contains(stale[0].Message, "stale") ||
+		!strings.Contains(stale[0].Message, "collective,lockbalance") {
+		t.Errorf("Stale()[0] = %+v, want a stale report naming collective,lockbalance on line 10", stale[0])
 	}
 }

@@ -31,6 +31,8 @@ import (
 // compiler saw, with no source re-typechecking of dependencies.
 
 // A Package is one type-checked target package plus everything a Pass needs.
+// All packages of one Load share a single FileSet, so whole-program
+// analyzers can compare and report positions across packages.
 type Package struct {
 	ImportPath string
 	ForTest    string // non-empty for test variants ("p [p.test]", "p_test [p.test]")
@@ -38,6 +40,23 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+
+	// Build describes how to re-invoke the compiler on this package.
+	// Analyzers that consume compiler diagnostics (noallocgate parses the
+	// escape analysis) need it; nil when the driver cannot supply it
+	// (analysistest fixtures).
+	Build *BuildInfo
+}
+
+// BuildInfo carries the compile-unit inputs of one package: its sources
+// and the export-data locations of its dependency closure, in the shape
+// both `go list -export -deps` (standalone driver) and the vet config
+// (unitchecker driver) provide.
+type BuildInfo struct {
+	Dir         string
+	SrcFiles    []string          // absolute paths of the unit's Go files
+	ImportMap   map[string]string // source import path -> canonical path
+	PackageFile map[string]string // canonical import path -> export data file
 }
 
 // listPackage mirrors the subset of `go list -json` output we consume.
@@ -90,6 +109,16 @@ func Load(patterns []string, includeTests bool) ([]*Package, error) {
 		order = append(order, lp)
 	}
 
+	// One export-file index for the whole load; every Package's BuildInfo
+	// shares it.
+	packageFile := make(map[string]string)
+	for _, lp := range order {
+		if lp.Export != "" {
+			packageFile[lp.ImportPath] = lp.Export
+		}
+	}
+
+	fset := token.NewFileSet()
 	var pkgs []*Package
 	for _, lp := range order {
 		if lp.DepOnly || lp.Standard {
@@ -111,19 +140,37 @@ func Load(patterns []string, includeTests bool) ([]*Package, error) {
 		if len(lp.CgoFiles) > 0 {
 			return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
 		}
-		pkg, err := typecheck(lp, byPath)
+		pkg, err := typecheck(fset, lp, byPath)
 		if err != nil {
 			return nil, err
+		}
+		pkg.Build = &BuildInfo{
+			Dir:         lp.Dir,
+			SrcFiles:    absFiles(lp.Dir, lp.GoFiles),
+			ImportMap:   lp.ImportMap,
+			PackageFile: packageFile,
 		}
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
 }
 
+// absFiles resolves file names relative to dir.
+func absFiles(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, name := range names {
+		if filepath.IsAbs(name) {
+			out[i] = name
+		} else {
+			out[i] = filepath.Join(dir, name)
+		}
+	}
+	return out
+}
+
 // typecheck parses lp's files and type-checks them, resolving imports
 // through the export data recorded in byPath.
-func typecheck(lp *listPackage, byPath map[string]*listPackage) (*Package, error) {
-	fset := token.NewFileSet()
+func typecheck(fset *token.FileSet, lp *listPackage, byPath map[string]*listPackage) (*Package, error) {
 	var files []*ast.File
 	for _, name := range lp.GoFiles {
 		path := name

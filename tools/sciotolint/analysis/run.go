@@ -2,22 +2,145 @@ package analysis
 
 import (
 	"fmt"
-	"sort"
+	"go/ast"
 	"strings"
 )
 
-// RunAnalyzers applies every analyzer to pkg, filters //lint:ignore'd
-// findings, and returns the surviving diagnostics formatted as
-// "file:line:col: message (analyzer)", sorted by position, plus any
-// malformed-directive problems.
+// RunAll is the standalone driver's pipeline: it applies every
+// per-package analyzer to every package, builds the whole-program call
+// graph over the non-test packages and applies the program analyzers,
+// then filters //lint:ignore'd findings through one global directive
+// index, reports malformed and stale directives, dedupes, and sorts by
+// (file, line, col, analyzer) for stable CI diffs.
+//
+// Stale-directive detection only happens here: this is the only driver
+// that runs the complete analyzer suite, so "suppressed nothing" is
+// meaningful. The vet-tool driver (RunAnalyzers via UnitCheck) sees one
+// package at a time without the program analyzers and must not declare a
+// directive stale that a program analyzer would have used.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	fset := pkgs[0].Fset
+
+	type attributed struct {
+		d       Diagnostic
+		forTest string
+	}
+	var diags []attributed
+
+	for _, pkg := range pkgs {
+		pkg := pkg
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			a := a
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Build:     pkg.Build,
+				ForTest:   pkg.ForTest != "",
+				Report: func(d Diagnostic) {
+					d.Analyzer = a
+					diags = append(diags, attributed{d, pkg.ForTest})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzer %s: %v", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
+
+	// Whole-program analyzers see the base packages only: a test variant
+	// re-declares every non-test function of its base package under the
+	// same key, which would double the call graph. Test-only code is still
+	// covered by the per-package analyzers above.
+	var base []*Package
+	for _, pkg := range pkgs {
+		if pkg.ForTest == "" {
+			base = append(base, pkg)
+		}
+	}
+	prog := NewProgram(base)
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		a := a
+		pass := &ProgramPass{
+			Analyzer: a,
+			Prog:     prog,
+			Report: func(d Diagnostic) {
+				d.Analyzer = a
+				diags = append(diags, attributed{d, ""})
+			},
+		}
+		if err := a.RunProgram(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+
+	// One directive index over every distinct file. Base and test-variant
+	// packages parse the same sources into distinct ASTs; directives are
+	// keyed by file:line, so each file contributes once.
+	seenFile := make(map[string]bool)
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := fset.Position(f.Pos()).Filename
+			if !seenFile[name] {
+				seenFile[name] = true
+				files = append(files, f)
+			}
+		}
+	}
+	ignores := BuildIgnores(fset, files)
+
+	var out []Finding
+	seen := make(map[Finding]bool)
+	for _, ad := range diags {
+		if ignores.Suppressed(fset, ad.d) {
+			continue
+		}
+		// Test-variant packages re-analyze the base package's non-test
+		// files; only findings in _test.go files are new there.
+		posn := fset.Position(ad.d.Pos)
+		if ad.forTest != "" && !strings.HasSuffix(posn.Filename, "_test.go") {
+			continue
+		}
+		f := findingAt(fset, ad.d.Pos, ad.d.Analyzer.Name, ad.d.Message)
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	out = append(out, ignores.Problems(fset)...)
+	out = append(out, ignores.Stale(fset)...)
+	SortFindings(out)
+	return out, nil
+}
+
+// RunAnalyzers applies the per-package analyzers to one package, filters
+// //lint:ignore'd findings, and returns the surviving findings plus any
+// malformed-directive problems, sorted by (file, line, col, analyzer).
+// This is the vet-tool (unitchecker) path; whole-program analyzers and
+// stale-directive detection need RunAll.
 //
 // For test-variant packages (ForTest != "") only findings in _test.go
 // files are kept: the non-test files of the variant are the same sources
 // already analyzed in the base package, and reporting them twice would
 // duplicate every finding.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]string, error) {
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		a := a
 		pass := &Pass{
 			Analyzer:  a,
@@ -25,6 +148,8 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]string, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Build:     pkg.Build,
+			ForTest:   pkg.ForTest != "",
 			Report: func(d Diagnostic) {
 				d.Analyzer = a
 				diags = append(diags, d)
@@ -36,8 +161,8 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]string, error) {
 	}
 
 	ignores := BuildIgnores(pkg.Fset, pkg.Files)
-	var out []string
-	seen := make(map[string]bool)
+	var out []Finding
+	seen := make(map[Finding]bool)
 	for _, d := range diags {
 		if ignores.Suppressed(pkg.Fset, d) {
 			continue
@@ -46,37 +171,13 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]string, error) {
 		if pkg.ForTest != "" && !strings.HasSuffix(posn.Filename, "_test.go") {
 			continue
 		}
-		line := fmt.Sprintf("%s: %s (%s)", posn, d.Message, d.Analyzer.Name)
-		if !seen[line] {
-			seen[line] = true
-			out = append(out, line)
+		f := findingAt(pkg.Fset, d.Pos, d.Analyzer.Name, d.Message)
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
 		}
 	}
 	out = append(out, ignores.Problems(pkg.Fset)...)
-	sort.Slice(out, func(i, j int) bool { return posLess(out[i], out[j]) })
+	SortFindings(out)
 	return out, nil
-}
-
-// posLess orders "file:line:col: ..." strings by file, then numerically by
-// line and column.
-func posLess(a, b string) bool {
-	fa, la, ca := splitPos(a)
-	fb, lb, cb := splitPos(b)
-	if fa != fb {
-		return fa < fb
-	}
-	if la != lb {
-		return la < lb
-	}
-	return ca < cb
-}
-
-func splitPos(s string) (file string, line, col int) {
-	parts := strings.SplitN(s, ":", 4)
-	if len(parts) < 3 {
-		return s, 0, 0
-	}
-	fmt.Sscanf(parts[1], "%d", &line)
-	fmt.Sscanf(parts[2], "%d", &col)
-	return parts[0], line, col
 }

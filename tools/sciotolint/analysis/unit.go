@@ -56,10 +56,13 @@ func VersionFlag(arg string) {
 	os.Exit(0)
 }
 
-// UnitCheck runs analyzers over the unit described by cfgFile and returns
-// the formatted findings. The .vetx facts file is always written (empty),
+// UnitCheck runs the per-package analyzers over the unit described by
+// cfgFile and returns the findings. Whole-program analyzers are skipped:
+// the vet protocol hands the tool one compilation unit at a time, which
+// cannot support a call graph spanning packages — the standalone driver
+// (and CI) covers those. The .vetx facts file is always written (empty),
 // as cmd/go requires it to exist.
-func UnitCheck(cfgFile string, analyzers []*Analyzer) ([]string, error) {
+func UnitCheck(cfgFile string, analyzers []*Analyzer) ([]Finding, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		return nil, err
@@ -122,6 +125,12 @@ func UnitCheck(cfgFile string, analyzers []*Analyzer) ([]string, error) {
 		Files:      files,
 		Types:      tpkg,
 		Info:       info,
+		Build: &BuildInfo{
+			Dir:         cfg.Dir,
+			SrcFiles:    cfg.GoFiles,
+			ImportMap:   cfg.ImportMap,
+			PackageFile: cfg.PackageFile,
+		},
 	}
 	return RunAnalyzers(pkg, analyzers)
 }

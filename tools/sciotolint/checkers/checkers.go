@@ -1,8 +1,10 @@
-// Package checkers implements sciotolint's six analyzers. Each one
+// Package checkers implements sciotolint's ten analyzers. Each one
 // machine-checks an invariant of the Scioto runtime's PGAS programming
 // model that is otherwise enforced only by comments (see the Proc contract
 // in internal/pgas/pgas.go and the split-queue discipline in
-// internal/core/queue.go).
+// internal/core/queue.go). Seven are per-package; three (collcongruence,
+// lockorder, obsdeterminism) are whole-program analyzers over the
+// interprocedural call graph and run only in the standalone driver.
 package checkers
 
 import (
@@ -20,6 +22,10 @@ var Analyzers = []*analysis.Analyzer{
 	NbComplete,
 	LocalEscape,
 	ProcEscape,
+	NoAllocGate,
+	CollCongruence,
+	LockOrder,
+	ObsDeterminism,
 }
 
 // pgasPkgName is the package whose interface methods carry the invariants.

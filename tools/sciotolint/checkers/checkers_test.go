@@ -30,3 +30,19 @@ func TestLocalEscape(t *testing.T) {
 func TestProcEscape(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), checkers.ProcEscape, "procescape")
 }
+
+func TestNoAllocGate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), checkers.NoAllocGate, "noallocgate")
+}
+
+func TestCollCongruence(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), checkers.CollCongruence, "collcongruence")
+}
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), checkers.LockOrder, "lockorder")
+}
+
+func TestObsDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), checkers.ObsDeterminism, "obsdeterminism")
+}

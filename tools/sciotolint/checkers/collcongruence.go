@@ -1,0 +1,322 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"scioto/tools/sciotolint/analysis"
+)
+
+// CollCongruence is the whole-program form of the SPMD
+// mismatched-collective check.
+//
+// The per-package `collective` analyzer only sees a collective call
+// sitting syntactically under a rank conditional in the same function.
+// Two real bug shapes escape it:
+//
+//  1. The collective is buried in a callee: `if me == 0 { drain(p) }`
+//     where drain, three calls down, hits a Barrier. Every rank except 0
+//     skips the barrier and the job deadlocks.
+//  2. The rank value flows into the branching function: `helper(p,
+//     p.Rank())` where helper branches on its parameter around an
+//     AllocWords. Inside helper the condition looks rank-unrelated.
+//
+// This analyzer computes, over the interprocedural call graph, (a) the
+// set of functions that may execute a collective operation and (b) the
+// flow of rank-derived values through assignments, helper returns, and
+// call arguments. It then flags any call that leads to a collective and
+// is controlled by a rank-derived condition. The `collective` analyzer's
+// balanced-branch exemption is generalized: an if whose two arms execute
+// the same interprocedural sequence of collectives is congruent SPMD and
+// legal, even when the collectives are inside different callees.
+//
+// Calls that the intraprocedural analyzer already reports (a direct
+// collective under a syntactically visible rank condition) are not
+// re-reported here.
+var CollCongruence = &analysis.Analyzer{
+	Name: "collcongruence",
+	Doc: "flags call chains that reach a collective operation (Barrier/Alloc*/Run) under " +
+		"rank-dependent control flow anywhere in the interprocedural call graph " +
+		"(whole-program SPMD divergence deadlock)",
+	RunProgram: runCollCongruence,
+}
+
+func runCollCongruence(pass *analysis.ProgramPass) error {
+	c := &ccChecker{
+		pass:       pass,
+		prog:       pass.Prog,
+		taint:      computeRankTaint(pass.Prog),
+		seqMemo:    make(map[*analysis.Func]seqResult),
+		inProgress: make(map[*analysis.Func]bool),
+	}
+	c.reaches = c.prog.FixpointBool(func(f *analysis.Func) bool {
+		return len(directCollectives(f)) > 0
+	})
+	for _, f := range c.prog.SortedFuncs() {
+		c.checkFunc(f)
+	}
+	return nil
+}
+
+type seqResult struct {
+	seq []string
+	ok  bool
+}
+
+type ccChecker struct {
+	pass       *analysis.ProgramPass
+	prog       *analysis.Program
+	taint      *rankTaint
+	reaches    map[*analysis.Func]bool
+	seqMemo    map[*analysis.Func]seqResult
+	inProgress map[*analysis.Func]bool
+}
+
+// directCollectives returns the collective pgas method names called
+// directly in f's body (not through callees, not in nested literals).
+func directCollectives(f *analysis.Func) []string {
+	var out []string
+	ast.Inspect(f.Body(), func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != f.Lit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := pgasMethod(f.Pkg.Info, call); ok && collectiveMethods[name] {
+				out = append(out, name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkFunc walks one function body with the enclosing-node stack and
+// reports rank-conditional collective-reaching calls.
+func (c *ccChecker) checkFunc(f *analysis.Func) {
+	info := f.Pkg.Info
+	intraVars := rankDerivedVars(info, f.Body())
+
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && lit != f.Lit {
+			return false // a literal is its own function in the program
+		}
+		stack = append(stack, n)
+		if call, ok := n.(*ast.CallExpr); ok {
+			c.checkCall(f, intraVars, call, stack)
+		}
+		return true
+	}
+	ast.Inspect(f.Body(), visit)
+}
+
+func (c *ccChecker) checkCall(f *analysis.Func, intraVars map[types.Object]bool, call *ast.CallExpr, stack []ast.Node) {
+	info := f.Pkg.Info
+	if name, ok := pgasMethod(info, call); ok && collectiveMethods[name] {
+		// The per-package `collective` analyzer already reports this call
+		// when the rank condition is syntactically visible in this
+		// function; only report here when the rank-ness arrives through
+		// interprocedural data flow.
+		if enclosingRankCond(info, intraVars, stack) != nil {
+			return
+		}
+		if cond := c.enclosingRankCondInter(f, stack); cond != nil {
+			c.pass.Reportf(call.Pos(),
+				"collective %s call is conditional on a rank-derived value that flows in "+
+					"through calls or returns; ranks not taking this branch never reach it "+
+					"and all ranks deadlock", name)
+		}
+		return
+	}
+	callee := c.prog.ResolveCall(f.Pkg, call)
+	if callee == nil || !c.reaches[callee] {
+		return
+	}
+	if cond := c.enclosingRankCondInter(f, stack); cond != nil {
+		c.pass.Reportf(call.Pos(),
+			"call to %s, which transitively executes collective operations, is conditional "+
+				"on the process rank; ranks not taking this branch never reach the collective "+
+				"and all ranks deadlock", callee)
+	}
+}
+
+// enclosingRankCondInter is enclosingRankCond with both halves widened to
+// whole-program knowledge: conditions are rank-dependent when any
+// rank-derived value (including callee returns and tainted parameters)
+// appears in them, and an if is balanced when its arms execute the same
+// interprocedural sequence of collectives.
+func (c *ccChecker) enclosingRankCondInter(f *analysis.Func, stack []ast.Node) ast.Expr {
+	rank := func(e ast.Expr) bool { return c.taint.rankExpr(c.prog, f, e) }
+	for i := len(stack) - 2; i >= 0; i-- {
+		inner := stack[i+1]
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			if (containsNode(n.Body, inner) || containsNode(n.Else, inner)) &&
+				rank(n.Cond) && !c.branchBalancedInter(f, n) {
+				return n.Cond
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil && containsNode(n.Body, inner) && rank(n.Cond) {
+				return n.Cond
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && containsNode(n.Body, inner) && rank(n.Tag) {
+				return n.Tag
+			}
+		case *ast.CaseClause:
+			for _, e := range n.List {
+				if rank(e) && containsStmts(n.Body, inner) {
+					return e
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// branchBalancedInter reports whether a rank-conditional if is congruent
+// because both arms execute the same interprocedural sequence of
+// collectives — `if me == 0 { flushAndBarrier(p) } else { p.Barrier() }`
+// is legal SPMD when flushAndBarrier ends in exactly one Barrier.
+func (c *ccChecker) branchBalancedInter(f *analysis.Func, n *ast.IfStmt) bool {
+	if n.Else == nil {
+		// No else arm: balanced only if the then arm provably executes no
+		// collectives at all (then the condition guards nothing we care
+		// about — but then no report fires anyway, so require an else).
+		return false
+	}
+	thenSeq, ok1 := c.nodeSeq(f, n.Body)
+	elseSeq, ok2 := c.nodeSeq(f, n.Else)
+	return ok1 && ok2 && equalSeq(thenSeq, elseSeq)
+}
+
+func equalSeq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// funcSeq returns the interprocedural collective sequence a call to f
+// executes, memoized. ok is false when the sequence is input-dependent
+// (unbalanced conditionals, loops or recursion around collectives) —
+// callers must then treat the function as collective-varying.
+func (c *ccChecker) funcSeq(f *analysis.Func) ([]string, bool) {
+	if r, done := c.seqMemo[f]; done {
+		return r.seq, r.ok
+	}
+	if c.inProgress[f] {
+		return nil, !c.reaches[f] // recursion: unknown iff collectives are in play
+	}
+	c.inProgress[f] = true
+	seq, ok := c.nodeSeq(f, f.Body())
+	delete(c.inProgress, f)
+	c.seqMemo[f] = seqResult{seq, ok}
+	return seq, ok
+}
+
+// nodeSeq computes the ordered collective sequence executed by n inside
+// f, following calls into known callees. ok is false when the sequence
+// cannot be determined statically. Constructs that execute a
+// data-dependent number of times (loops, switches, selects) make the
+// sequence unknown only when collectives are reachable inside them.
+func (c *ccChecker) nodeSeq(f *analysis.Func, n ast.Node) (seq []string, ok bool) {
+	ok = true
+	add := func(s []string, o bool) {
+		seq = append(seq, s...)
+		ok = ok && o
+	}
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if !ok || n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != f.Lit {
+				return false // defining a literal executes nothing
+			}
+		case *ast.IfStmt:
+			if n.Init != nil {
+				add(c.nodeSeq(f, n.Init))
+			}
+			add(c.nodeSeq(f, n.Cond))
+			thenSeq, o1 := c.nodeSeq(f, n.Body)
+			var elseSeq []string
+			o2 := true
+			if n.Else != nil {
+				elseSeq, o2 = c.nodeSeq(f, n.Else)
+			}
+			switch {
+			case o1 && o2 && equalSeq(thenSeq, elseSeq):
+				add(thenSeq, true)
+			case o1 && o2 && len(thenSeq) == 0 && len(elseSeq) == 0:
+				// no collectives either way
+			default:
+				ok = false
+			}
+			return false
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// Iteration count / arm choice is data-dependent: any
+			// reachable collective inside makes the sequence unknown.
+			if c.nodeReachesCollective(f, n) {
+				ok = false
+			}
+			return false
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				add(c.nodeSeq(f, arg))
+			}
+			add(c.nodeSeq(f, n.Fun))
+			if name, isPgas := pgasMethod(f.Pkg.Info, n); isPgas && collectiveMethods[name] {
+				seq = append(seq, name)
+			} else if callee := c.prog.ResolveCall(f.Pkg, n); callee != nil {
+				if s, o := c.funcSeq(callee); o {
+					seq = append(seq, s...)
+				} else {
+					ok = false
+				}
+			}
+			return false
+		}
+		return true
+	}
+	ast.Inspect(n, visit)
+	return seq, ok
+}
+
+// nodeReachesCollective reports whether any collective is reachable from
+// code under n (directly or through known callees).
+func (c *ccChecker) nodeReachesCollective(f *analysis.Func, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(child ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, ok := child.(*ast.FuncLit); ok && lit != f.Lit {
+			return false
+		}
+		if call, ok := child.(*ast.CallExpr); ok {
+			if name, isPgas := pgasMethod(f.Pkg.Info, call); isPgas && collectiveMethods[name] {
+				found = true
+				return false
+			}
+			if callee := c.prog.ResolveCall(f.Pkg, call); callee != nil && c.reaches[callee] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,198 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"scioto/tools/sciotolint/analysis"
+)
+
+// Shared interprocedural machinery for the whole-program analyzers:
+// rank-value taint tracking through assignments, helper returns, and call
+// arguments. The per-package `collective` analyzer sees only `p.Rank()`
+// and variables assigned from it inside one function; the taint engine
+// here additionally follows rank values across calls — `me := rankOf(p)`
+// and `helper(p, p.Rank())` both taint the places the rank lands — which
+// is what turns the SPMD-divergence check into a whole-program property.
+
+// rankTaint holds the fixpoint result: per function, the set of objects
+// (locals and parameters) carrying rank-derived values, and whether the
+// function returns a rank-derived value.
+type rankTaint struct {
+	vars        map[*analysis.Func]map[types.Object]bool
+	returnsRank map[*analysis.Func]bool
+}
+
+// computeRankTaint runs the taint fixpoint over the program. Taint
+// sources are calls to the pgas Rank method; taint propagates through
+// single-assignment (`me := p.Rank()`), through function returns
+// (`func rankOf(p pgas.Proc) int { return p.Rank() }` makes every
+// `rankOf(p)` call rank-derived), and through call arguments into callee
+// parameters. Function literals are separate functions and do not inherit
+// taint from their definition site (their execution context is unknown),
+// matching how the call graph treats them.
+func computeRankTaint(prog *analysis.Program) *rankTaint {
+	t := &rankTaint{
+		vars:        make(map[*analysis.Func]map[types.Object]bool),
+		returnsRank: make(map[*analysis.Func]bool),
+	}
+	for _, f := range prog.Funcs {
+		t.vars[f] = make(map[types.Object]bool)
+	}
+	funcs := prog.SortedFuncs()
+	for changed := true; changed; {
+		changed = false
+		for _, f := range funcs {
+			if t.scanFunc(prog, f) {
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+// rankExpr reports whether e evaluates to a rank-derived value in f under
+// the current taint state.
+func (t *rankTaint) rankExpr(prog *analysis.Program, f *analysis.Func, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if name, ok := pgasMethod(f.Pkg.Info, n); ok && name == "Rank" {
+				found = true
+				return false
+			}
+			if callee := prog.ResolveCall(f.Pkg, n); callee != nil && t.returnsRank[callee] {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := useOrDef(f.Pkg.Info, n); obj != nil && t.vars[f][obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// scanFunc recomputes f's taint facts from the current global state and
+// reports whether anything (f's variable set, its returns-rank bit, or a
+// callee's parameter taint) changed.
+func (t *rankTaint) scanFunc(prog *analysis.Program, f *analysis.Func) bool {
+	info := f.Pkg.Info
+	changed := false
+	mark := func(obj types.Object) {
+		if obj != nil && !t.vars[f][obj] {
+			t.vars[f][obj] = true
+			changed = true
+		}
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != f.Lit {
+				return false
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if !t.rankExpr(prog, f, rhs) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						mark(useOrDef(info, id))
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, v := range n.Values {
+					if t.rankExpr(prog, f, v) {
+						mark(useOrDef(info, n.Names[i]))
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if t.rankExpr(prog, f, res) && !t.returnsRank[f] {
+					t.returnsRank[f] = true
+					changed = true
+				}
+			}
+		case *ast.CallExpr:
+			callee := prog.ResolveCall(f.Pkg, n)
+			if callee == nil || callee.Decl == nil {
+				break
+			}
+			params := paramObjects(callee)
+			for i, arg := range n.Args {
+				if i >= len(params) || params[i] == nil {
+					break
+				}
+				if t.rankExpr(prog, f, arg) && !t.vars[callee][params[i]] {
+					t.vars[callee][params[i]] = true
+					changed = true
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(f.Body(), walk)
+	return changed
+}
+
+// paramObjects returns the callee's parameter objects in declaration
+// order (a variadic tail repeats for the trailing arguments).
+func paramObjects(f *analysis.Func) []types.Object {
+	var out []types.Object
+	if f.Decl == nil || f.Decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range f.Decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil) // unnamed parameter: nothing to taint
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, f.Pkg.Info.Defs[name])
+		}
+	}
+	return out
+}
+
+// useOrDef resolves an identifier to its object.
+func useOrDef(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// enclosingMapRange walks the enclosing-node stack (innermost last) and
+// returns the first `range` statement over a map that contains the
+// innermost node in its body, or nil. Map iteration order is
+// unspecified, so anything order-sensitive under it differs across ranks
+// and runs.
+func enclosingMapRange(info *types.Info, stack []ast.Node) *ast.RangeStmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		rs, ok := stack[i].(*ast.RangeStmt)
+		if !ok || !containsNode(rs.Body, stack[i+1]) {
+			continue
+		}
+		if tv, ok := info.Types[rs.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				return rs
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"scioto/tools/sciotolint/analysis"
+)
+
+// LockOrder flags cycles in the interprocedural PGAS lock-acquisition
+// order graph.
+//
+// lockbalance proves each function releases what it acquires; it says
+// nothing about two functions that are each locally correct but acquire
+// two lock classes in opposite orders. With PGAS locks the deadlock is
+// cross-rank: rank 0 holds its queue lock and blocks acquiring rank 1's,
+// while rank 1 holds its own and blocks acquiring rank 0's — classic
+// AB/BA, invisible to any per-function or even per-package check when
+// the two acquisitions live in different call chains.
+//
+// The analyzer abstracts each p.Lock(proc, id) to a lock *class* derived
+// from the id argument (a struct field selector becomes
+// "(pkg.Type).field", a package-level variable its qualified name), scans
+// every function in source order tracking the classes held, and adds an
+// edge A -> B whenever B is acquired — directly or anywhere inside a
+// called function, using a transitive acquisition summary — while A is
+// held. A cycle among the edges means some interleaving of ranks
+// deadlocks; every acquisition participating in a cycle is reported.
+//
+// TryLock never blocks, so acquiring via TryLock adds no incoming edge —
+// but the lock it takes is held, so blocking acquisitions made under it
+// still add outgoing edges.
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "flags cycles in the interprocedural PGAS lock-acquisition order graph " +
+		"(two ranks taking the same lock classes in opposite orders deadlock)",
+	RunProgram: runLockOrder,
+}
+
+// A loEdge records one "B acquired while A held" observation.
+type loEdge struct {
+	from, to string
+	pos      token.Pos // the acquisition (or call) creating the edge
+	via      string    // "" for a direct Lock, else the callee name
+}
+
+type loChecker struct {
+	pass  *analysis.ProgramPass
+	prog  *analysis.Program
+	acq   map[*analysis.Func]map[string]bool // transitive blocking acquisitions
+	edges []loEdge
+	seen  map[loEdgeKey]bool // dedupe identical observations at one site
+}
+
+// loEdgeKey dedupes edges per acquisition site, so every location that
+// participates in a cycle is reported, not just the first-seen edge.
+type loEdgeKey struct {
+	from, to string
+	pos      token.Pos
+}
+
+func runLockOrder(pass *analysis.ProgramPass) error {
+	c := &loChecker{
+		pass: pass,
+		prog: pass.Prog,
+		seen: make(map[loEdgeKey]bool),
+	}
+	c.acq = c.prog.FixpointSet(func(f *analysis.Func) []string {
+		return c.directLockClasses(f)
+	})
+	for _, f := range c.prog.SortedFuncs() {
+		c.collectEdges(f)
+	}
+	c.reportCycles()
+	return nil
+}
+
+// directLockClasses returns the classes f acquires with blocking Lock
+// calls directly in its body (TryLock excluded: it cannot be the waiting
+// side of a deadlock).
+func (c *loChecker) directLockClasses(f *analysis.Func) []string {
+	var out []string
+	ast.Inspect(f.Body(), func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != f.Lit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := pgasMethod(f.Pkg.Info, call); ok && name == "Lock" && len(call.Args) == 2 {
+				out = append(out, lockClass(f, call.Args[1]))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// collectEdges scans f in source order, tracking held lock classes as
+// position windows: a blocking Lock holds from the call to the matching
+// Unlock (or the end of the function), `if p.TryLock(a,b) { ... }` holds
+// inside the if body, `if !p.TryLock(a,b) { bail }` holds after the if,
+// and a deferred Unlock releases nothing early. An acquisition (direct or
+// inside a called function, per the transitive summary) that falls in
+// another class's window adds an order edge.
+func (c *loChecker) collectEdges(f *analysis.Func) {
+	type heldWindow struct {
+		class      string
+		start, end token.Pos
+	}
+	bodyEnd := f.Body().End()
+	var held []heldWindow
+	addEdges := func(to string, at token.Pos, via string) {
+		for _, h := range held {
+			if at < h.start || at >= h.end {
+				continue
+			}
+			key := loEdgeKey{from: h.class, to: to, pos: at}
+			if c.seen[key] {
+				continue
+			}
+			c.seen[key] = true
+			c.edges = append(c.edges, loEdge{from: h.class, to: to, pos: at, via: via})
+		}
+	}
+	// TryLock calls consumed by an enclosing if condition, and Unlock
+	// calls under defer (which release only at return).
+	consumed := make(map[*ast.CallExpr]bool)
+	ast.Inspect(f.Body(), func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != f.Lit {
+				return false
+			}
+		case *ast.DeferStmt:
+			if name, isPgas := pgasMethod(f.Pkg.Info, n.Call); isPgas && name == "Unlock" {
+				consumed[n.Call] = true
+			}
+		case *ast.IfStmt:
+			if call, negated, ok := tryLockCond(f, n.Cond); ok {
+				consumed[call] = true
+				class := lockClass(f, call.Args[1])
+				if negated {
+					// Failure path bails inside the if; held afterwards.
+					held = append(held, heldWindow{class, n.End(), bodyEnd})
+				} else {
+					held = append(held, heldWindow{class, n.Body.Pos(), n.Body.End()})
+				}
+			}
+		case *ast.CallExpr:
+			call := n
+			if name, isPgas := pgasMethod(f.Pkg.Info, call); isPgas && len(call.Args) == 2 {
+				switch name {
+				case "Lock":
+					class := lockClass(f, call.Args[1])
+					addEdges(class, call.Pos(), "")
+					held = append(held, heldWindow{class, call.Pos(), bodyEnd})
+					return true
+				case "TryLock":
+					// Non-blocking: no incoming edge. Outside the
+					// recognized if-idioms, held conservatively from here
+					// on.
+					if !consumed[call] {
+						held = append(held, heldWindow{lockClass(f, call.Args[1]), call.End(), bodyEnd})
+					}
+					return true
+				case "Unlock":
+					if consumed[call] {
+						return true
+					}
+					class := lockClass(f, call.Args[1])
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i].class == class && held[i].start <= call.Pos() && call.Pos() < held[i].end {
+							held[i].end = call.Pos()
+							break
+						}
+					}
+					return true
+				}
+			}
+			if callee := c.prog.ResolveCall(f.Pkg, call); callee != nil {
+				targets := make([]string, 0, len(c.acq[callee]))
+				for class := range c.acq[callee] {
+					targets = append(targets, class)
+				}
+				sort.Strings(targets)
+				for _, class := range targets {
+					addEdges(class, call.Pos(), callee.String())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// tryLockCond recognizes `p.TryLock(a, b)` and `!p.TryLock(a, b)` as an
+// if condition, returning the call and whether it is negated.
+func tryLockCond(f *analysis.Func, cond ast.Expr) (*ast.CallExpr, bool, bool) {
+	if un, ok := ast.Unparen(cond).(*ast.UnaryExpr); ok && un.Op == token.NOT {
+		call, _, ok := tryLockCond(f, un.X)
+		return call, true, ok
+	}
+	if call, ok := ast.Unparen(cond).(*ast.CallExpr); ok {
+		if name, isPgas := pgasMethod(f.Pkg.Info, call); isPgas && name == "TryLock" && len(call.Args) == 2 {
+			return call, false, true
+		}
+	}
+	return nil, false, false
+}
+
+// reportCycles finds strongly connected components of the edge graph and
+// reports every edge inside a multi-node component, plus self-edges.
+func (c *loChecker) reportCycles() {
+	scc := tarjanSCC(c.edges)
+	for _, e := range c.edges {
+		inCycle := e.from == e.to || (scc[e.from] == scc[e.to] && sccSize(scc, scc[e.from]) > 1)
+		if !inCycle {
+			continue
+		}
+		where := "here"
+		if e.via != "" {
+			where = "inside the call to " + e.via
+		}
+		if e.from == e.to {
+			c.pass.Reportf(e.pos,
+				"lock class %s acquired %s while another lock of the same class is already held; "+
+					"two ranks doing this against each other's locks deadlock", e.to, where)
+			continue
+		}
+		cycle := cycleMembers(scc, scc[e.from])
+		c.pass.Reportf(e.pos,
+			"lock %s acquired %s while %s is held, completing a lock-order cycle (%s); "+
+				"ranks interleaving these paths in opposite orders deadlock",
+			e.to, where, e.from, strings.Join(cycle, " -> "))
+	}
+}
+
+func sccSize(scc map[string]int, id int) int {
+	n := 0
+	for _, v := range scc {
+		if v == id {
+			n++
+		}
+	}
+	return n
+}
+
+func cycleMembers(scc map[string]int, id int) []string {
+	var out []string
+	for class, v := range scc {
+		if v == id {
+			out = append(out, class)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tarjanSCC assigns each lock class a strongly-connected-component id.
+func tarjanSCC(edges []loEdge) map[string]int {
+	succ := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for _, e := range edges {
+		succ[e.from] = append(succ[e.from], e.to)
+		nodes[e.from], nodes[e.to] = true, true
+	}
+	var order []string
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, nComp := 0, 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = nComp
+				if w == v {
+					break
+				}
+			}
+			nComp++
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comp
+}
+
+// lockClass abstracts a Lock/Unlock id argument to a cross-function lock
+// class. Struct fields and package-level names identify classes globally;
+// anything local falls back to a per-function key (still useful for
+// self-edges within one function).
+func lockClass(f *analysis.Func, e ast.Expr) string {
+	info := f.Pkg.Info
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			t := sel.Recv()
+			for {
+				ptr, ok := t.(*types.Pointer)
+				if !ok {
+					break
+				}
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return "(" + named.Obj().Pkg().Name() + "." + named.Obj().Name() + ")." + sel.Obj().Name()
+			}
+		}
+		if obj := info.Uses[e.Sel]; obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		if obj := useOrDef(info, e); obj != nil {
+			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+			return f.Key + "$" + obj.Name()
+		}
+	}
+	return f.Key + "$" + exprKey(e)
+}

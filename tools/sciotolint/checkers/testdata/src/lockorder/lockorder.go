@@ -1,0 +1,123 @@
+// Fixtures for the lockorder analyzer: cycles in the interprocedural
+// PGAS lock-acquisition order graph.
+package lockorder
+
+import "pgas"
+
+type queues struct {
+	lockA pgas.LockID
+	lockB pgas.LockID
+	lockC pgas.LockID
+	lockD pgas.LockID
+	lockG pgas.LockID
+	lockH pgas.LockID
+	lockI pgas.LockID
+	lockJ pgas.LockID
+	lockK pgas.LockID
+	lockX pgas.LockID
+	lockY pgas.LockID
+}
+
+// Positive: classic AB/BA. Each function is locally balanced (lockbalance
+// is happy), but two ranks interleaving abOrder and baOrder deadlock.
+func abOrder(p pgas.Proc, q *queues, proc int) {
+	p.Lock(proc, q.lockA)
+	p.Lock(proc, q.lockB) // want `completing a lock-order cycle`
+	p.Unlock(proc, q.lockB)
+	p.Unlock(proc, q.lockA)
+}
+
+func baOrder(p pgas.Proc, q *queues, proc int) {
+	p.Lock(proc, q.lockB)
+	p.Lock(proc, q.lockA) // want `completing a lock-order cycle`
+	p.Unlock(proc, q.lockA)
+	p.Unlock(proc, q.lockB)
+}
+
+// Positive: the second acquisition is buried in a callee; the edge comes
+// from the transitive acquisition summary.
+func takeD(p pgas.Proc, q *queues, proc int) {
+	p.Lock(proc, q.lockD)
+	p.Unlock(proc, q.lockD)
+}
+
+func cThenD(p pgas.Proc, q *queues, proc int) {
+	p.Lock(proc, q.lockC)
+	takeD(p, q, proc) // want `inside the call to takeD`
+	p.Unlock(proc, q.lockC)
+}
+
+func dThenC(p pgas.Proc, q *queues, proc int) {
+	p.Lock(proc, q.lockD)
+	p.Lock(proc, q.lockC) // want `completing a lock-order cycle`
+	p.Unlock(proc, q.lockC)
+	p.Unlock(proc, q.lockD)
+}
+
+// Positive: same-class nested acquisition through a callee — rank 0
+// holding its lock while taking rank 1's lock of the same class, against
+// a rank doing the reverse, deadlocks.
+func takeG(p pgas.Proc, q *queues, proc int) {
+	p.Lock(proc, q.lockG)
+	p.Unlock(proc, q.lockG)
+}
+
+func nestedG(p pgas.Proc, q *queues, victim int, proc int) {
+	p.Lock(proc, q.lockG)
+	takeG(p, q, victim) // want `another lock of the same class`
+	p.Unlock(proc, q.lockG)
+}
+
+// Negative: TryLock never blocks, so no H->I edge exists and the reverse
+// blocking order completes no cycle.
+func tryNoEdge(p pgas.Proc, q *queues, proc int) {
+	p.Lock(proc, q.lockH)
+	if p.TryLock(proc, q.lockI) {
+		p.Unlock(proc, q.lockI)
+	}
+	p.Unlock(proc, q.lockH)
+}
+
+func iThenH(p pgas.Proc, q *queues, proc int) {
+	p.Lock(proc, q.lockI)
+	p.Lock(proc, q.lockH)
+	p.Unlock(proc, q.lockH)
+	p.Unlock(proc, q.lockI)
+}
+
+// Positive: but a lock taken by TryLock is held, so a blocking Lock under
+// it still creates an outgoing edge (J -> K), and the reverse order
+// closes the cycle.
+func tryThenBlock(p pgas.Proc, q *queues, proc int) {
+	if p.TryLock(proc, q.lockJ) {
+		p.Lock(proc, q.lockK) // want `completing a lock-order cycle`
+		p.Unlock(proc, q.lockK)
+		p.Unlock(proc, q.lockJ)
+	}
+}
+
+func kThenJ(p pgas.Proc, q *queues, proc int) {
+	p.Lock(proc, q.lockK)
+	p.Lock(proc, q.lockJ) // want `completing a lock-order cycle`
+	p.Unlock(proc, q.lockJ)
+	p.Unlock(proc, q.lockK)
+}
+
+// Negative: a consistent X-before-Y order everywhere is cycle-free.
+func xyOne(p pgas.Proc, q *queues, proc int) {
+	p.Lock(proc, q.lockX)
+	p.Lock(proc, q.lockY)
+	p.Unlock(proc, q.lockY)
+	p.Unlock(proc, q.lockX)
+}
+
+func xyTwo(p pgas.Proc, q *queues, proc int) {
+	p.Lock(proc, q.lockX)
+	takeY(p, q, proc)
+	p.Unlock(proc, q.lockX)
+}
+
+func takeY(p pgas.Proc, q *queues, proc int) {
+	p.Lock(proc, q.lockY)
+	p.Unlock(proc, q.lockY)
+}

@@ -1,0 +1,60 @@
+// Fixtures for the noallocgate analyzer. This package deliberately
+// imports nothing: the analyzer recompiles the fixture with
+// `go tool compile -m`, and an empty importcfg only resolves an
+// import-free unit.
+package noallocgate
+
+var sink []byte
+var sunk *int
+
+// Positive: the compiler's escape analysis heap-allocates the buffer.
+//
+//scioto:noalloc
+func badAlloc(n int) {
+	b := make([]byte, n) // want `heap allocation in //scioto:noalloc function badAlloc`
+	sink = b
+}
+
+// Positive: a local moved to the heap by escape analysis counts too.
+//
+//scioto:noalloc
+func badMoved() {
+	x := 42 // want `heap allocation in //scioto:noalloc function badMoved`
+	sunk = &x
+}
+
+// Negative: allocation-free body.
+//
+//scioto:noalloc
+func okNoAlloc(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Negative: allocates, but makes no promise.
+func unannotated(n int) {
+	sink = make([]byte, n)
+}
+
+// Negative: a justified waiver covers the allocating line below it.
+//
+//scioto:noalloc
+func waived(n int) {
+	//scioto:alloc-ok warm-up growth of the reusable buffer, amortized to zero
+	sink = make([]byte, n)
+}
+
+// Positive: a waiver that waives nothing is stale and must be deleted.
+//
+//scioto:noalloc
+func staleWaiver(xs []int) int {
+	s := 0
+	//scioto:alloc-ok nothing allocates on the next line // want `stale //scioto:alloc-ok`
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,5 +1,6 @@
 // Sciotolint enforces the Scioto runtime's PGAS and split-queue invariants
-// that the Go type system cannot express. It bundles six analyzers:
+// that the Go type system cannot express. It bundles ten analyzers; six
+// are per-package:
 //
 //	collective  — collective Proc calls (AllocData, AllocWords, AllocLock,
 //	              Barrier, World.Run) reached only under a rank-conditional
@@ -21,18 +22,40 @@
 //	procescape  — a pgas.Proc handed to another goroutine or stored in a
 //	              package variable: a Proc is bound to the goroutine that
 //	              received it from World.Run.
+//	noallocgate — a //scioto:noalloc-annotated function (the steal/insert
+//	              hot paths) in which the compiler's escape analysis
+//	              places a heap allocation: the static form of the
+//	              zero-allocs-per-steal gate, naming the exact line.
+//
+// and three are whole-program, propagating facts through an
+// interprocedural call graph over every package at once:
+//
+//	collcongruence — a call chain that reaches a collective operation
+//	              under control flow conditioned (possibly through
+//	              parameters and helper returns) on the process rank: the
+//	              interprocedural form of the SPMD divergence deadlock.
+//	lockorder   — a cycle in the interprocedural PGAS lock-acquisition
+//	              order graph: two ranks acquiring the same lock classes
+//	              in opposite orders deadlock without either function
+//	              being locally wrong.
+//	obsdeterminism — obs instrument registration reached under
+//	              rank-dependent control flow or map iteration: the
+//	              schema-hashed cross-rank Merger requires every rank to
+//	              register the same instruments in the same order.
 //
 // Usage:
 //
-//	go run ./tools/sciotolint ./...          # standalone, analyzes tests too
-//	go vet -vettool=$(which sciotolint) ./...  # as a vet tool
+//	go run ./tools/sciotolint ./...            # standalone, all ten analyzers
+//	go run ./tools/sciotolint -json ./...      # findings as a JSON array on stdout
+//	go vet -vettool=$(which sciotolint) ./...  # as a vet tool (per-package analyzers)
 //
 // Findings are suppressed with a justified staticcheck-style directive on
 // or directly above the offending line:
 //
 //	//lint:ignore relaxedword wBottom is read as a hint and revalidated under the lock
 //
-// A directive without a justification is itself reported.
+// A directive without a justification is itself reported, and so is a
+// stale directive that suppresses no diagnostic.
 package main
 
 import (
@@ -59,12 +82,14 @@ func main() {
 	}
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		findings, err := analysis.UnitCheck(args[0], checkers.Analyzers)
-		exit(findings, err)
+		exit(findings, "", false, err)
 	}
 
 	fs := flag.NewFlagSet("sciotolint", flag.ExitOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	tests := fs.Bool("tests", true, "also analyze _test.go files")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout instead of text on stderr")
+	outFile := fs.String("o", "", "also write findings as JSON to this file (text still goes to stderr)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sciotolint [flags] [packages]\n")
 		fs.PrintDefaults()
@@ -73,7 +98,11 @@ func main() {
 
 	if *list {
 		for _, a := range checkers.Analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+			scope := "package"
+			if a.RunProgram != nil {
+				scope = "program"
+			}
+			fmt.Printf("%-14s [%s] %s\n", a.Name, scope, firstLine(a.Doc))
 		}
 		return
 	}
@@ -84,33 +113,49 @@ func main() {
 	}
 	pkgs, err := analysis.Load(patterns, *tests)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sciotolint: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	var findings []string
-	for _, pkg := range pkgs {
-		out, err := analysis.RunAnalyzers(pkg, checkers.Analyzers)
+	findings, err := analysis.RunAll(pkgs, checkers.Analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sciotolint: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		findings = append(findings, out...)
+		if err := analysis.WriteJSON(f, findings); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
-	exit(findings, nil)
+	exit(findings, *outFile, *jsonOut, nil)
 }
 
-func exit(findings []string, err error) {
+func exit(findings []analysis.Finding, outFile string, jsonOut bool, err error) {
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sciotolint: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f)
+	if jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
 	}
 	if len(findings) > 0 {
 		os.Exit(2)
 	}
 	os.Exit(0)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sciotolint: %v\n", err)
+	os.Exit(1)
 }
 
 func firstLine(s string) string {
