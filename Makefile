@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet chaos bench-smoke obs-smoke all
+.PHONY: build test race lint vet chaos bench-smoke obs-smoke serve-smoke all
 
 all: build lint test
 
@@ -49,3 +49,9 @@ bench-smoke:
 # sciototrace merge. CI runs the same target.
 obs-smoke:
 	bash scripts/obs_smoke.sh
+
+# End-to-end serve-mode smoke: sciotod on shm, 8 concurrent clients
+# streaming all results back, 429 backpressure on an over-limit batch,
+# and a clean SIGTERM drain (exit 0). CI runs the same target.
+serve-smoke:
+	bash scripts/serve_smoke.sh

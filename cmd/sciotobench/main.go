@@ -7,11 +7,19 @@
 //	sciotobench -exp table1              # one experiment
 //	sciotobench -exp fig7 -quick         # reduced-size run
 //	sciotobench -exp ablations           # design-choice ablation studies
+//	sciotobench -exp serve -json         # serve-mode perf artifact (JSON)
 //
-// Experiments: table1, fig4, fig5, fig6, fig7, fig8, ablations, all.
+// Experiments: table1, fig4, fig5, fig6, fig7, fig8, ablations, all
+// (the paper evaluation, on dsim), plus serve (the sciotod ingest
+// service on shm, real wall clock — not part of all).
+//
+// With -json the tables are emitted as one JSON document instead of
+// aligned text, the perf-lab artifact convention: checked-in BENCH_*.json
+// files are regenerated with -json and diffed for regressions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,9 +32,21 @@ import (
 	"scioto/internal/uts"
 )
 
+// jsonDoc is the -json output document: the perf-lab artifact schema.
+type jsonDoc struct {
+	Quick  bool           `json:"quick,omitempty"`
+	Tables []*bench.Table `json:"tables"`
+}
+
+var (
+	jsonOut  bool
+	jsonTabs []*bench.Table
+)
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|fig8|ablations|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|fig8|ablations|serve|all")
 	quick := flag.Bool("quick", false, "reduced problem sizes and process counts")
+	flag.BoolVar(&jsonOut, "json", false, "emit tables as one JSON document (perf-lab artifact format)")
 	obs := transportflag.ObsFlags()
 	flag.Parse()
 	// The bench package constructs its own worlds; publish the flags
@@ -95,14 +115,37 @@ func main() {
 			emit(t)
 		}
 	}
+	if *exp == "serve" {
+		ran = true
+		o := bench.ServeOptions{}
+		if *quick {
+			o.Probes = 20
+			o.Clients = 4
+			o.PerClient = 100
+		}
+		emit(bench.Serve(o))
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table1|fig4|fig5|fig6|fig7|fig8|ablations|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table1|fig4|fig5|fig6|fig7|fig8|ablations|serve|all)\n", *exp)
 		os.Exit(2)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonDoc{Quick: *quick, Tables: jsonTabs}); err != nil {
+			fmt.Fprintf(os.Stderr, "encoding tables: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Printf("total harness time: %s\n", time.Since(start).Round(time.Millisecond))
 }
 
 func emit(t *bench.Table) {
+	if jsonOut {
+		jsonTabs = append(jsonTabs, t)
+		return
+	}
 	var b strings.Builder
 	t.Fprint(&b)
 	fmt.Print(b.String())

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"scioto/internal/core"
+	"scioto/internal/pgas"
+	"scioto/internal/pgas/shm"
+	"scioto/internal/serve"
+)
+
+// ServeOptions sizes the serve-mode benchmark.
+type ServeOptions struct {
+	Procs       int           // world size (default 4)
+	Probes      int           // sequential 1-task submissions for the latency probe (default 50)
+	Clients     int           // concurrent clients in the throughput run (default 8)
+	PerClient   int           // tasks per client batch (default 500)
+	SpinPerTask time.Duration // modeled work per throughput task (default 2µs)
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.Procs == 0 {
+		o.Procs = 4
+	}
+	if o.Probes == 0 {
+		o.Probes = 50
+	}
+	if o.Clients == 0 {
+		o.Clients = 8
+	}
+	if o.PerClient == 0 {
+		o.PerClient = 500
+	}
+	if o.SpinPerTask == 0 {
+		o.SpinPerTask = 2 * time.Microsecond
+	}
+	return o
+}
+
+// Serve measures the task-ingest service on the shm transport — real
+// wall-clock time, unlike the dsim-based paper experiments. Two
+// scenarios against one live daemon:
+//
+//   - latency: sequential one-task submissions, measuring HTTP submit to
+//     result-stream completion (the full ingest → phase → collect →
+//     stream path);
+//   - throughput: concurrent clients each submitting one batch and
+//     streaming every result back, measuring sustained tasks/second.
+//
+// This is the first perf-lab artifact: CI regenerates it with
+// `sciotobench -exp serve -json` and diffs against BENCH_serve.json.
+func Serve(o ServeOptions) *Table {
+	o = o.withDefaults()
+	d := serve.New(serve.Config{
+		Addr: "127.0.0.1:0",
+		Logf: func(string, ...any) {},
+	})
+	done := make(chan error, 1)
+	go func() {
+		w := shm.NewWorld(shm.Config{NProcs: o.Procs, Seed: 42})
+		done <- w.Run(func(p pgas.Proc) { d.Body(core.Attach(p)) })
+	}()
+	addr, err := d.WaitReady(10 * time.Second)
+	if err != nil {
+		panic(err)
+	}
+	base := "http://" + addr
+
+	// Latency probe: sequential single-task submissions.
+	lat := make([]time.Duration, 0, o.Probes)
+	for i := 0; i < o.Probes; i++ {
+		start := time.Now()
+		id := serveSubmit(base, serveBatch("probe", 1, 0))
+		serveStreamWait(base, id)
+		lat = append(lat, time.Since(start))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 := lat[len(lat)/2]
+	p95 := lat[len(lat)*95/100]
+
+	// Throughput: concurrent clients, one batch each, all results back.
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			id := serveSubmit(base, serveBatch(fmt.Sprintf("client-%d", c), o.PerClient, o.SpinPerTask))
+			serveStreamWait(base, id)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := o.Clients * o.PerClient
+	rate := float64(total) / elapsed.Seconds()
+
+	d.Drain()
+	if err := <-done; err != nil {
+		panic(err)
+	}
+
+	return &Table{
+		ID:      "serve",
+		Title:   "sciotod task ingest: latency and sustained throughput (shm, wall clock)",
+		Columns: []string{"scenario", "procs", "clients", "tasks", "p50", "p95", "tasks/s"},
+		Rows: [][]string{
+			{
+				"submit-to-result latency", fmt.Sprint(o.Procs), "1", fmt.Sprint(o.Probes),
+				fmt.Sprint(p50.Round(10 * time.Microsecond)),
+				fmt.Sprint(p95.Round(10 * time.Microsecond)),
+				"-",
+			},
+			{
+				fmt.Sprintf("sustained ingest (spin %s)", o.SpinPerTask), fmt.Sprint(o.Procs),
+				fmt.Sprint(o.Clients), fmt.Sprint(total),
+				"-", "-", fmt.Sprintf("%.0f", rate),
+			},
+		},
+		Notes: []string{
+			"real wall-clock on the shm transport; expect host-dependent noise, compare orders of magnitude not digits",
+			"latency spans HTTP submit, a scheduling phase, result collection, and the NDJSON stream round trip",
+		},
+	}
+}
+
+// serveBatch builds a submit request body: n spin tasks (echo when spin
+// is zero) for the named tenant.
+func serveBatch(tenant string, n int, spin time.Duration) []byte {
+	type taskSpec struct {
+		Kind string `json:"kind"`
+		Arg  uint64 `json:"arg,omitempty"`
+	}
+	tasks := make([]taskSpec, n)
+	for i := range tasks {
+		if spin > 0 {
+			tasks[i] = taskSpec{Kind: serve.KindSpin, Arg: uint64(spin)}
+		} else {
+			tasks[i] = taskSpec{Kind: serve.KindEcho}
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"tenant": tenant, "tasks": tasks})
+	return body
+}
+
+// serveSubmit posts a batch and returns the submission ID.
+func serveSubmit(base string, body []byte) string {
+	resp, err := http.Post(base+"/v1/submit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		panic(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		panic(fmt.Sprintf("bench: submit status %d: %s", resp.StatusCode, out.Error))
+	}
+	return out.ID
+}
+
+// serveStreamWait consumes a submission's result stream to its done line.
+func serveStreamWait(base, id string) {
+	resp, err := http.Get(base + "/v1/submissions/" + id + "/stream")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if bytes.Contains(sc.Bytes(), []byte(`"done"`)) {
+			return
+		}
+	}
+	panic(fmt.Sprintf("bench: stream for %s ended without a done line: %v", id, sc.Err()))
+}

@@ -54,13 +54,15 @@ type TaskFunc func(tc *TC, t *Task)
 //	[4:8)   affinity
 //	[8:12)  body length
 //	[12:16) origin rank (creator), for locality accounting
+//	[16:24) lifecycle ID (caller-assigned, travels with the task)
 const (
 	hdrHandle   = 0
 	hdrAffinity = 4
 	hdrBodyLen  = 8
 	hdrOrigin   = 12
+	hdrID       = 16
 	// HeaderBytes is the size of the standard task descriptor header.
-	HeaderBytes = 16
+	HeaderBytes = 24
 )
 
 // Task is a task descriptor: a standard header plus an opaque, user-defined
@@ -99,6 +101,16 @@ func (t *Task) setAffinity(a int32) { pgas.PutI32(t.buf[hdrAffinity:], a) }
 func (t *Task) Origin() int { return int(pgas.GetI32(t.buf[hdrOrigin:])) }
 
 func (t *Task) setOrigin(r int) { pgas.PutI32(t.buf[hdrOrigin:], int32(r)) }
+
+// ID returns the task's lifecycle ID: an opaque 64-bit value assigned by
+// the creator with SetID (0 when never set). The ID travels in the
+// descriptor header, so it survives steals, deferral, and inline
+// execution — external drivers (the serve gateway, a replay journal) use
+// it to correlate a completion with the submission that produced the task.
+func (t *Task) ID() uint64 { return pgas.GetU64(t.buf[hdrID:]) }
+
+// SetID stamps the task's lifecycle ID.
+func (t *Task) SetID(id uint64) { pgas.PutU64(t.buf[hdrID:], id) }
 
 // Body returns the task's user-defined body. Callers may encode arguments
 // in any format; the contents travel with the task.

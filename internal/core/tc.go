@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"time"
 
 	"scioto/internal/pgas"
 	"scioto/internal/trace"
@@ -113,7 +115,16 @@ type TC struct {
 
 	tracer  *trace.Recorder // nil = tracing disabled
 	metrics *Metrics        // nil = metrics disabled
+
+	execHook ExecHook // nil = no completion notification
 }
+
+// ExecHook is a per-task completion notification callback (see
+// TC.SetExecHook). It runs on the rank that executed the task, after the
+// task's callback has returned, and receives the executed descriptor (the
+// callback may have scribbled results into its body) and the execution
+// time.
+type ExecHook func(tc *TC, t *Task, elapsed time.Duration)
 
 // NewTC collectively creates a task collection. All processes must call it
 // with an identical configuration, and must then register the same
@@ -166,6 +177,14 @@ func (tc *TC) SetMetrics(m *Metrics) {
 	tc.q.metrics = m
 	tc.td.metrics = m
 }
+
+// SetExecHook attaches a completion-notification hook invoked after every
+// task execution on this rank — normal, stolen, deferred-launched, and
+// inline (full-queue fallback) executions alike (nil detaches). Local
+// operation; external drivers such as the serve gateway use it to route
+// per-task completions (matched by Task.ID) without wrapping every
+// callback.
+func (tc *TC) SetExecHook(h ExecHook) { tc.execHook = h }
 
 // Metrics returns the attached metrics (nil when disabled).
 func (tc *TC) Metrics() *Metrics { return tc.metrics }
@@ -276,6 +295,9 @@ func (tc *TC) execute(t *Task) {
 	if tc.ctd != nil {
 		tc.ctd.noteDone()
 	}
+	if tc.execHook != nil {
+		tc.execHook(tc, t, d)
+	}
 }
 
 // popLocal fetches the next local task: private end first; when the
@@ -385,6 +407,11 @@ func (tc *TC) Process() {
 		if done {
 			break
 		}
+		// Failed to find work anywhere: yield before retrying. On hosts
+		// with fewer cores than ranks the idle ranks otherwise pin the
+		// scheduler and starve the ranks that still hold tasks, turning a
+		// microsecond phase into a timeslice-bound one.
+		runtime.Gosched()
 	}
 
 	tc.processing = false

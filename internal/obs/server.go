@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -60,5 +61,14 @@ func Serve(addr string, hub *Hub) (*Server, error) {
 // Addr reports the listener's actual address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the endpoint down.
-func (s *Server) Close() { s.srv.Close() }
+// Close shuts the endpoint down gracefully: in-flight scrapes get a
+// short deadline to finish (a Prometheus scrape or pprof fetch racing a
+// world teardown would otherwise lose its body mid-response), then
+// anything still open is severed.
+func (s *Server) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		s.srv.Close()
+	}
+}

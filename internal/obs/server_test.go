@@ -2,10 +2,12 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestServerEndpoints(t *testing.T) {
@@ -54,5 +56,43 @@ func TestServerEndpoints(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("pprof status = %d", resp.StatusCode)
+	}
+}
+
+// TestCloseAllowsInFlightScrape: Close drains gracefully — a scrape that
+// is mid-response when the world tears the endpoint down still delivers
+// its full body instead of being severed.
+func TestCloseAllowsInFlightScrape(t *testing.T) {
+	hub := NewHub()
+	s, err := Serve("127.0.0.1:0", hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An execution trace takes a full second to stream: a deterministic
+	// in-flight request for Close to race against.
+	res := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/debug/pprof/trace?seconds=1")
+		if err != nil {
+			res <- err
+			return
+		}
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		res <- err
+	}()
+	time.Sleep(200 * time.Millisecond) // let the request reach the handler
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	if err := <-res; err != nil {
+		t.Fatalf("in-flight scrape severed by Close: %v", err)
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return")
 	}
 }

@@ -56,6 +56,16 @@ func GetI64(b []byte) int64 {
 	return int64(binary.LittleEndian.Uint64(b))
 }
 
+// PutU64 stores v at b[0:8] (little-endian).
+func PutU64(b []byte, v uint64) {
+	binary.LittleEndian.PutUint64(b, v)
+}
+
+// GetU64 loads the uint64 stored at b[0:8].
+func GetU64(b []byte) uint64 {
+	return binary.LittleEndian.Uint64(b)
+}
+
 // PutI32 stores v at b[0:4].
 func PutI32(b []byte, v int32) {
 	binary.LittleEndian.PutUint32(b, uint32(v))

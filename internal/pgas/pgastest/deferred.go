@@ -1,0 +1,70 @@
+package pgastest
+
+import (
+	"fmt"
+	"testing"
+
+	"scioto/internal/core"
+	"scioto/internal/pgas"
+)
+
+// testDeferredCrossPhase pins the deferred-task contract every transport
+// must honor: a dependency-gated task registered with AddDeferred is
+// invisible to termination detection, so a Process phase can end while
+// it still waits; Satisfy applied between phases launches it into the
+// next one; PendingDeferred tracks the pool across the boundary. The
+// serve-mode gateway builds its cross-phase dependency resolution
+// directly on this behavior.
+//
+// Validation is PGAS-only (counters on rank 0), so the same body works
+// on multi-process transports.
+func testDeferredCrossPhase(t *testing.T, newWorld Factory) {
+	const n = 4
+	run(t, newWorld(n), func(p pgas.Proc) {
+		rt := core.Attach(p)
+		tc := core.NewTC(rt, core.Config{MaxBodySize: 16, MaxTasks: 256, MaxDeferred: 8})
+		count := p.AllocWords(2) // rank 0: [0] plain executions, [1] deferred executions
+		h := tc.Register(func(tc *core.TC, t *core.Task) {
+			slot := int(pgas.GetU64(t.Body()))
+			tc.Proc().FetchAdd64(0, count, slot, 1)
+		})
+
+		// Each rank registers one task gated on two dependencies and
+		// satisfies only one of them before the first phase.
+		gated := core.NewTask(h, 16)
+		pgas.PutU64(gated.Body(), 1)
+		dep, err := tc.AddDeferred(core.AffinityHigh, gated, 2)
+		if err != nil {
+			panic(err)
+		}
+		tc.Satisfy(dep)
+
+		// Plus one plain task per rank, seeded on a neighbor, so the
+		// first phase terminates with real work done.
+		plain := core.NewTask(h, 16)
+		pgas.PutU64(plain.Body(), 0)
+		if err := tc.Add((p.Rank()+1)%n, core.AffinityLow, plain); err != nil {
+			panic(err)
+		}
+
+		tc.Process() // must terminate despite the unsatisfied dependency
+		if got := tc.PendingDeferred(); got != 1 {
+			panic(fmt.Sprintf("rank %d: PendingDeferred = %d after phase 1, want 1", p.Rank(), got))
+		}
+		if got := p.Load64(0, count, 0); got != n {
+			panic(fmt.Sprintf("rank %d: %d plain executions after phase 1, want %d", p.Rank(), got, n))
+		}
+		if got := p.Load64(0, count, 1); got != 0 {
+			panic(fmt.Sprintf("rank %d: %d gated tasks ran with an unsatisfied dependency", p.Rank(), got))
+		}
+
+		tc.Satisfy(dep) // final satisfy: launches into the next phase
+		tc.Process()
+		if got := tc.PendingDeferred(); got != 0 {
+			panic(fmt.Sprintf("rank %d: PendingDeferred = %d after phase 2, want 0", p.Rank(), got))
+		}
+		if got := p.Load64(0, count, 1); got != n {
+			panic(fmt.Sprintf("rank %d: %d gated executions after phase 2, want %d", p.Rank(), got, n))
+		}
+	})
+}
