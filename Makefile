@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet chaos bench-smoke obs-smoke serve-smoke all
+.PHONY: build test race lint vet chaos chaos-recovery bench-smoke bench-compare obs-smoke serve-smoke all
 
 all: build lint test
 
@@ -17,7 +17,7 @@ race:
 	$(GO) test -race -short ./...
 
 # sciotolint enforces the PGAS and split-queue invariants (see DESIGN.md)
-# with all ten analyzers, per-package and whole-program. It exits 2 on
+# with all eleven analyzers, per-package and whole-program. It exits 2 on
 # findings, so this target fails the build when the tree violates an
 # invariant without a justified //lint:ignore. Findings are also written
 # as a JSON array to sciotolint-findings.json (always, even when empty),
@@ -30,11 +30,24 @@ vet:
 
 # Fault-tolerance suite under the race detector: the deterministic
 # fault-injection wrapper (delay/drop/crash over shm, dsim, and tcp), the
-# tcp crash-containment tests (SIGKILL and SIGSTOP of live ranks), and
-# the dial-backoff/deadline unit tests. CI runs the same target.
+# tcp crash-containment tests (SIGKILL and SIGSTOP of live ranks), the
+# dial-backoff/deadline unit tests, and the work-replay recovery matrix
+# (transports x crash-before-steal / crash-mid-steal / crash-with-
+# deferred-deps, all seed-pinned; see internal/core/recover_test.go).
+# CI runs the same target.
 chaos:
 	$(GO) test -race -count=1 ./internal/pgas/faulty/
 	$(GO) test -race -count=1 -run 'TestCrashContainment|TestInjectedCrashOverTCP|TestHeartbeat|TestOpContext|TestBackoff|TestDialRetry' ./internal/pgas/tcp/
+	$(GO) test -race -count=1 -run 'TestRecovery' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestRunRecover' .
+	$(GO) test -race -count=1 -run 'TestServeWorkerCrashRecovers' ./internal/serve/
+
+# Recovery matrix against the shipped binary: sciotod -recover on shm,
+# worker rank 2 killed at pinned op counts via the SCIOTO_FAULT_*
+# environment, all submitted results still streamed and a clean drain.
+# CI runs the same target.
+chaos-recovery:
+	bash scripts/chaos_recovery.sh
 
 # One iteration of the Table 1 benchmarks (shm and simulated cluster).
 # This is a smoke test, not a measurement: it proves the benchmark
@@ -43,6 +56,13 @@ chaos:
 # same target.
 bench-smoke:
 	$(GO) test -run=NONE -bench=Table1 -benchtime=1x ./internal/bench/
+
+# Serve-mode perf regression gate: re-runs `sciotobench -exp serve -json`
+# and compares p95 latency and sustained tasks/s against the checked-in
+# BENCH_serve.json, failing outside the +/-15% band (override with
+# SCIOTO_BENCH_BAND). CI runs the same target.
+bench-compare:
+	bash scripts/bench_compare.sh
 
 # End-to-end observability smoke: UTS on shm with the live endpoint and
 # trace dumps on, a mid-run /metrics + /healthz scrape, and a 2-rank

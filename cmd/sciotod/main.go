@@ -11,6 +11,12 @@
 // with 503, admitted work runs to completion, result streams flush, and
 // the process exits 0. A second signal force-quits.
 //
+// With -recover (shm only) every task is journaled for work replay: a
+// worker rank's death mid-phase is healed by the survivors, lost tasks
+// are re-queued from the journal, and results that died with the rank
+// are re-run, so clients still stream every result. See DESIGN.md
+// "Recovery". Rank 0 hosts the gateway, so its death stays fatal.
+//
 // Transports: shm (default — one process, ranks as goroutines) and tcp
 // (one OS process per rank; the gateway endpoint lives in the rank-0
 // process, so deliver the drain signal there, or Ctrl-C the foreground
@@ -44,10 +50,15 @@ func main() {
 		rate       = flag.Float64("tenant-rate", 0, "per-tenant admission rate, tasks/s (0 = unlimited)")
 		burst      = flag.Int("tenant-burst", 0, "per-tenant admission burst (0 = default)")
 		perPhase   = flag.Int("batch-per-phase", 0, "tasks handed to the runtime per phase (0 = default 2048)")
+		rec        = flag.Bool("recover", false, "arm work-replay recovery: journal every task and heal around a worker rank's death (shm only)")
 	)
 	flag.Parse()
 	if tr.Transport() == scioto.TransportDSim {
 		fmt.Fprintln(os.Stderr, "sciotod: the dsim transport runs in virtual time and cannot serve a live ingest endpoint; use shm or tcp")
+		os.Exit(2)
+	}
+	if *rec && tr.Transport() != scioto.TransportSHM {
+		fmt.Fprintln(os.Stderr, "sciotod: -recover needs a survivable transport; only shm qualifies for a live endpoint")
 		os.Exit(2)
 	}
 
@@ -76,6 +87,7 @@ func main() {
 		Procs:     *procs,
 		Transport: tr.Transport(),
 		Seed:      *seed,
+		Recover:   *rec,
 		Obs:       obs.Config(),
 	}
 	transportflag.Check(scioto.Run(cfg, func(rt *core.Runtime) { d.Body(rt) }))

@@ -48,8 +48,31 @@ func DecodeDep(b []byte) Dep {
 }
 
 // Pending-pool counter states: free slots hold depFree; occupied slots
-// hold the remaining dependency count (> 0).
+// hold the remaining dependency count (> 0). A counter of exactly 0 means
+// the final Satisfy has happened but no launcher has claimed the task yet;
+// values <= depClaimBase encode which rank (and which of its journal
+// slots) owns the in-flight launch. The 0 and claimed states exist only
+// transiently inside Satisfy — except across a crash, where they tell the
+// recovery sweep (recover.go) exactly who is responsible for the launch.
 const depFree = -1
+
+// depClaimBase is the top of the claimed-counter encoding range.
+const depClaimBase = -2
+
+// encodeDepClaim packs a launch claim — the launching rank and its journal
+// slot — into a pool counter value.
+func encodeDepClaim(rank, jslot int) int64 {
+	return depClaimBase - (int64(rank)<<32 | int64(jslot))
+}
+
+// decodeDepClaim unpacks encodeDepClaim.
+func decodeDepClaim(v int64) (rank, jslot int) {
+	x := depClaimBase - v
+	return int(x >> 32), int(x & 0xffffffff)
+}
+
+// isDepClaim reports whether a pool counter value is a launch claim.
+func isDepClaim(v int64) bool { return v <= depClaimBase }
 
 // depPool is the per-process storage for deferred tasks.
 type depPool struct {
@@ -130,6 +153,11 @@ func (tc *TC) AddDeferred(affinity int32, t *Task, deps int) (Dep, error) {
 func (tc *TC) Satisfy(d Dep) {
 	pool := tc.pool()
 	p := tc.rt.p
+	if tc.rec != nil {
+		// Handles registered on a since-dead rank were re-homed during
+		// recovery; resolve through the salvage remap.
+		d = tc.rec.remapDep(d)
+	}
 	target := int(d.Proc)
 	slot := int(d.Slot)
 	if target < 0 || target >= p.NProcs() || slot < 0 || slot >= pool.slots {
@@ -146,12 +174,38 @@ func (tc *TC) Satisfy(d Dep) {
 	buf := make([]byte, pool.slotSize)
 	p.Get(buf, target, pool.data, slot*pool.slotSize)
 	task := decodeTask(buf)
-	// Free the slot only after the descriptor is safely copied out.
-	p.Store64(target, pool.ctr, slot, depFree)
+	if tc.jn == nil {
+		// Recovery off: free the slot once the descriptor is copied out,
+		// then enqueue normally.
+		p.Store64(target, pool.ctr, slot, depFree)
+		tc.stats.DeferredLaunched++
+		if err := tc.Add(target, task.Affinity(), task); err != nil {
+			panic(fmt.Sprintf("core: launching deferred task: %v", err))
+		}
+		return
+	}
+	// Journaled launch. Responsibility for the task is handed from the
+	// pool slot to this rank's journal entry through a single one-sided
+	// counter store (the claim), so a crash at any point leaves exactly
+	// one party able to relaunch it:
+	//
+	//   ctr == 0, no claim   -> pool owner relaunches from pool data
+	//   claim, entry pending -> pool owner relaunches from pool data
+	//   claim, entry live    -> launcher's journal replays it
+	//
+	// The pending journal record is written before the claim (locally,
+	// atomically w.r.t. fault delivery) so a published claim always points
+	// at a recorded descriptor; it stays invisible to replay until the
+	// flip below, so an unclaimed launch is never replayed twice.
+	me := p.Rank()
+	jslot := tc.journalizePending(task)
+	p.Store64(target, pool.ctr, slot, encodeDepClaim(me, jslot))
+	tc.jn.setLive(jslot)
 	tc.stats.DeferredLaunched++
-	if err := tc.Add(target, task.Affinity(), task); err != nil {
+	if err := tc.addJournaled(target, task); err != nil {
 		panic(fmt.Sprintf("core: launching deferred task: %v", err))
 	}
+	p.Store64(target, pool.ctr, slot, depFree)
 }
 
 // PendingDeferred counts this process's registered-but-unlaunched deferred

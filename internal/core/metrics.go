@@ -34,6 +34,10 @@ type Metrics struct {
 	waves        *obs.Counter
 	votes        *obs.Counter
 	terminations *obs.Counter
+
+	recoveries     *obs.Counter
+	tasksRecovered *obs.Counter
+	journalDepth   *obs.Gauge
 }
 
 // NewMetrics creates the scheduler instrument set in reg. A nil registry
@@ -70,7 +74,30 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		"termination-detection votes cast")
 	m.terminations = reg.Counter("scioto_td_terminations_total",
 		"task-parallel phases terminated")
+	m.recoveries = reg.Counter("scioto_recovery_epochs_total",
+		"recovery epochs this rank participated in after a peer death")
+	m.tasksRecovered = reg.Counter("scioto_recovery_tasks_replayed_total",
+		"lost task descriptors re-inserted from the replay journal")
+	m.journalDepth = reg.Gauge("scioto_journal_depth",
+		"live descriptors in this rank's replay journal (refreshed when idle)")
 	return m
+}
+
+// noteRecovery records one completed recovery epoch and the number of
+// descriptors this rank replayed into its queue.
+func (m *Metrics) noteRecovery(replayed int64) {
+	if m == nil {
+		return
+	}
+	m.recoveries.Inc()
+	m.tasksRecovered.Add(replayed)
+}
+
+func (m *Metrics) setJournalDepth(n int64) {
+	if m == nil {
+		return
+	}
+	m.journalDepth.Set(n)
 }
 
 func (m *Metrics) noteExec(d time.Duration) {

@@ -30,6 +30,8 @@ func (o OpTimings) String() string {
 // size and steal chunk. It must be called collectively on a world with at
 // least two processes; rank 0 performs the measurements against rank 1 and
 // returns the timings (other ranks return zero timings).
+//
+//scioto:journal-exempt raw-queue measurement harness: no TC and no recovery, so the journal discipline does not apply
 func MeasureOps(p pgas.Proc, bodySize, chunk, iters int) OpTimings {
 	if p.NProcs() < 2 {
 		panic("core: MeasureOps needs at least 2 processes")
@@ -109,6 +111,8 @@ func MeasureOps(p pgas.Proc, bodySize, chunk, iters int) OpTimings {
 // ranks return 0). The steady-state figure should be zero: the bulk
 // buffer, the transport's in-flight operation records, and the wire
 // frames are all pooled.
+//
+//scioto:journal-exempt raw-queue measurement harness: no TC and no recovery, so the journal discipline does not apply
 func MeasureStealAllocs(p pgas.Proc, bodySize, chunk, iters int) float64 {
 	if p.NProcs() < 2 {
 		panic("core: MeasureStealAllocs needs at least 2 processes")

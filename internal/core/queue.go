@@ -69,6 +69,11 @@ type taskQueue struct {
 	meta pgas.Seg // nQWords words per process
 	lock pgas.LockID
 
+	// heldLock is the rank whose queue-lock instance this rank currently
+	// holds (-1 when none). A fault delivered mid-critical-section unwinds
+	// with the lock still held; recovery consults this to release it.
+	heldLock int
+
 	// nbOld receives the discarded previous value of the pipelined
 	// dirty-mark fetch-add in steal. It lives on the queue rather than the
 	// stack so the completion write (performed by a transport goroutine on
@@ -96,8 +101,21 @@ func newTaskQueue(p pgas.Proc, mode QueueMode, slotSize, capacity int) *taskQueu
 		data:     p.AllocData(slotSize * capacity),
 		meta:     p.AllocWords(nQWords),
 		lock:     p.AllocLock(),
+		heldLock: -1,
 	}
 	return q
+}
+
+// releaseHeldLock drops a queue lock left held by a mid-critical-section
+// unwind (recovery path). A lock instance hosted on a dead rank was
+// already force-released by the transport.
+func (q *taskQueue) releaseHeldLock(alive []bool) {
+	if q.heldLock >= 0 {
+		if alive[q.heldLock] {
+			q.p.Unlock(q.heldLock, q.lock)
+		}
+		q.heldLock = -1
+	}
 }
 
 // slotIndex maps a queue index onto the ring (Euclidean modulus, since
@@ -234,16 +252,19 @@ func (q *taskQueue) reacquire(s *Stats) bool {
 		}
 	}
 	q.p.Lock(me, q.lock)
+	q.heldLock = me
 	bottom := q.p.Load64(me, q.meta, wBottom)
 	split := q.p.Load64(me, q.meta, wSplit)
 	avail := split - bottom
 	if avail <= 0 {
 		q.p.Unlock(me, q.lock)
+		q.heldLock = -1
 		return false
 	}
 	k := (avail + 1) / 2
 	q.p.Store64(me, q.meta, wSplit, split-k)
 	q.p.Unlock(me, q.lock)
+	q.heldLock = -1
 	q.tracer.Record(q.p.Now(), trace.Reacquire, k, 0)
 	q.metrics.noteReacquire()
 	s.Reacquires++
@@ -257,16 +278,19 @@ func (q *taskQueue) reacquire(s *Stats) bool {
 func (q *taskQueue) pushLocked(wire []byte, s *Stats) bool {
 	me := q.p.Rank()
 	q.p.Lock(me, q.lock)
+	q.heldLock = me
 	top := q.p.Load64(me, q.meta, wTop)
 	bottom := q.p.Load64(me, q.meta, wBottom)
 	if top-bottom >= int64(q.capacity) {
 		q.p.Unlock(me, q.lock)
+		q.heldLock = -1
 		return false
 	}
 	off := q.slotOff(top)
 	copy(q.p.Local(q.data)[off:off+len(wire)], wire)
 	q.p.Store64(me, q.meta, wTop, top+1)
 	q.p.Unlock(me, q.lock)
+	q.heldLock = -1
 	q.p.Charge(localCost(len(wire)))
 	s.LocalInserts++
 	return true
@@ -276,16 +300,19 @@ func (q *taskQueue) pushLocked(wire []byte, s *Stats) bool {
 func (q *taskQueue) popLocked(s *Stats) (*Task, bool) {
 	me := q.p.Rank()
 	q.p.Lock(me, q.lock)
+	q.heldLock = me
 	top := q.p.Load64(me, q.meta, wTop)
 	bottom := q.p.Load64(me, q.meta, wBottom)
 	if top <= bottom {
 		q.p.Unlock(me, q.lock)
+		q.heldLock = -1
 		return nil, false
 	}
 	off := q.slotOff(top - 1)
 	t := decodeTask(q.p.Local(q.data)[off : off+q.slotSize])
 	q.p.Store64(me, q.meta, wTop, top-1)
 	q.p.Unlock(me, q.lock)
+	q.heldLock = -1
 	q.p.Charge(localCost(len(t.wire())))
 	s.LocalGets++
 	return t, true
@@ -301,6 +328,7 @@ func (q *taskQueue) popLocked(s *Stats) (*Task, bool) {
 //scioto:noalloc
 func (q *taskQueue) addRemote(proc int, wire []byte, s *Stats) bool {
 	q.p.Lock(proc, q.lock)
+	q.heldLock = proc
 	// Both index words travel in one pipelined round instead of two
 	// sequential remote loads.
 	q.p.NbLoad64(proc, q.meta, wBottom, &q.nbBottom)
@@ -309,6 +337,7 @@ func (q *taskQueue) addRemote(proc int, wire []byte, s *Stats) bool {
 	bottom, top := q.nbBottom, q.nbLimit
 	if top-(bottom-1) > int64(q.capacity) {
 		q.p.Unlock(proc, q.lock)
+		q.heldLock = -1
 		return false
 	}
 	newBottom := bottom - 1
@@ -321,6 +350,7 @@ func (q *taskQueue) addRemote(proc int, wire []byte, s *Stats) bool {
 	q.p.NbStore64(proc, q.meta, wBottom, newBottom)
 	q.p.Flush()
 	q.p.Unlock(proc, q.lock)
+	q.heldLock = -1
 	if proc == q.p.Rank() {
 		s.LocalSharedInserts++
 	} else {
@@ -375,6 +405,7 @@ func (q *taskQueue) steal(victim, chunk int, markDirty bool, s *Stats) (*stealBa
 		s.StealsBusy++
 		return nil, stealBusy
 	}
+	q.heldLock = victim
 	limitWord := wSplit
 	if q.mode != ModeSplit {
 		limitWord = wTop
@@ -386,6 +417,7 @@ func (q *taskQueue) steal(victim, chunk int, markDirty bool, s *Stats) (*stealBa
 	avail := limit - bottom
 	if avail <= 0 {
 		q.p.Unlock(victim, q.lock)
+		q.heldLock = -1
 		s.StealsEmpty++
 		return nil, stealEmpty
 	}
@@ -423,6 +455,7 @@ func (q *taskQueue) steal(victim, chunk int, markDirty bool, s *Stats) (*stealBa
 	q.p.NbStore64(victim, q.meta, wBottom, bottom+k)
 	q.p.Flush()
 	q.p.Unlock(victim, q.lock)
+	q.heldLock = -1
 	for i := 0; i < int(k); i++ {
 		b.slots = append(b.slots, buf[i*q.slotSize:(i+1)*q.slotSize])
 	}

@@ -1,0 +1,247 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"scioto/internal/core"
+	"scioto/internal/pgas"
+	"scioto/internal/pgas/dsim"
+	"scioto/internal/pgas/faulty"
+	"scioto/internal/pgas/shm"
+)
+
+// recoveryOutcome is what a recovery run reports for cross-run comparison.
+type recoveryOutcome struct {
+	executed  int64
+	salvaged  int64
+	recovered int64
+	epochs    int64
+}
+
+// runRecoveryTree runs the spawning-tree workload on a survivable world
+// wrapped with a deterministic one-shot crash of crashRank, with
+// work-replay recovery armed. Every rank seeds one root task; each task
+// of depth > 0 spawns `branch` children locally. Reports rank 0's global
+// stats. The callbacks only perform local adds (no checked communication),
+// so task execution is atomic with respect to fault delivery and the
+// replay accounting must be exact.
+func runRecoveryTree(t *testing.T, mk func() pgas.World, n, crashRank int, crashAfter int64, seed int64) (recoveryOutcome, error) {
+	t.Helper()
+	w := faulty.Wrap(mk(), faulty.Config{
+		Seed:          seed,
+		CrashRank:     crashRank,
+		CrashAfterOps: crashAfter,
+	})
+	var mu sync.Mutex
+	var out recoveryOutcome
+	err := w.Run(func(p pgas.Proc) {
+		rt := core.Attach(p)
+		rt.EnableRecovery()
+		tc := core.NewTC(rt, core.Config{MaxBodySize: 8, ChunkSize: 2, MaxTasks: 2048})
+		var h core.Handle
+		h = tc.Register(func(tc *core.TC, task *core.Task) {
+			depth := int(task.Body()[0])
+			if depth == 0 {
+				return
+			}
+			child := core.NewTask(h, 8)
+			child.Body()[0] = byte(depth - 1)
+			for i := 0; i < 3; i++ {
+				if err := tc.Add(tc.Runtime().Rank(), core.AffinityHigh, child); err != nil {
+					panic(err)
+				}
+			}
+		})
+		root := core.NewTask(h, 8)
+		root.Body()[0] = 4 // depth-4 ternary tree: 121 nodes per rank
+		if err := tc.Add(p.Rank(), core.AffinityHigh, root); err != nil {
+			panic(err)
+		}
+		tc.Process()
+		g := tc.GlobalStats()
+		if p.Rank() == 0 {
+			mu.Lock()
+			out = recoveryOutcome{
+				executed:  g.TasksExecuted,
+				salvaged:  g.SalvagedExecs,
+				recovered: g.TasksRecovered,
+				epochs:    g.Recoveries,
+			}
+			mu.Unlock()
+		}
+	})
+	return out, err
+}
+
+// treeNodes is the uncrashed task count of the runRecoveryTree workload.
+func treeNodes(n int) int64 {
+	perRank := int64(1 + 3 + 9 + 27 + 81) // depth-4 ternary tree
+	return int64(n) * perRank
+}
+
+// TestRecoveryExactReplaySHM: a worker rank dies mid-phase on the shm
+// transport; the survivors heal and the durable completion accounting is
+// bit-identical to the uncrashed run.
+func TestRecoveryExactReplaySHM(t *testing.T) {
+	const n = 4
+	// Crash points pinned (with the seeds below) inside the processing
+	// phase: before rank 2's first steal, mid-steal, and deep into the
+	// phase. Faults landing in setup or teardown collectives are outside
+	// the recoverable window by design (see DESIGN.md "Recovery").
+	for _, crashAfter := range []int64{10, 35, 60} {
+		crashAfter := crashAfter
+		t.Run(fmt.Sprintf("crashAfter=%d", crashAfter), func(t *testing.T) {
+			out, err := runRecoveryTree(t, func() pgas.World {
+				return shm.NewWorld(shm.Config{NProcs: n, Seed: 3, Survivable: true})
+			}, n, 2, crashAfter, 42)
+			if err != nil {
+				t.Fatalf("survivable world failed: %v", err)
+			}
+			if got, want := out.executed+out.salvaged, treeNodes(n); got != want {
+				t.Fatalf("executed %d + salvaged %d = %d durable completions, want %d",
+					out.executed, out.salvaged, got, want)
+			}
+			if out.epochs == 0 {
+				t.Fatalf("crash of rank 2 after %d ops triggered no recovery epoch", crashAfter)
+			}
+		})
+	}
+}
+
+// TestRecoveryExactReplayDSim: the same healing on the deterministic
+// transport, at crash points chosen to land before, during, and well into
+// the phase's stealing activity.
+func TestRecoveryExactReplayDSim(t *testing.T) {
+	const n = 4
+	for _, crashAfter := range []int64{12, 25, 60} {
+		crashAfter := crashAfter
+		t.Run(fmt.Sprintf("crashAfter=%d", crashAfter), func(t *testing.T) {
+			out, err := runRecoveryTree(t, func() pgas.World {
+				return dsim.NewWorld(dsim.Config{NProcs: n, Seed: 3, Survivable: true})
+			}, n, 2, crashAfter, 42)
+			if err != nil {
+				t.Fatalf("survivable world failed: %v", err)
+			}
+			if got, want := out.executed+out.salvaged, treeNodes(n); got != want {
+				t.Fatalf("executed %d + salvaged %d = %d durable completions, want %d",
+					out.executed, out.salvaged, got, want)
+			}
+			if out.epochs == 0 {
+				t.Fatalf("crash of rank 2 after %d ops triggered no recovery epoch", crashAfter)
+			}
+		})
+	}
+}
+
+// TestRecoveryDeterministicDSim: the same seed yields the same recovery,
+// down to the replayed-descriptor and salvaged-completion counts.
+func TestRecoveryDeterministicDSim(t *testing.T) {
+	const n = 4
+	run := func() recoveryOutcome {
+		out, err := runRecoveryTree(t, func() pgas.World {
+			return dsim.NewWorld(dsim.Config{NProcs: n, Seed: 7, Survivable: true})
+		}, n, 1, 80, 99)
+		if err != nil {
+			t.Fatalf("survivable world failed: %v", err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("recovery not deterministic under a fixed seed:\n run 1: %+v\n run 2: %+v", a, b)
+	}
+	if a.epochs == 0 {
+		t.Fatalf("no recovery epoch in deterministic run: %+v", a)
+	}
+}
+
+// TestRecoveryWithDeferredDeps: the dead rank holds registered-but-pending
+// deferred tasks; the healer salvages its pool, re-registers them, and
+// remaps outstanding handles so late Satisfy calls still launch them.
+func TestRecoveryWithDeferredDeps(t *testing.T) {
+	const n = 4
+	w := faulty.Wrap(shm.NewWorld(shm.Config{NProcs: n, Seed: 5, Survivable: true}), faulty.Config{
+		Seed:          11,
+		CrashRank:     2,
+		CrashAfterOps: 30,
+	})
+	var mu sync.Mutex
+	var got recoveryOutcome
+	err := w.Run(func(p pgas.Proc) {
+		rt := core.Attach(p)
+		rt.EnableRecovery()
+		tc := core.NewTC(rt, core.Config{MaxBodySize: 16, ChunkSize: 2, MaxTasks: 1024, MaxDeferred: 8})
+		leafH := tc.Register(func(tc *core.TC, task *core.Task) {})
+		satisfyH := tc.Register(func(tc *core.TC, task *core.Task) {
+			tc.Satisfy(core.DecodeDep(task.Body()))
+		})
+
+		// Every rank registers one deferred leaf locally, then hands the
+		// handle to the next rank as a satisfier task, so the final
+		// Satisfy of the dead rank's deferred task happens on a survivor —
+		// through the salvage remap when rank 2 is already gone.
+		leaf := core.NewTask(leafH, 16)
+		dep, err := tc.AddDeferred(core.AffinityLow, leaf, 1)
+		if err != nil {
+			panic(err)
+		}
+		sat := core.NewTask(satisfyH, 16)
+		core.EncodeDep(sat.Body(), dep)
+		if err := tc.Add((p.Rank()+1)%n, core.AffinityLow, sat); err != nil {
+			panic(err)
+		}
+		tc.Process()
+		g := tc.GlobalStats()
+		if p.Rank() == 0 {
+			mu.Lock()
+			got = recoveryOutcome{
+				executed:  g.TasksExecuted,
+				salvaged:  g.SalvagedExecs,
+				recovered: g.TasksRecovered,
+				epochs:    g.Recoveries,
+			}
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatalf("survivable world failed: %v", err)
+	}
+	// n satisfiers + n deferred leaves, exactly once each.
+	if want := int64(2 * n); got.executed+got.salvaged != want {
+		t.Fatalf("executed %d + salvaged %d durable completions, want %d", got.executed, got.salvaged, want)
+	}
+	if got.epochs == 0 {
+		t.Fatal("crash triggered no recovery epoch")
+	}
+}
+
+// TestRecoveryRankZeroDeathUnrecoverable: the root's death must not be
+// healed around — Run surfaces the fault even with recovery armed.
+func TestRecoveryRankZeroDeathUnrecoverable(t *testing.T) {
+	const n = 4
+	_, err := runRecoveryTree(t, func() pgas.World {
+		return shm.NewWorld(shm.Config{NProcs: n, Seed: 3, Survivable: true})
+	}, n, 0, 20, 42)
+	if err == nil {
+		t.Fatal("rank 0 death was silently recovered; want a fault")
+	}
+	var fe *pgas.FaultError
+	if !errors.As(err, &fe) || fe.Rank != 0 {
+		t.Fatalf("want *pgas.FaultError naming rank 0, got %v", err)
+	}
+}
+
+// TestRecoveryRequiresSurvivableTransport: with recovery armed on a
+// non-survivable world, a crash still aborts the run (containment model).
+func TestRecoveryRequiresSurvivableTransport(t *testing.T) {
+	const n = 4
+	_, err := runRecoveryTree(t, func() pgas.World {
+		return shm.NewWorld(shm.Config{NProcs: n, Seed: 3})
+	}, n, 2, 20, 42)
+	if err == nil {
+		t.Fatal("crash on a non-survivable world returned success")
+	}
+}

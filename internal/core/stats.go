@@ -42,6 +42,10 @@ type Stats struct {
 	DeferredRegistered int64 // tasks registered with AddDeferred
 	DeferredLaunched   int64 // deferred tasks this process launched via Satisfy
 
+	Recoveries     int64 // recovery epochs this process participated in
+	TasksRecovered int64 // lost descriptors this process re-inserted during healing
+	SalvagedExecs  int64 // durable completions credited to dead ranks by this healer
+
 	IdleTime time.Duration // virtual/wall time spent without local work
 	WorkTime time.Duration // time spent inside task callbacks
 }
@@ -74,6 +78,9 @@ func (s *Stats) add(o *Stats) {
 	s.TermCounterOps += o.TermCounterOps
 	s.DeferredRegistered += o.DeferredRegistered
 	s.DeferredLaunched += o.DeferredLaunched
+	s.Recoveries += o.Recoveries
+	s.TasksRecovered += o.TasksRecovered
+	s.SalvagedExecs += o.SalvagedExecs
 	s.IdleTime += o.IdleTime
 	s.WorkTime += o.WorkTime
 }
@@ -89,12 +96,13 @@ func (s *Stats) asSlice() []int64 {
 		s.TasksStolen, s.DirtyMarksSent, s.DirtyMarksElided,
 		s.WavesSeen, s.Votes, s.BlackVotes, s.TermCounterOps,
 		s.DeferredRegistered, s.DeferredLaunched,
+		s.Recoveries, s.TasksRecovered, s.SalvagedExecs,
 		int64(s.IdleTime), int64(s.WorkTime),
 	}
 }
 
 // statsWords is the number of words asSlice produces.
-const statsWords = 28
+const statsWords = 31
 
 // fromSlice restores counters flattened by asSlice.
 func (s *Stats) fromSlice(v []int64) {
@@ -106,7 +114,8 @@ func (s *Stats) fromSlice(v []int64) {
 	s.TasksStolen, s.DirtyMarksSent, s.DirtyMarksElided = v[17], v[18], v[19]
 	s.WavesSeen, s.Votes, s.BlackVotes, s.TermCounterOps = v[20], v[21], v[22], v[23]
 	s.DeferredRegistered, s.DeferredLaunched = v[24], v[25]
-	s.IdleTime, s.WorkTime = time.Duration(v[26]), time.Duration(v[27])
+	s.Recoveries, s.TasksRecovered, s.SalvagedExecs = v[26], v[27], v[28]
+	s.IdleTime, s.WorkTime = time.Duration(v[29]), time.Duration(v[30])
 }
 
 // String renders the headline counters compactly.
@@ -116,6 +125,9 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, " steals=%d/%d (empty %d, busy %d) stolen=%d", s.StealsOK, s.StealAttempts, s.StealsEmpty, s.StealsBusy, s.TasksStolen)
 	fmt.Fprintf(&b, " rel=%d reacq=%d dirty=%d(elided %d)", s.Releases, s.Reacquires, s.DirtyMarksSent, s.DirtyMarksElided)
 	fmt.Fprintf(&b, " waves=%d votes=%d black=%d", s.WavesSeen, s.Votes, s.BlackVotes)
+	if s.Recoveries > 0 {
+		fmt.Fprintf(&b, " recov=%d replayed=%d salvaged=%d", s.Recoveries, s.TasksRecovered, s.SalvagedExecs)
+	}
 	fmt.Fprintf(&b, " work=%v idle=%v", s.WorkTime, s.IdleTime)
 	return b.String()
 }

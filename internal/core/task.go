@@ -55,14 +55,18 @@ type TaskFunc func(tc *TC, t *Task)
 //	[8:12)  body length
 //	[12:16) origin rank (creator), for locality accounting
 //	[16:24) lifecycle ID (caller-assigned, travels with the task)
+//	[24:28) journal home rank (-1 when the task is not journaled)
+//	[28:32) journal slot on the home rank
 const (
 	hdrHandle   = 0
 	hdrAffinity = 4
 	hdrBodyLen  = 8
 	hdrOrigin   = 12
 	hdrID       = 16
+	hdrJHome    = 24
+	hdrJSlot    = 28
 	// HeaderBytes is the size of the standard task descriptor header.
-	HeaderBytes = 24
+	HeaderBytes = 32
 )
 
 // Task is a task descriptor: a standard header plus an opaque, user-defined
@@ -82,7 +86,20 @@ func NewTask(h Handle, bodySize int) *Task {
 	t := &Task{buf: make([]byte, HeaderBytes+bodySize), bodyLen: bodySize}
 	t.SetHandle(h)
 	pgas.PutI32(t.buf[hdrBodyLen:], int32(bodySize))
+	pgas.PutI32(t.buf[hdrJHome:], -1)
 	return t
+}
+
+// jHome returns the rank whose journal tracks this task (-1: unjournaled).
+func (t *Task) jHome() int { return int(pgas.GetI32(t.buf[hdrJHome:])) }
+
+// jSlot returns the task's slot in its home rank's journal.
+func (t *Task) jSlot() int { return int(pgas.GetI32(t.buf[hdrJSlot:])) }
+
+// setJournalRef stamps the journal home/slot pair into the header.
+func (t *Task) setJournalRef(home, slot int) {
+	pgas.PutI32(t.buf[hdrJHome:], int32(home))
+	pgas.PutI32(t.buf[hdrJSlot:], int32(slot))
 }
 
 // Handle returns the task's callback handle.
@@ -146,6 +163,12 @@ type Runtime struct {
 	// tracer from these; both are nil-safe when disabled.
 	obsReg *obs.Registry
 	tracer *trace.Recorder
+
+	// recoverOn arms work-replay recovery: collections created on this
+	// runtime journal their insertions and heal around rank death when the
+	// transport implements pgas.Resilient. Set by EnableRecovery or
+	// inherited through RegisterProcRecovery.
+	recoverOn bool
 }
 
 // Observer state registered per proc handle. Application drivers
@@ -181,6 +204,40 @@ func UnregisterProcObserver(p pgas.Proc) {
 	procObsMu.Unlock()
 }
 
+// Recovery arming registered per proc handle, mirroring the observer
+// registry: application drivers attach their own Runtime from a raw
+// pgas.Proc, so the facade arms recovery against the proc and every Attach
+// on that proc inherits it.
+var (
+	procRecMu sync.Mutex
+	procRec   map[pgas.Proc]bool
+)
+
+// RegisterProcRecovery makes every future Attach on p recovery-armed.
+// Pair with UnregisterProcRecovery when the proc's run ends.
+func RegisterProcRecovery(p pgas.Proc) {
+	procRecMu.Lock()
+	if procRec == nil {
+		procRec = make(map[pgas.Proc]bool)
+	}
+	procRec[p] = true
+	procRecMu.Unlock()
+}
+
+// UnregisterProcRecovery drops the recovery arming for p.
+func UnregisterProcRecovery(p pgas.Proc) {
+	procRecMu.Lock()
+	delete(procRec, p)
+	procRecMu.Unlock()
+}
+
+// EnableRecovery arms work-replay recovery on this runtime directly (the
+// facade path goes through RegisterProcRecovery instead). Collections
+// created afterwards journal insertions and heal around rank death,
+// provided the transport implements pgas.Resilient and the collection uses
+// wave termination.
+func (rt *Runtime) EnableRecovery() { rt.recoverOn = true }
+
 // Attach initializes the Scioto runtime on the calling process. Collective:
 // all processes must attach before creating task collections.
 func Attach(p pgas.Proc) *Runtime {
@@ -191,6 +248,9 @@ func Attach(p pgas.Proc) *Runtime {
 		rt.tracer = st.tracer
 	}
 	procObsMu.Unlock()
+	procRecMu.Lock()
+	rt.recoverOn = procRec[p]
+	procRecMu.Unlock()
 	return rt
 }
 

@@ -103,6 +103,8 @@ type TC struct {
 	td   *termDetector
 	ctd  *ctrDetector // non-nil iff Config.Termination == TermCounter
 	deps *depPool
+	jn   *journal  // non-nil iff work-replay recovery is enabled
+	rec  *recovery // non-nil iff work-replay recovery is enabled
 
 	callbacks []TaskFunc
 
@@ -146,6 +148,17 @@ func NewTC(rt *Runtime, cfg Config) *TC {
 	tc.statsSeg = rt.p.AllocWords(statsWords)
 	if cfg.MaxDeferred > 0 {
 		tc.deps = newDepPool(rt.p, cfg.MaxDeferred, slotSize)
+	}
+	if rt.recoverOn && cfg.Termination == TermWave {
+		// Work-replay recovery: the journal shadows every live descriptor
+		// this rank adds, wherever the task ends up. Sized at twice the
+		// queue capacity so remote adds beyond the local patch still fit.
+		// Collective allocations — the facade enables recovery uniformly,
+		// so every rank takes this branch congruently.
+		if res, ok := rt.p.(pgas.Resilient); ok {
+			tc.jn = newJournal(rt.p, 2*cfg.MaxTasks, slotSize)
+			tc.rec = newRecovery(rt.p, res)
+		}
 	}
 	if rt.obsReg != nil {
 		// NewMetrics lookups are idempotent, so every collection a rank
@@ -234,8 +247,26 @@ func (tc *TC) Add(proc int, affinity int32, t *Task) error {
 	}
 	t.setAffinity(affinity)
 	t.setOrigin(tc.rt.Rank())
-	wire := t.wire()
+	tc.journalize(t)
+	return tc.addJournaled(proc, t)
+}
+
+// addJournaled is Add's enqueue tail for a task whose journal record (if
+// recovery is armed) already exists: destination-liveness reroute, push,
+// and the full-queue inline fallback. Satisfy's deferred-launch path calls
+// it directly after recording its pending entry, so the launch is never
+// double-journaled.
+//
+//scioto:journaled every caller records the descriptor (journalize or journalizePending) before handing it over
+func (tc *TC) addJournaled(proc int, t *Task) error {
 	me := tc.rt.Rank()
+	if tc.rec != nil && !tc.rec.alive[proc] {
+		// Destination died in an earlier epoch: keep the work on this
+		// rank. The journal record covers it like any local add.
+		proc = me
+	}
+	affinity := t.Affinity()
+	wire := t.wire()
 
 	tc.tracer.Record(tc.rt.p.Now(), trace.TaskAdd, int64(proc), int64(affinity))
 	tc.metrics.noteAdd()
@@ -275,11 +306,48 @@ func (tc *TC) Add(proc int, affinity int32, t *Task) error {
 	return nil
 }
 
+// journalize records t in this rank's replay journal and stamps the
+// (home, slot) reference into its header. No-op when recovery is off, in
+// which case the header keeps its unjournaled (-1) marker.
+//
+//scioto:noalloc
+func (tc *TC) journalize(t *Task) {
+	if tc.jn == nil {
+		return
+	}
+	slot := tc.jn.alloc()
+	t.setJournalRef(tc.rt.Rank(), slot)
+	tc.jn.record(slot, t.wire(), jLive)
+}
+
+// journalizePending records t like journalize but in the jPending state:
+// invisible to replay until the caller publishes responsibility for it
+// (the deferred-launch claim protocol, deps.go) and flips it live.
+// Returns the claimed slot. Caller must have checked tc.jn != nil.
+func (tc *TC) journalizePending(t *Task) int {
+	slot := tc.jn.alloc()
+	t.setJournalRef(tc.rt.Rank(), slot)
+	tc.jn.record(slot, t.wire(), jPending)
+	return slot
+}
+
 // execute dispatches a task to its callback.
 func (tc *TC) execute(t *Task) {
 	h := int(t.Handle())
 	if h < 0 || h >= len(tc.callbacks) {
 		panic(fmt.Sprintf("core: executing task with unregistered handle %d", h))
+	}
+	if tc.jn != nil {
+		// Durably mark the task done BEFORE running its callback: a single
+		// one-sided store naming this executor. The ordering is the replay
+		// exactness invariant — a crash between the mark and the callback
+		// cannot happen on this rank's own account (the mark is this
+		// rank's op), and a crash after the callback leaves the children
+		// it journaled to be replayed while the task itself stays counted.
+		// See DESIGN.md "Recovery".
+		if home := t.jHome(); home >= 0 && tc.rec.alive[home] {
+			tc.jn.markDone(home, t.jSlot(), tc.rt.Rank())
+		}
 	}
 	t0 := tc.rt.p.Now()
 	tc.tracer.Record(t0, trace.TaskExec, int64(h), int64(t.Origin()))
@@ -319,16 +387,46 @@ func (tc *TC) popLocal() (*Task, bool) {
 // executes tasks from its own patch, steals from random victims when its
 // patch drains, and participates in termination detection when passive.
 // Process returns on all processes once global termination is detected.
+//
+// With work-replay recovery enabled, a survivable peer death observed
+// during the phase does not unwind: the survivors run the healing
+// protocol (recover.go) — replaying the dead rank's lost descriptors and
+// re-rooting the termination tree — and re-enter the phase until it
+// terminates over the live membership.
 func (tc *TC) Process() {
+	for {
+		fe := tc.processOnce()
+		if fe == nil {
+			return
+		}
+		tc.recoverFromFault(fe)
+	}
+}
+
+// processOnce runs one attempt at the task-parallel phase. It returns nil
+// on normal termination, or the *pgas.FaultError when a recoverable peer
+// death interrupted the phase. Unrecoverable panics propagate.
+func (tc *TC) processOnce() (fault *pgas.FaultError) {
 	// A transport fault (peer death, injected crash, deadline) surfaces as
 	// a *pgas.FaultError panic from whatever one-sided operation observed
 	// it. Stamp the runtime phase onto it so the error out of World.Run
 	// says not just which rank and wire operation died, but that it died
-	// inside the task-parallel region.
+	// inside the task-parallel region. When this rank can recover — the
+	// fault names a peer, recovery is on, and the dead rank is not the
+	// root — the fault is captured instead of rethrown.
 	defer func() {
 		if rec := recover(); rec != nil {
-			if fe, ok := rec.(*pgas.FaultError); ok && fe.Detail == "" {
+			fe, ok := rec.(*pgas.FaultError)
+			if !ok {
+				panic(rec)
+			}
+			if fe.Detail == "" {
 				fe.Detail = "task-parallel phase (TC.Process)"
+			}
+			if tc.rec != nil && tc.rec.canRecover(fe, tc.rt.Rank()) {
+				tc.processing = false
+				fault = fe
+				return
 			}
 			panic(rec)
 		}
@@ -364,7 +462,7 @@ func (tc *TC) Process() {
 				// §5.3: the victim only needs to be marked dirty if the
 				// thief has already voted and the victim does not vote
 				// before the thief.
-				markDirty = tc.td.hasVoted() && !IsDescendant(victim, tc.rt.Rank())
+				markDirty = tc.td.hasVoted() && !tc.td.votesBefore(victim, tc.rt.Rank())
 				if !markDirty {
 					tc.stats.DirtyMarksElided++
 				}
@@ -394,6 +492,9 @@ func (tc *TC) Process() {
 			}
 			tc.metrics.setQueueDepth(0)
 		}
+		if tc.jn != nil {
+			tc.metrics.setJournalDepth(tc.jn.depth)
+		}
 
 		// Passive: we just verified the queue is empty and failed to find
 		// work. Participate in termination detection.
@@ -416,24 +517,37 @@ func (tc *TC) Process() {
 
 	tc.processing = false
 	p.Barrier()
+	return nil
 }
 
 // enqueueStolen pushes stolen slot images onto the local queue. decodeTask
 // copies the slot bytes, so the caller may recycle the batch afterwards.
+//
+//scioto:journal-exempt stolen descriptors carry the journal reference stamped at the origin rank's Add; re-recording here would double-count them
 func (tc *TC) enqueueStolen(slots [][]byte) {
 	for _, slot := range slots {
-		t := decodeTask(slot)
-		var ok bool
-		if tc.cfg.QueueMode == ModeLocked {
-			ok = tc.q.pushLocked(t.wire(), &tc.stats)
-		} else {
-			ok = tc.q.pushPrivate(t.wire(), &tc.stats)
-		}
-		if !ok {
-			tc.stats.InlineExecs++
-			tc.metrics.noteInline()
-			tc.execute(t)
-		}
+		tc.requeue(slot)
+	}
+}
+
+// requeue re-inserts an already-journaled descriptor image into the local
+// queue (stolen tasks and recovery replays — both carry their journal
+// reference in the header, so they must NOT be journalized again). A full
+// queue falls back to inline execution, as in Add.
+//
+//scioto:journaled callers pass descriptors whose journal record already exists (stolen images or recovery replays)
+func (tc *TC) requeue(slot []byte) {
+	t := decodeTask(slot)
+	var ok bool
+	if tc.cfg.QueueMode == ModeLocked {
+		ok = tc.q.pushLocked(t.wire(), &tc.stats)
+	} else {
+		ok = tc.q.pushPrivate(t.wire(), &tc.stats)
+	}
+	if !ok {
+		tc.stats.InlineExecs++
+		tc.metrics.noteInline()
+		tc.execute(t)
 	}
 }
 
@@ -478,6 +592,9 @@ func (tc *TC) GlobalStats() Stats {
 	n := p.NProcs()
 	cells := make([]int64, n*statsWords)
 	for r := 0; r < n; r++ {
+		if tc.rec != nil && !tc.rec.alive[r] {
+			continue // dead rank: its durable completions live in SalvagedExecs
+		}
 		for i := 0; i < statsWords; i++ {
 			p.NbLoad64(r, seg, i, &cells[r*statsWords+i])
 		}
@@ -486,6 +603,9 @@ func (tc *TC) GlobalStats() Stats {
 	var total Stats
 	acc := make([]int64, statsWords)
 	for r := 0; r < n; r++ {
+		if tc.rec != nil && !tc.rec.alive[r] {
+			continue
+		}
 		for i := range acc {
 			acc[i] += cells[r*statsWords+i]
 		}
@@ -516,13 +636,29 @@ func (tc *TC) pickVictim() int {
 			if v >= me {
 				v++
 			}
-			tc.stats.NearStealProbes++
-			return v
+			if tc.rec == nil || tc.rec.alive[v] {
+				tc.stats.NearStealProbes++
+				return v
+			}
+			// Node-mate is dead: fall through to a machine-wide probe.
 		}
 	}
 	v := p.Rand().Intn(n - 1)
 	if v >= me {
 		v++
+	}
+	if tc.rec != nil && !tc.rec.alive[v] {
+		// Resample uniformly over the live ranks excluding this one.
+		k := p.Rand().Intn(tc.rec.nAlive - 1)
+		for r := 0; r < n; r++ {
+			if r == me || !tc.rec.alive[r] {
+				continue
+			}
+			if k == 0 {
+				return r
+			}
+			k--
+		}
 	}
 	return v
 }

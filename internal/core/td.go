@@ -66,12 +66,23 @@ func IsDescendant(v, t int) bool {
 
 // termDetector is the per-process termination detection state for one
 // processing phase of a task collection.
+//
+// The tree is laid out over *compact indices*: position i among the live
+// ranks in rank order. At creation every rank is live, so compact index
+// equals rank and the tree matches the paper's fixed layout. After a rank
+// death, rebuild renumbers the survivors and re-roots the tree at the
+// lowest live rank, preserving the binary-heap shape (compact index c's
+// children are 2c+1 and 2c+2) over P−1 members.
 type termDetector struct {
 	p   pgas.Proc
 	seg pgas.Seg
 
 	parent   int
 	children []int
+
+	ci     []int // rank -> compact index (-1 = dead)
+	isRoot bool
+	nLive  int
 
 	wave      int64 // wave this process is currently participating in (0 = none yet)
 	forwarded bool  // wave has been forwarded to children
@@ -97,18 +108,61 @@ func newTermDetector(p pgas.Proc, stats *Stats) *termDetector {
 		seg:   p.AllocWords(nTDCell),
 		stats: stats,
 	}
-	me := p.Rank()
-	if me > 0 {
-		td.parent = (me - 1) / 2
-	} else {
-		td.parent = -1
+	alive := make([]bool, p.NProcs())
+	for i := range alive {
+		alive[i] = true
 	}
-	for _, c := range []int{2*me + 1, 2*me + 2} {
-		if c < p.NProcs() {
-			td.children = append(td.children, c)
+	td.rebuild(alive)
+	return td
+}
+
+// rebuild remaps the spanning tree onto the live membership: survivors are
+// renumbered by compact index (position among live ranks, in rank order),
+// the root becomes the lowest live rank, and parent/children links are
+// recomputed from the compact binary-heap shape. Local operation; callers
+// must follow with reset (collectively) before the next wave.
+func (td *termDetector) rebuild(alive []bool) {
+	n := td.p.NProcs()
+	td.ci = make([]int, n)
+	byCi := make([]int, 0, n)
+	for r := 0; r < n; r++ {
+		if alive[r] {
+			td.ci[r] = len(byCi)
+			byCi = append(byCi, r)
+		} else {
+			td.ci[r] = -1
 		}
 	}
-	return td
+	td.nLive = len(byCi)
+	me := td.ci[td.p.Rank()]
+	if me < 0 {
+		panic("core: termination detector rebuilt on a dead rank")
+	}
+	td.isRoot = me == 0
+	td.parent = -1
+	if me > 0 {
+		td.parent = byCi[(me-1)/2]
+	}
+	td.children = td.children[:0]
+	for _, c := range []int{2*me + 1, 2*me + 2} {
+		if c < td.nLive {
+			td.children = append(td.children, byCi[c])
+		}
+	}
+}
+
+// votesBefore reports whether rank v votes before rank t in the current
+// tree — i.e. v is a (possibly indirect) descendant of t over the compact
+// live indices. This is the membership-aware form of IsDescendant.
+func (td *termDetector) votesBefore(v, t int) bool {
+	cv, ct := td.ci[v], td.ci[t]
+	if cv < 0 || ct < 0 || cv <= ct {
+		return false
+	}
+	for cv > ct {
+		cv = (cv - 1) / 2
+	}
+	return cv == ct
 }
 
 // reset prepares the detector for a new processing phase. Collective with
@@ -136,8 +190,10 @@ func (td *termDetector) noteBalance() { td.balancedSinceVote = true }
 func (td *termDetector) hasVoted() bool { return td.voted }
 
 // upCellOf returns the up-cell index on the parent that this rank writes.
+// Laterality follows the rank's compact index, so the cell assignment
+// stays collision-free after a rebuild.
 func (td *termDetector) upCellOf(rank int) int {
-	if rank%2 == 1 {
+	if td.ci[rank]%2 == 1 {
 		return tdUpL
 	}
 	return tdUpR
@@ -155,17 +211,16 @@ func (td *termDetector) step(passive bool, queueDirty func() int64) bool {
 		return true
 	}
 	me := td.p.Rank()
-	n := td.p.NProcs()
 
-	if n == 1 {
-		// Sole process: passivity is termination.
+	if td.nLive == 1 {
+		// Sole live process: passivity is termination.
 		if passive {
 			td.terminated = true
 		}
 		return td.terminated
 	}
 
-	if me == 0 {
+	if td.isRoot {
 		// Root: start the first wave upon first becoming passive.
 		if td.wave == 0 && passive {
 			td.startWave(1)
@@ -229,7 +284,7 @@ func (td *termDetector) step(passive bool, queueDirty func() int64) bool {
 	td.dirtySeen = dirty
 	td.balancedSinceVote = false
 
-	if me == 0 {
+	if td.isRoot {
 		// Root completes the wave.
 		if color == colorWhite {
 			td.propagateDown(termSignal)

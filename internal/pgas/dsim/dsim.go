@@ -83,6 +83,16 @@ type Config struct {
 	// MaxVirtualTime aborts the simulation if any clock exceeds it
 	// (a runaway guard); zero means no limit.
 	MaxVirtualTime time.Duration
+	// Survivable switches the failure model from abort-all to per-rank
+	// containment: a rank death is delivered to each survivor exactly once
+	// (as a *pgas.FaultError panic from its next yielding operation), the
+	// dead rank's locks are force-released, barriers disseminate over the
+	// live membership, and the dead rank's memory stays readable through
+	// the pgas.Resilient salvage operations. Deterministic: deaths are
+	// registered by the engine at the dead rank's final yield, a fixed
+	// point in virtual time. Run returns nil when every surviving rank
+	// finishes cleanly.
+	Survivable bool
 }
 
 // withDefaults fills unset fields with the cluster calibration defaults.
@@ -138,6 +148,15 @@ type world struct {
 	// interface is occupied by remote operations (Occupancy model).
 	busyUntil []time.Duration
 
+	// Survivable-mode membership. Mutated only by the engine (between
+	// yields) and read by procs holding the scheduler token, so access is
+	// ordered by the token handshake. faultSeq counts registered deaths;
+	// each proc acknowledges up to a sequence number via SurviveFault, and
+	// yield() panics a fault clone once per unacknowledged death.
+	deadRanks []bool
+	faultSeq  int64
+	fault     *pgas.FaultError // latest registered death (root attribution)
+
 	err error
 }
 
@@ -159,6 +178,7 @@ func NewWorld(cfg Config) pgas.World {
 	cfg = cfg.withDefaults()
 	w := &world{cfg: cfg}
 	w.busyUntil = make([]time.Duration, cfg.NProcs)
+	w.deadRanks = make([]bool, cfg.NProcs)
 	return w
 }
 
@@ -258,13 +278,59 @@ func (w *world) schedule(yieldCh chan int) error {
 		p := w.procs[r]
 		if p.state == stateDone {
 			live--
-			if p.err != nil && w.err == nil {
-				w.err = p.err
-				aborting = true
+			if p.err != nil {
+				if w.cfg.Survivable {
+					w.registerDeath(p)
+				} else if w.err == nil {
+					w.err = p.err
+					aborting = true
+				}
 			}
 		}
 	}
+	if w.cfg.Survivable && w.err == nil && w.fault != nil {
+		// Recovered run: every rank that exited with an error is a
+		// registered death, so the survivors healed around it.
+		for _, p := range w.procs {
+			if p.err != nil && !w.deadRanks[p.rank] {
+				return w.fault
+			}
+		}
+		return nil
+	}
 	return w.err
+}
+
+// registerDeath records a rank death in survivable mode: a fresh death
+// (one not already attributed to an earlier-registered dead rank — the
+// cascade of survivors dying on unrecoverable clones re-reports the same
+// root rank) bumps the fault sequence so every survivor observes it once,
+// force-releases the dead rank's locks, and wakes survivors parked in Recv
+// so their next yield delivers the fault.
+func (w *world) registerDeath(p *proc) {
+	fe, ok := p.err.(*pgas.FaultError)
+	if !ok {
+		fe = &pgas.FaultError{Rank: p.rank, Phase: "exit", Err: p.err}
+	}
+	if fe.Rank < 0 || fe.Rank >= w.cfg.NProcs || w.deadRanks[fe.Rank] {
+		return
+	}
+	w.deadRanks[fe.Rank] = true
+	w.fault = fe
+	w.faultSeq++
+	for id := range w.locks {
+		ls := &w.locks[id]
+		for target := range ls.held {
+			if ls.held[target] && ls.owner[target] == fe.Rank {
+				ls.held[target] = false
+			}
+		}
+	}
+	for _, q := range w.procs {
+		if q.state == stateWaiting {
+			q.state = stateRunnable
+		}
+	}
 }
 
 func (w *world) deadlockError() error {

@@ -36,6 +36,11 @@ type proc struct {
 
 	barGen int
 
+	// ackedSeq is the fault sequence this proc has acknowledged
+	// (survivable mode); yield() panics a fault clone while it lags the
+	// world's sequence, and SurviveFault advances it.
+	ackedSeq int64
+
 	// Pending non-blocking operations, completed (and their data movement
 	// performed) at the next Wait/Flush. nbSeq counts issued handles and
 	// nbDone completed ones, so a handle from an already-completed batch
@@ -81,6 +86,14 @@ func (p *proc) yield() {
 	m := <-p.resumeCh
 	if m.abort {
 		panic(abortPanic{})
+	}
+	if p.w.cfg.Survivable && p.w.faultSeq > p.ackedSeq {
+		// An unacknowledged rank death: deliver it by unwinding the
+		// operation that yielded. The panic happens while this proc holds
+		// the scheduler token, so a survivor that recovers (acknowledging
+		// via SurviveFault) continues issuing operations normally.
+		fe := p.w.fault
+		panic(&pgas.FaultError{Rank: fe.Rank, Phase: fe.Phase, Detail: fe.Detail, Err: fe.Err})
 	}
 }
 
@@ -511,23 +524,49 @@ const barrierTagBase int32 = -(1 << 20)
 // Barrier is a dissemination barrier over two-sided messages: ceil(log2 P)
 // rounds, each a send to rank+2^k and a receive from rank-2^k. Its modeled
 // cost is therefore ~log2(P) message latencies, matching an MPI barrier.
+//
+// In survivable mode the dissemination runs over the compact live
+// membership, and the tag carries the acknowledged fault sequence so
+// rounds of a barrier aborted by a death can never satisfy receives of a
+// post-recovery barrier (the membership epoch differs).
 func (p *proc) Barrier() {
-	n := p.w.cfg.NProcs
+	ranks := p.liveRanks()
+	n := len(ranks)
 	if n == 1 {
 		p.ordered(p.w.cfg.LocalOpCost)
 		return
+	}
+	idx := 0
+	for i, r := range ranks {
+		if r == p.rank {
+			idx = i
+		}
 	}
 	gen := int32(p.barGen & 1)
 	p.barGen++
 	round := int32(0)
 	for dist := 1; dist < n; dist *= 2 {
-		to := (p.rank + dist) % n
-		from := (p.rank - dist + n) % n
-		tag := barrierTagBase - gen*64 - round
+		to := ranks[(idx+dist)%n]
+		from := ranks[(idx-dist+n)%n]
+		tag := barrierTagBase - int32(p.ackedSeq)*128 - gen*64 - round
 		p.Send(to, tag, nil)
 		p.Recv(from, tag)
 		round++
 	}
+}
+
+// liveRanks returns the live membership in rank order. Outside survivable
+// mode (or before any death) that is every rank. Reading deadRanks is
+// token-ordered: the engine only mutates it between yields.
+func (p *proc) liveRanks() []int {
+	w := p.w
+	ranks := make([]int, 0, w.cfg.NProcs)
+	for r := 0; r < w.cfg.NProcs; r++ {
+		if !w.deadRanks[r] {
+			ranks = append(ranks, r)
+		}
+	}
+	return ranks
 }
 
 // --- Time and computation --------------------------------------------------------
@@ -543,3 +582,47 @@ func (p *proc) Charge(d time.Duration) {
 func (p *proc) Now() time.Duration { return p.clock }
 
 func (p *proc) Rand() *rand.Rand { return p.rng }
+
+// --- Resilience (survivable mode) --------------------------------------------
+
+var _ pgas.Resilient = (*proc)(nil)
+
+// SurviveFault acknowledges every death registered so far and returns the
+// live membership. It also resets the dissemination-barrier generation:
+// survivors abort an in-progress barrier at different rounds, so their
+// generation parities may diverge, and the post-recovery membership epoch
+// in the tag already fences off the aborted barrier's stray messages.
+func (p *proc) SurviveFault(fe *pgas.FaultError) (alive []bool, ok bool) {
+	w := p.w
+	if !w.cfg.Survivable {
+		return nil, false
+	}
+	p.ackedSeq = w.faultSeq
+	p.barGen = 0
+	alive = make([]bool, w.cfg.NProcs)
+	for r := range alive {
+		alive[r] = !w.deadRanks[r]
+	}
+	return alive, true
+}
+
+// Salvage reads a dead (or any) rank's data segment, charged as a normal
+// one-sided get.
+func (p *proc) Salvage(dst []byte, rank int, seg pgas.Seg, off int) bool {
+	if !p.w.cfg.Survivable {
+		return false
+	}
+	p.orderedRemote(rank, len(dst))
+	copy(dst, p.w.dataSegs[seg][rank][off:off+len(dst)])
+	return true
+}
+
+// SalvageLoad64 reads a dead (or any) rank's word, charged as a normal
+// one-sided load.
+func (p *proc) SalvageLoad64(rank int, seg pgas.Seg, idx int) (int64, bool) {
+	if !p.w.cfg.Survivable {
+		return 0, false
+	}
+	p.orderedRemote(rank, 8)
+	return p.w.wordSegs[seg][rank][idx], true
+}

@@ -228,6 +228,17 @@ func (p *proc) inject(target int, op string, detail func() string) {
 	}
 }
 
+// Ops reports the number of fault-eligible operations p has issued so
+// far, when p is a faulty-wrapped proc (0 otherwise). Chaos tests use it
+// to pin CrashAfterOps values inside the execution window of interest
+// instead of guessing at op counts.
+func Ops(p pgas.Proc) int64 {
+	if fp, ok := p.(*proc); ok {
+		return fp.ops
+	}
+	return 0
+}
+
 func max64(a, b int64) int64 {
 	if a > b {
 		return a
@@ -341,6 +352,34 @@ func (p *proc) NbFetchAdd64(proc int, seg pgas.Seg, idx int, delta int64, old *i
 
 func (p *proc) Wait(h pgas.Nb) { p.inner.Wait(h) }
 func (p *proc) Flush()         { p.inner.Flush() }
+
+// Resilience forwards to the inner transport when it is survivable; the
+// salvage path is never fault-injected (it models post-mortem memory
+// access, not live network traffic, and runs during recovery when a
+// second injected fault would just re-kill the healer by design).
+
+var _ pgas.Resilient = (*proc)(nil)
+
+func (p *proc) SurviveFault(fe *pgas.FaultError) ([]bool, bool) {
+	if res, ok := p.inner.(pgas.Resilient); ok {
+		return res.SurviveFault(fe)
+	}
+	return nil, false
+}
+
+func (p *proc) Salvage(dst []byte, rank int, seg pgas.Seg, off int) bool {
+	if res, ok := p.inner.(pgas.Resilient); ok {
+		return res.Salvage(dst, rank, seg, off)
+	}
+	return false
+}
+
+func (p *proc) SalvageLoad64(rank int, seg pgas.Seg, idx int) (int64, bool) {
+	if res, ok := p.inner.(pgas.Resilient); ok {
+		return res.SalvageLoad64(rank, seg, idx)
+	}
+	return 0, false
+}
 
 func (p *proc) Lock(proc int, id pgas.LockID) {
 	p.inject(proc, "Lock", func() string { return fmt.Sprintf("host=%d, id=%d", proc, id) })

@@ -345,3 +345,30 @@ func (p *proc) TryRecv(from int, tag int32) ([]byte, int, bool) {
 	}
 	return data, src, ok
 }
+
+// Resilience forwards to the inner transport when it is survivable.
+// Salvage traffic is recovery-path, not steady-state, so it is left out
+// of the latency histograms.
+
+var _ pgas.Resilient = (*proc)(nil)
+
+func (p *proc) SurviveFault(fe *pgas.FaultError) ([]bool, bool) {
+	if res, ok := p.inner.(pgas.Resilient); ok {
+		return res.SurviveFault(fe)
+	}
+	return nil, false
+}
+
+func (p *proc) Salvage(dst []byte, rank int, seg pgas.Seg, off int) bool {
+	if res, ok := p.inner.(pgas.Resilient); ok {
+		return res.Salvage(dst, rank, seg, off)
+	}
+	return false
+}
+
+func (p *proc) SalvageLoad64(rank int, seg pgas.Seg, idx int) (int64, bool) {
+	if res, ok := p.inner.(pgas.Resilient); ok {
+		return res.SalvageLoad64(rank, seg, idx)
+	}
+	return 0, false
+}

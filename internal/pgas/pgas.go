@@ -235,6 +235,36 @@ type Proc interface {
 	Rand() *rand.Rand
 }
 
+// Resilient is the optional fault-survival extension of Proc. A transport
+// that can outlive the death of a rank — marking it dead, releasing its
+// locks, shrinking its barriers to the live membership, and exposing the
+// dead rank's symmetric heap for post-mortem reads — implements Resilient
+// on its Proc. Wrapper transports (faulty, instr) forward the interface to
+// their inner Proc. The core runtime's work-replay recovery requires it;
+// on a transport without it (or one whose Proc returns ok=false) a fault
+// stays fatal and the job unwinds as before.
+type Resilient interface {
+	// SurviveFault transitions the world into a recovery epoch after fe:
+	// the faulted rank is marked dead, its lock instances (and any lock it
+	// held) are force-released, and subsequent Barriers synchronize only
+	// the live ranks. It returns the live-membership bitmap (indexed by
+	// rank) and ok=true when the transport supports survival; ok=false
+	// means the caller must treat the fault as fatal. Idempotent: every
+	// surviving rank calls it with the same fault and receives the same
+	// membership.
+	SurviveFault(fe *FaultError) (alive []bool, ok bool)
+
+	// Salvage copies len(dst) bytes from data segment seg of the DEAD
+	// process rank at offset off. Only valid after SurviveFault marked the
+	// rank dead (its memory is quiescent); reports false if the transport
+	// cannot reach the dead rank's heap.
+	Salvage(dst []byte, rank int, seg Seg, off int) bool
+
+	// SalvageLoad64 reads word idx of word segment seg of the DEAD process
+	// rank. Same validity rules as Salvage.
+	SalvageLoad64(rank int, seg Seg, idx int) (int64, bool)
+}
+
 // Transport names a pgas implementation, for command-line selection.
 type Transport string
 

@@ -20,6 +20,7 @@ type mailbox struct {
 	cv   *sync.Cond
 	msgs []message
 	dead *pgas.FaultError // world fault; wakes and refuses blocked receivers
+	seq  int64            // fault sequence at the last fail() (survivable mode)
 }
 
 func newMailbox() *mailbox {
@@ -40,6 +41,7 @@ func (b *mailbox) push(m message) {
 func (b *mailbox) fail(fe *pgas.FaultError) {
 	b.mu.Lock()
 	b.dead = fe
+	b.seq++
 	b.cv.Broadcast()
 	b.mu.Unlock()
 }
@@ -49,7 +51,12 @@ func (b *mailbox) fail(fe *pgas.FaultError) {
 // returned when nothing matches. from may be pgas.AnySource. Messages
 // already queued are still delivered after the world faults; once nothing
 // matches, the fault is returned instead of blocking.
-func (b *mailbox) pop(from int, tag int32, block bool) (message, *pgas.FaultError) {
+//
+// ackedSeq is the caller's acknowledged fault sequence (always 0 outside
+// survivable mode, where check() never acknowledges): a registered fault
+// is delivered only while unacknowledged, so a survivor that has healed
+// around the death blocks normally again.
+func (b *mailbox) pop(from int, tag int32, block bool, ackedSeq int64) (message, *pgas.FaultError) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
@@ -59,7 +66,7 @@ func (b *mailbox) pop(from int, tag int32, block bool) (message, *pgas.FaultErro
 				return m, nil
 			}
 		}
-		if b.dead != nil {
+		if b.dead != nil && b.seq > ackedSeq {
 			return message{from: -1}, b.dead
 		}
 		if !block {

@@ -48,6 +48,16 @@ type Config struct {
 	SpeedFactor func(rank int) float64
 	// Seed seeds the per-process random sources.
 	Seed int64
+	// Survivable switches the failure model from whole-world poisoning to
+	// per-rank containment: a rank death is delivered to each survivor
+	// exactly once (as a *pgas.FaultError panic from its next operation),
+	// after which the survivor acknowledges it via SurviveFault and the
+	// world keeps operating over the live membership — barriers complete
+	// with live arrivals, locks held by the dead rank are force-released,
+	// and the dead rank's symmetric memory stays readable through the
+	// pgas.Resilient salvage operations. Run returns nil when every
+	// surviving rank finishes cleanly.
+	Survivable bool
 }
 
 type world struct {
@@ -57,6 +67,7 @@ type world struct {
 	dataSegs [][][]byte   // [seg][proc]bytes
 	wordSegs [][][]int64  // [seg][proc]words
 	locks    [][]lockChan // cap-1 channels: send = acquire, receive = release
+	holders  [][]int32    // lock holder ranks (-1 free), for dead-holder release
 
 	accMu []sync.Mutex // per-process accumulate lock (ARMCI_Acc atomicity)
 
@@ -78,6 +89,14 @@ type world struct {
 	deadCh   chan struct{}
 	failOnce sync.Once
 
+	// Survivable-mode membership, guarded by barMu (fail and the barrier
+	// both mutate/read it under that lock). faultSeq counts registered
+	// deaths; each proc acknowledges up to a sequence number, so check()
+	// delivers every death exactly once per survivor.
+	deadRanks []bool
+	liveCount int
+	faultSeq  atomic.Int64
+
 	start time.Time
 }
 
@@ -96,6 +115,8 @@ func NewWorld(cfg Config) pgas.World {
 	w := &world{cfg: cfg}
 	w.deadCh = make(chan struct{})
 	w.barCv = sync.NewCond(&w.barMu)
+	w.deadRanks = make([]bool, cfg.NProcs)
+	w.liveCount = cfg.NProcs
 	w.accMu = make([]sync.Mutex, cfg.NProcs)
 	w.boxes = make([]*mailbox, cfg.NProcs)
 	for i := range w.boxes {
@@ -109,7 +130,32 @@ func (w *world) NProcs() int { return w.cfg.NProcs }
 // fail registers the first rank death and wakes every parked goroutine.
 // Later deaths (the cascade of survivors panicking on their next
 // operation) are ignored: the first fault is the root cause.
+//
+// In survivable mode each distinct rank death is registered (bumping
+// faultSeq so every survivor observes it once), the dead rank's held
+// locks are force-released, and the world keeps operating.
 func (w *world) fail(fe *pgas.FaultError) {
+	if w.cfg.Survivable {
+		w.barMu.Lock()
+		fresh := fe.Rank >= 0 && fe.Rank < w.cfg.NProcs && !w.deadRanks[fe.Rank]
+		if fresh {
+			w.deadRanks[fe.Rank] = true
+			w.liveCount--
+			w.fault.Store(fe)
+			w.faultSeq.Add(1)
+		}
+		w.barCv.Broadcast()
+		w.barMu.Unlock()
+		if !fresh {
+			return
+		}
+		w.failOnce.Do(func() { close(w.deadCh) })
+		w.releaseDeadLocks(fe.Rank)
+		for _, b := range w.boxes {
+			b.fail(fe)
+		}
+		return
+	}
 	w.failOnce.Do(func() {
 		w.fault.Store(fe)
 		close(w.deadCh)
@@ -120,6 +166,24 @@ func (w *world) fail(fe *pgas.FaultError) {
 			b.fail(fe)
 		}
 	})
+}
+
+// releaseDeadLocks force-releases every lock instance currently held by
+// the dead rank: it died mid-critical-section and its unwind skipped the
+// unlock, so without this survivors would park on the channel forever.
+func (w *world) releaseDeadLocks(dead int) {
+	w.allocMu.Lock()
+	defer w.allocMu.Unlock()
+	for id := range w.locks {
+		for target := range w.locks[id] {
+			if atomic.CompareAndSwapInt32(&w.holders[id][target], int32(dead), -1) {
+				select {
+				case <-w.locks[id][target]:
+				default:
+				}
+			}
+		}
+	}
 }
 
 func (w *world) Run(body func(p pgas.Proc)) error {
@@ -173,6 +237,20 @@ func (w *world) Run(body func(p pgas.Proc)) error {
 	// cascade clones of it. For a generic panic the origin rank's own
 	// entry carries the stack, so prefer it over the synthesized fault.
 	if fe := w.fault.Load(); fe != nil {
+		if w.cfg.Survivable {
+			// Recovered run: every rank that is not marked dead finished
+			// cleanly, so the survivors healed around the death(s).
+			recovered := true
+			for r, err := range errs {
+				if err != nil && !w.deadRanks[r] {
+					recovered = false
+					break
+				}
+			}
+			if recovered {
+				return nil
+			}
+		}
 		if fe.Phase == "exit" && errs[fe.Rank] != nil {
 			return errs[fe.Rank]
 		}
@@ -198,6 +276,11 @@ type proc struct {
 	dataCount int
 	wordCount int
 	lockCount int
+
+	// ackedSeq is the fault sequence number this proc has acknowledged
+	// (survivable mode). check() panics once per unacknowledged death;
+	// SurviveFault advances it. Only touched by the proc's own goroutine.
+	ackedSeq int64
 }
 
 var _ pgas.Proc = (*proc)(nil)
@@ -212,9 +295,16 @@ func (p *proc) NProcs() int { return p.w.cfg.NProcs }
 // Op unset: which local operation surfaced the fault differs per rank and
 // the root attribution is what matters.
 func (p *proc) check() {
-	if fe := p.w.fault.Load(); fe != nil {
-		panic(&pgas.FaultError{Rank: fe.Rank, Phase: fe.Phase, Detail: fe.Detail, Err: fe.Err})
+	fe := p.w.fault.Load()
+	if fe == nil {
+		return
 	}
+	if p.w.cfg.Survivable && p.w.faultSeq.Load() <= p.ackedSeq {
+		// Every registered death has been acknowledged (SurviveFault);
+		// the world keeps operating over the live membership.
+		return
+	}
+	panic(&pgas.FaultError{Rank: fe.Rank, Phase: fe.Phase, Detail: fe.Detail, Err: fe.Err})
 }
 
 func (p *proc) Barrier() {
@@ -223,14 +313,39 @@ func (p *proc) Barrier() {
 	w.barMu.Lock()
 	gen := w.barGen
 	w.barCnt++
-	if w.barCnt == w.cfg.NProcs {
+	target := w.cfg.NProcs
+	if w.cfg.Survivable {
+		target = w.liveCount
+	}
+	if w.barCnt >= target {
 		w.barCnt = 0
 		w.barGen++
 		w.barCv.Broadcast()
-	} else {
-		for gen == w.barGen && w.fault.Load() == nil {
-			w.barCv.Wait()
+		w.barMu.Unlock()
+		return
+	}
+	for gen == w.barGen {
+		if w.cfg.Survivable {
+			if w.faultSeq.Load() > p.ackedSeq {
+				// An unacknowledged death: withdraw the arrival (this rank
+				// re-arrives after recovery) and deliver the fault.
+				w.barCnt--
+				w.barMu.Unlock()
+				p.check() // panics
+			}
+			if w.barCnt >= w.liveCount {
+				// Membership shrank below the arrivals already parked here;
+				// the last live arrival died before releasing, so release
+				// on its behalf.
+				w.barCnt = 0
+				w.barGen++
+				w.barCv.Broadcast()
+				break
+			}
+		} else if w.fault.Load() != nil {
+			break
 		}
+		w.barCv.Wait()
 	}
 	released := gen != w.barGen
 	w.barMu.Unlock()
@@ -288,10 +403,13 @@ func (p *proc) AllocLock() pgas.LockID {
 	id := p.lockCount
 	if id == len(w.locks) {
 		inst := make([]lockChan, w.cfg.NProcs)
+		hold := make([]int32, w.cfg.NProcs)
 		for i := range inst {
 			inst[i] = make(lockChan, 1)
+			hold[i] = -1
 		}
 		w.locks = append(w.locks, inst)
+		w.holders = append(w.holders, hold)
 	}
 	p.lockCount++
 	return pgas.LockID(id)
@@ -400,11 +518,20 @@ func (p *proc) RelaxedStore64(seg pgas.Seg, idx int, val int64) {
 func (p *proc) Lock(proc int, id pgas.LockID) {
 	p.check()
 	p.netDelay(proc, 8)
-	select {
-	case p.w.locks[id][proc] <- struct{}{}:
-	case <-p.w.deadCh:
-		// The holder may be the dead rank; waiting would hang forever.
-		p.check()
+	for {
+		select {
+		case p.w.locks[id][proc] <- struct{}{}:
+			atomic.StoreInt32(&p.w.holders[id][proc], int32(p.rank))
+			return
+		case <-p.w.deadCh:
+			// The holder may be the dead rank; waiting would hang forever.
+			// check panics unless this proc already acknowledged the fault
+			// (survivable mode); then the holder is live — retry. deadCh
+			// stays closed after the first death, so post-recovery
+			// contention degrades to a yielding retry loop.
+			p.check()
+			runtime.Gosched()
+		}
 	}
 }
 
@@ -413,6 +540,7 @@ func (p *proc) TryLock(proc int, id pgas.LockID) bool {
 	p.netDelay(proc, 8)
 	select {
 	case p.w.locks[id][proc] <- struct{}{}:
+		atomic.StoreInt32(&p.w.holders[id][proc], int32(p.rank))
 		return true
 	default:
 		return false
@@ -423,6 +551,7 @@ func (p *proc) TryLock(proc int, id pgas.LockID) bool {
 // deferred unlocks run while a fault panic is already unwinding.
 func (p *proc) Unlock(proc int, id pgas.LockID) {
 	p.netDelay(proc, 8)
+	atomic.StoreInt32(&p.w.holders[id][proc], -1)
 	select {
 	case <-p.w.locks[id][proc]:
 	default:
@@ -439,7 +568,7 @@ func (p *proc) Send(to int, tag int32, data []byte) {
 }
 
 func (p *proc) Recv(from int, tag int32) ([]byte, int) {
-	m, fe := p.w.boxes[p.rank].pop(from, tag, true)
+	m, fe := p.w.boxes[p.rank].pop(from, tag, true, p.ackedSeq)
 	if fe != nil {
 		p.check()
 	}
@@ -447,7 +576,7 @@ func (p *proc) Recv(from int, tag int32) ([]byte, int) {
 }
 
 func (p *proc) TryRecv(from int, tag int32) ([]byte, int, bool) {
-	m, fe := p.w.boxes[p.rank].pop(from, tag, false)
+	m, fe := p.w.boxes[p.rank].pop(from, tag, false, p.ackedSeq)
 	if fe != nil {
 		p.check()
 	}
@@ -470,6 +599,48 @@ func (p *proc) Charge(time.Duration) {}
 
 func (p *proc) Now() time.Duration { return time.Since(p.w.start) }
 func (p *proc) Rand() *rand.Rand   { return p.rng }
+
+// pgas.Resilient: survivable-mode fault acknowledgement and post-mortem
+// access to a dead rank's symmetric memory. The dying goroutine's final
+// writes happen-before fail() registers the death (release on w.fault),
+// and the survivor's check() load acquired it before panicking, so
+// salvage reads here are ordered after everything the dead rank wrote.
+
+var _ pgas.Resilient = (*proc)(nil)
+
+// SurviveFault acknowledges every death registered so far and returns the
+// live membership. ok is false when the world is not survivable.
+func (p *proc) SurviveFault(fe *pgas.FaultError) (alive []bool, ok bool) {
+	w := p.w
+	if !w.cfg.Survivable {
+		return nil, false
+	}
+	p.ackedSeq = w.faultSeq.Load()
+	alive = make([]bool, w.cfg.NProcs)
+	w.barMu.Lock()
+	for r := range alive {
+		alive[r] = !w.deadRanks[r]
+	}
+	w.barMu.Unlock()
+	return alive, true
+}
+
+// Salvage reads a dead (or any) rank's data segment directly.
+func (p *proc) Salvage(dst []byte, rank int, seg pgas.Seg, off int) bool {
+	if !p.w.cfg.Survivable {
+		return false
+	}
+	copy(dst, p.w.dataSegs[seg][rank][off:off+len(dst)])
+	return true
+}
+
+// SalvageLoad64 reads a dead (or any) rank's word segment directly.
+func (p *proc) SalvageLoad64(rank int, seg pgas.Seg, idx int) (int64, bool) {
+	if !p.w.cfg.Survivable {
+		return 0, false
+	}
+	return atomic.LoadInt64(&p.w.wordSegs[seg][rank][idx]), true
+}
 
 // spin busy-waits for d. Busy waiting (rather than sleeping) models a
 // process that is occupied issuing a blocking one-sided operation, and is

@@ -20,6 +20,7 @@ type metrics struct {
 	discarded       *obs.Counter
 	dropped         *obs.Counter
 	phases          *obs.Counter
+	replayed        *obs.Counter
 	resultBytes     *obs.Counter
 	pending         *obs.Gauge
 	ingestQueue     *obs.Gauge
@@ -38,6 +39,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		discarded:       reg.Counter("scioto_serve_results_discarded_total", "task results discarded after cancellation"),
 		dropped:         reg.Counter("scioto_serve_tasks_dropped_total", "queued tasks dropped by cancellation"),
 		phases:          reg.Counter("scioto_serve_phases_total", "scheduling phases run"),
+		replayed:        reg.Counter("scioto_serve_tasks_replayed_total", "tasks re-queued after a recovery because their results died with the failed rank"),
 		resultBytes:     reg.Counter("scioto_serve_result_bytes_total", "result payload bytes delivered"),
 		pending:         reg.Gauge("scioto_serve_pending_tasks", "admitted tasks not yet terminal"),
 		ingestQueue:     reg.Gauge("scioto_serve_ingest_queue", "admitted tasks awaiting a scheduling phase"),

@@ -309,6 +309,7 @@ func (d *Daemon) gateway(p pgas.Proc, tc *core.TC, h core.Handle, ctrl pgas.Seg,
 		// and Run returns a rank-attributed error.
 		panic(fmt.Errorf("serve: gateway endpoint: %w", err))
 	}
+	recoveries := int64(0)
 	for {
 		d.waitWork()
 		cmd := cmdPhase
@@ -324,6 +325,10 @@ func (d *Daemon) gateway(p pgas.Proc, tc *core.TC, h core.Handle, ctrl pgas.Seg,
 		m.phases.Inc()
 		tc.Process()
 		d.collect(p, tc)
+		if s := tc.Stats(); s.Recoveries > recoveries {
+			recoveries = s.Recoveries
+			d.requeueLost()
+		}
 	}
 	d.mu.Lock()
 	d.stopped = true
@@ -448,6 +453,35 @@ func (d *Daemon) enqueueOne(tc *core.TC, h core.Handle, ref taskRef, nprocs int)
 func (d *Daemon) serialRR(nprocs int) int {
 	d.rr++
 	return d.rr % nprocs
+}
+
+// requeueLost re-queues every task still marked in flight after a phase
+// that healed around a dead rank. Process returns only after global
+// termination, and result sends are synchronous, so post-collect a task
+// can still be in flight for exactly one reason: the dead rank executed it
+// (its durable completion is counted in SalvagedExecs) but died before its
+// result record reached the gateway. Serve kinds are pure computations, so
+// re-running them is safe — the submission still gets every result instead
+// of a 500 or a hung drain.
+func (d *Daemon) requeueLost() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, sub := range d.order {
+		for i := range sub.tasks {
+			if t := &sub.tasks[i]; t.phase == taskInFlight {
+				t.phase = taskQueued
+				d.inFlight--
+				d.queue = append(d.queue, taskRef{sub: sub, idx: i})
+				n++
+			}
+		}
+	}
+	if n > 0 {
+		d.m.replayed.Add(int64(n))
+		d.m.ingestQueue.Set(int64(len(d.queue)))
+		d.cfg.Logf("sciotod: recovery: re-queued %d tasks whose results died with the failed rank", n)
+	}
 }
 
 // satisfyOne applies one Satisfy to a deferred task and performs the

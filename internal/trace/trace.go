@@ -29,20 +29,23 @@ type Kind uint8
 
 // Event kinds recorded by the Scioto runtime.
 const (
-	TaskExec    Kind = iota // arg1 = callback handle, arg2 = origin rank
-	TaskAdd                 // arg1 = destination rank, arg2 = affinity
-	StealOK                 // arg1 = victim, arg2 = tasks stolen
-	StealEmpty              // arg1 = victim
-	StealBusy               // arg1 = victim
-	Release                 // arg1 = tasks released
-	Reacquire               // arg1 = tasks reacquired
-	Vote                    // arg1 = wave, arg2 = color (0 white, 1 black)
-	WaveDown                // arg1 = wave
-	Terminate               //
-	UserEvent               // free-form application event
-	StealBegin              // arg1 = victim; closed by StealOK/StealEmpty/StealBusy
-	TaskExecEnd             // arg1 = callback handle; closes the matching TaskExec
-	Fault                   // arg1 = injected fault kind code (obs.FaultKindName), arg2 = target rank
+	TaskExec      Kind = iota // arg1 = callback handle, arg2 = origin rank
+	TaskAdd                   // arg1 = destination rank, arg2 = affinity
+	StealOK                   // arg1 = victim, arg2 = tasks stolen
+	StealEmpty                // arg1 = victim
+	StealBusy                 // arg1 = victim
+	Release                   // arg1 = tasks released
+	Reacquire                 // arg1 = tasks reacquired
+	Vote                      // arg1 = wave, arg2 = color (0 white, 1 black)
+	WaveDown                  // arg1 = wave
+	Terminate                 //
+	UserEvent                 // free-form application event
+	StealBegin                // arg1 = victim; closed by StealOK/StealEmpty/StealBusy
+	TaskExecEnd               // arg1 = callback handle; closes the matching TaskExec
+	Fault                     // arg1 = injected fault kind code (obs.FaultKindName), arg2 = target rank
+	RecoverBegin              // arg1 = dead rank, arg2 = recovery epoch
+	RecoverReplay             // arg1 = descriptors re-inserted, arg2 = salvaged completions
+	RecoverEnd                // arg1 = dead rank, arg2 = recovery epoch
 	numKinds
 )
 
@@ -77,6 +80,12 @@ func (k Kind) String() string {
 		return "exec-end"
 	case Fault:
 		return "fault"
+	case RecoverBegin:
+		return "recover-begin"
+	case RecoverReplay:
+		return "recover-replay"
+	case RecoverEnd:
+		return "recover-end"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -34,6 +34,7 @@
 package scioto
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
@@ -164,6 +165,17 @@ type Config struct {
 	// scales each rank's computation cost (1.0 = nominal).
 	SpeedFactor func(rank int) float64
 
+	// Recover arms work-replay recovery: every task insertion is journaled
+	// in symmetric memory, and when a worker rank dies mid-phase the
+	// survivors reconstruct its lost tasks from the journals, re-root the
+	// termination tree around it, and finish the phase with an exact
+	// completion count (see DESIGN.md "Recovery"). Only the shm and dsim
+	// transports are survivable; recovery requires wave termination (the
+	// TC default). The death of rank 0 stays fatal — Run then returns an
+	// error matching ErrUnrecoverable. When false, the SCIOTO_RECOVER
+	// environment variable (any non-empty value but "0") arms it instead.
+	Recover bool
+
 	// Faults, when non-nil, wraps the machine in the deterministic
 	// fault-injection layer: seed-driven dropped operations, delays, lock
 	// and barrier stalls, and a one-shot rank crash (see FaultConfig).
@@ -208,6 +220,35 @@ const (
 	EnvObsTraceDir   = "SCIOTO_OBS_TRACE_DIR"
 	EnvObsTraceLimit = "SCIOTO_OBS_TRACE_LIMIT"
 )
+
+// EnvRecover is the environment fallback for Config.Recover.
+const EnvRecover = "SCIOTO_RECOVER"
+
+// recoverOn resolves the effective recovery setting: the explicit flag, or
+// the environment fallback.
+func (c Config) recoverOn() bool {
+	if c.Recover {
+		return true
+	}
+	v := os.Getenv(EnvRecover)
+	return v != "" && v != "0"
+}
+
+// ErrUnrecoverable matches (with errors.Is) the error Run returns when
+// recovery was armed but the fault cannot be healed around: the death of
+// rank 0, the termination-tree root and, in serve mode, the gateway. The
+// underlying *FaultError is still retrievable with AsFault.
+var ErrUnrecoverable = errors.New("scioto: unrecoverable fault")
+
+// unrecoverableError brands a fault as beyond recovery while keeping the
+// FaultError reachable for AsFault / errors.As.
+type unrecoverableError struct{ err error }
+
+func (e *unrecoverableError) Error() string {
+	return "scioto: unrecoverable fault: " + e.err.Error()
+}
+
+func (e *unrecoverableError) Unwrap() []error { return []error{ErrUnrecoverable, e.err} }
 
 // ObsFromEnv assembles an ObsConfig from the SCIOTO_OBS_* environment
 // variables. ok reports whether any knob was set; when none is,
@@ -261,6 +302,7 @@ func (c Config) NewWorld() (pgas.World, error) {
 			PerByte:     c.PerByte,
 			Occupancy:   c.Occupancy,
 			SpeedFactor: c.SpeedFactor,
+			Survivable:  c.recoverOn(),
 		})
 	case TransportSHM, "":
 		w = shm.NewWorld(shm.Config{
@@ -269,6 +311,7 @@ func (c Config) NewWorld() (pgas.World, error) {
 			RemoteLatency: c.Latency,
 			RemotePerByte: c.PerByte,
 			SpeedFactor:   c.SpeedFactor,
+			Survivable:    c.recoverOn(),
 		})
 	case TransportTCP:
 		w = tcp.NewWorld(tcp.Config{
@@ -327,7 +370,8 @@ func Run(cfg Config, body func(rt *Runtime)) error {
 	}
 	hub := instr.HubOf(w)
 	obsCfg, _ := cfg.obsConfig()
-	return w.Run(func(p pgas.Proc) {
+	recoverOn := cfg.recoverOn()
+	err = w.Run(func(p pgas.Proc) {
 		if hub != nil {
 			rank := p.Rank()
 			var rec *trace.Recorder
@@ -349,6 +393,16 @@ func Run(cfg Config, body func(rt *Runtime)) error {
 			core.RegisterProcObserver(p, hub.Registry(rank), rec)
 			defer core.UnregisterProcObserver(p)
 		}
+		if recoverOn {
+			core.RegisterProcRecovery(p)
+			defer core.UnregisterProcRecovery(p)
+		}
 		body(core.Attach(p))
 	})
+	if recoverOn && err != nil {
+		if fe, ok := AsFault(err); ok && fe.Rank == 0 {
+			return &unrecoverableError{err: err}
+		}
+	}
+	return err
 }

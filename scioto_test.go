@@ -1,6 +1,7 @@
 package scioto_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -128,5 +129,70 @@ func TestHeterogeneousConfig(t *testing.T) {
 	}
 	if charges[1] != 2*charges[0] {
 		t.Errorf("speed factors ignored: %v", charges)
+	}
+}
+
+// TestRunRecover: Config.Recover survives a worker-rank crash end to end —
+// the facade arms the survivable transport, journaling, and healing, and
+// the completed run accounts for every task exactly once.
+func TestRunRecover(t *testing.T) {
+	for _, tr := range []scioto.Transport{scioto.TransportSHM, scioto.TransportDSim} {
+		var total int64
+		err := scioto.Run(scioto.Config{
+			Procs:     4,
+			Transport: tr,
+			Seed:      9,
+			Recover:   true,
+			Faults:    &scioto.FaultConfig{Seed: 9, CrashRank: 2, CrashAfterOps: 40},
+		}, func(rt *scioto.Runtime) {
+			tc := scioto.NewTC(rt, scioto.TCConfig{MaxBodySize: 8, ChunkSize: 2, MaxTasks: 2048})
+			h := tc.Register(func(tc *scioto.TC, t *scioto.Task) {})
+			task := scioto.NewTask(h, 8)
+			for i := 0; i < 50; i++ {
+				if err := tc.Add(rt.Rank(), scioto.AffinityHigh, task); err != nil {
+					panic(err)
+				}
+			}
+			tc.Process()
+			g := tc.GlobalStats()
+			if rt.Rank() == 0 {
+				total = g.TasksExecuted + g.SalvagedExecs
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s: recoverable run failed: %v", tr, err)
+		}
+		if total != 200 {
+			t.Fatalf("%s: %d durable completions, want 200", tr, total)
+		}
+	}
+}
+
+// TestRunRecoverRankZeroUnrecoverable: with recovery armed, the death of
+// rank 0 surfaces as ErrUnrecoverable, still carrying the FaultError.
+func TestRunRecoverRankZeroUnrecoverable(t *testing.T) {
+	err := scioto.Run(scioto.Config{
+		Procs:     4,
+		Transport: scioto.TransportSHM,
+		Seed:      9,
+		Recover:   true,
+		Faults:    &scioto.FaultConfig{Seed: 9, CrashRank: 0, CrashAfterOps: 40},
+	}, func(rt *scioto.Runtime) {
+		tc := scioto.NewTC(rt, scioto.TCConfig{MaxBodySize: 8, ChunkSize: 2})
+		h := tc.Register(func(tc *scioto.TC, t *scioto.Task) {})
+		task := scioto.NewTask(h, 8)
+		for i := 0; i < 50; i++ {
+			if err := tc.Add(rt.Rank(), scioto.AffinityHigh, task); err != nil {
+				panic(err)
+			}
+		}
+		tc.Process()
+	})
+	if !errors.Is(err, scioto.ErrUnrecoverable) {
+		t.Fatalf("want ErrUnrecoverable, got %v", err)
+	}
+	fe, ok := scioto.AsFault(err)
+	if !ok || fe.Rank != 0 {
+		t.Fatalf("want FaultError naming rank 0 inside ErrUnrecoverable, got %v", err)
 	}
 }

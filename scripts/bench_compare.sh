@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# bench_compare.sh — regression gate for the serve-mode perf artifact.
+#
+# Re-runs `sciotobench -exp serve -json` and compares the measured p95
+# latency and sustained tasks/s against the checked-in BENCH_serve.json
+# baseline, failing when either drifts outside the allowed band
+# (SCIOTO_BENCH_BAND, default 0.15 = ±15%). Cells recorded as "-" in the
+# baseline are not compared. Run via `make bench-compare`; CI runs the
+# same target after the recovery matrix so a healing-path change that
+# taxes the steady-state ingest hot path is caught in the same PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+band="${SCIOTO_BENCH_BAND:-0.15}"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go run ./cmd/sciotobench -exp serve -json >"$tmp/fresh.json"
+
+python3 - "$tmp/fresh.json" BENCH_serve.json "$band" <<'EOF'
+import json, re, sys
+
+fresh_path, base_path, band = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+UNITS = {"ns": 1, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+def value(cell):
+    """Parse a table cell to a comparable float (durations in ns), or
+    None for unparseable/absent cells."""
+    cell = cell.strip()
+    if cell in ("", "-"):
+        return None
+    m = re.fullmatch(r"([0-9.]+)(ns|µs|us|ms|s)", cell)
+    if m:
+        return float(m.group(1)) * UNITS[m.group(2)]
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+def rows(doc):
+    out = {}
+    for table in doc["tables"]:
+        if table["ID"] != "serve":
+            continue
+        cols = table["Columns"]
+        for row in table["Rows"]:
+            out[row[0]] = dict(zip(cols, row))
+    return out
+
+with open(fresh_path) as f:
+    fresh = rows(json.load(f))
+with open(base_path) as f:
+    base = rows(json.load(f))
+
+failures = []
+checked = 0
+for scenario, brow in base.items():
+    frow = fresh.get(scenario)
+    if frow is None:
+        failures.append(f"{scenario}: missing from fresh run")
+        continue
+    for col in ("p95", "tasks/s"):
+        want = value(brow.get(col, "-"))
+        if want is None:
+            continue
+        got = value(frow.get(col, "-"))
+        if got is None:
+            failures.append(f"{scenario} {col}: baseline {brow[col]} but fresh run has no value")
+            continue
+        checked += 1
+        # Only regressions fail: slower p95 (higher) or lower tasks/s.
+        worse = got / want if col == "p95" else want / got
+        verdict = "ok" if worse <= 1 + band else "REGRESSION"
+        print(f"{scenario} {col}: baseline {brow[col]}, fresh {frow[col]} ({verdict})")
+        if worse > 1 + band:
+            failures.append(
+                f"{scenario} {col}: {frow[col]} vs baseline {brow[col]} "
+                f"({(worse - 1) * 100:.1f}% worse, band ±{band * 100:.0f}%)")
+
+if checked == 0:
+    failures.append("no comparable cells found: baseline and fresh tables do not overlap")
+if failures:
+    print("FAIL: serve benchmark outside the regression band:", file=sys.stderr)
+    for f in failures:
+        print("  " + f, file=sys.stderr)
+    sys.exit(1)
+print(f"PASS: {checked} cells within ±{band * 100:.0f}% of BENCH_serve.json")
+EOF

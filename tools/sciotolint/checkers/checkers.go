@@ -1,8 +1,8 @@
-// Package checkers implements sciotolint's ten analyzers. Each one
+// Package checkers implements sciotolint's eleven analyzers. Each one
 // machine-checks an invariant of the Scioto runtime's PGAS programming
 // model that is otherwise enforced only by comments (see the Proc contract
 // in internal/pgas/pgas.go and the split-queue discipline in
-// internal/core/queue.go). Seven are per-package; three (collcongruence,
+// internal/core/queue.go). Eight are per-package; three (collcongruence,
 // lockorder, obsdeterminism) are whole-program analyzers over the
 // interprocedural call graph and run only in the standalone driver.
 package checkers
@@ -23,6 +23,7 @@ var Analyzers = []*analysis.Analyzer{
 	LocalEscape,
 	ProcEscape,
 	NoAllocGate,
+	JournalAppend,
 	CollCongruence,
 	LockOrder,
 	ObsDeterminism,
