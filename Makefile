@@ -30,22 +30,24 @@ vet:
 
 # Fault-tolerance suite under the race detector: the deterministic
 # fault-injection wrapper (delay/drop/crash over shm, dsim, and tcp), the
-# tcp crash-containment tests (SIGKILL and SIGSTOP of live ranks), the
-# dial-backoff/deadline unit tests, and the work-replay recovery matrix
-# (transports x crash-before-steal / crash-mid-steal / crash-with-
-# deferred-deps, all seed-pinned; see internal/core/recover_test.go).
-# CI runs the same target.
+# tcp and ipc crash-containment tests (SIGKILL and SIGSTOP of live
+# ranks, including the SIGKILL-then-salvage journal replay over the
+# shared mapping), and the work-replay recovery matrix (transports x
+# crash-before-steal / crash-mid-steal / crash-with-deferred-deps, all
+# seed-pinned; see internal/core/recover_test.go). CI runs the same
+# target.
 chaos:
 	$(GO) test -race -count=1 ./internal/pgas/faulty/
 	$(GO) test -race -count=1 -run 'TestCrashContainment|TestInjectedCrashOverTCP|TestHeartbeat|TestOpContext|TestBackoff|TestDialRetry' ./internal/pgas/tcp/
+	$(GO) test -race -count=1 -run 'TestCrashContainment|TestInjectedCrashOverIPC|TestRecover' ./internal/pgas/ipc/
 	$(GO) test -race -count=1 -run 'TestRecovery' ./internal/core/
 	$(GO) test -race -count=1 -run 'TestRunRecover' .
 	$(GO) test -race -count=1 -run 'TestServeWorkerCrashRecovers' ./internal/serve/
 
-# Recovery matrix against the shipped binary: sciotod -recover on shm,
-# worker rank 2 killed at pinned op counts via the SCIOTO_FAULT_*
-# environment, all submitted results still streamed and a clean drain.
-# CI runs the same target.
+# Recovery matrix against the shipped binary: sciotod -recover on both
+# survivable transports (shm and ipc), worker rank 2 killed at pinned op
+# counts via the SCIOTO_FAULT_* environment, all submitted results still
+# streamed and a clean drain. CI runs the same target.
 chaos-recovery:
 	bash scripts/chaos_recovery.sh
 
@@ -57,10 +59,12 @@ chaos-recovery:
 bench-smoke:
 	$(GO) test -run=NONE -bench=Table1 -benchtime=1x ./internal/bench/
 
-# Serve-mode perf regression gate: re-runs `sciotobench -exp serve -json`
-# and compares p95 latency and sustained tasks/s against the checked-in
-# BENCH_serve.json, failing outside the +/-15% band (override with
-# SCIOTO_BENCH_BAND). CI runs the same target.
+# Perf regression gates over the checked-in artifacts: `sciotobench -exp
+# serve -json` vs BENCH_serve.json (p95 latency and sustained tasks/s,
+# +/-15% band via SCIOTO_BENCH_BAND) and `sciotobench -exp transports
+# -json` vs BENCH_transport.json (Remote Steal per transport, wide 2x
+# band via SCIOTO_BENCH_TRANSPORT_BAND, plus the hard invariant that the
+# ipc steal stays below tcp's). CI runs the same target.
 bench-compare:
 	bash scripts/bench_compare.sh
 

@@ -1,6 +1,6 @@
 // Package transportflag provides the -transport command-line flag shared
-// by every runner, so all of them select among the shm, dsim, and tcp
-// machines uniformly and reject anything else at flag-parse time.
+// by every runner, so all of them select among the shm, dsim, ipc, and
+// tcp machines uniformly and reject anything else at flag-parse time.
 package transportflag
 
 import (
@@ -20,7 +20,7 @@ type Value struct {
 // and returns the value to read after flag.Parse.
 func Flag(def scioto.Transport) *Value {
 	v := &Value{t: def}
-	flag.Var(v, "transport", "transport: shm, dsim, or tcp")
+	flag.Var(v, "transport", "transport: shm, dsim, ipc, or tcp")
 	return v
 }
 
@@ -30,11 +30,11 @@ func (v *Value) String() string { return string(v.t) }
 // Set validates and stores a transport name (flag.Value).
 func (v *Value) Set(s string) error {
 	switch scioto.Transport(s) {
-	case scioto.TransportSHM, scioto.TransportDSim, scioto.TransportTCP:
+	case scioto.TransportSHM, scioto.TransportDSim, scioto.TransportIPC, scioto.TransportTCP:
 		v.t = scioto.Transport(s)
 		return nil
 	}
-	return fmt.Errorf("unknown transport %q (want shm, dsim, or tcp)", s)
+	return fmt.Errorf("unknown transport %q (want shm, dsim, ipc, or tcp)", s)
 }
 
 // Transport returns the selected transport.

@@ -1,12 +1,13 @@
 // Command pgasbench measures the raw one-sided communication substrate the
 // Scioto runtime runs on: operation latency, transfer bandwidth, atomic
 // throughput under contention, and collective scaling — the classic PGAS
-// microbenchmark suite, runnable on either transport.
+// microbenchmark suite, runnable on any transport.
 //
 // Usage:
 //
 //	pgasbench                       # dsim cluster calibration
 //	pgasbench -transport shm        # real shared-memory costs
+//	pgasbench -transport ipc        # real multi-process zero-copy costs
 //	pgasbench -transport tcp        # real loopback TCP costs
 //	pgasbench -procs 32
 package main
@@ -22,6 +23,7 @@ import (
 	"scioto/cmd/internal/transportflag"
 	"scioto/internal/coll"
 	"scioto/internal/pgas"
+	"scioto/internal/pgas/tcp"
 )
 
 func main() {
@@ -243,14 +245,23 @@ func runNb(p pgas.Proc, iters int) {
 
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
+		f0, w0 := tcp.WireStats()
 		for i := 0; i < iters; i++ {
 			pipelinedOnce()
 		}
+		frames, writes := tcp.WireStats()
+		frames, writes = frames-f0, writes-w0
 		runtime.ReadMemStats(&m1)
 		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(iters)
 
 		fmt.Printf("nb steal sequence: serial %v, pipelined %v (%.2fx), %.2f allocs/op\n",
 			serial, pipe, float64(serial)/float64(pipe), allocs)
+		if writes > 0 {
+			// Only the tcp transport frames requests; on shm/dsim/ipc the
+			// counters stay zero and there is nothing to report.
+			fmt.Printf("nb wire coalescing: %d frames in %d writes (%.2f frames/write)\n",
+				frames, writes, float64(frames)/float64(writes))
+		}
 	}
 	p.Barrier()
 }

@@ -8,10 +8,12 @@
 //	sciotobench -exp fig7 -quick         # reduced-size run
 //	sciotobench -exp ablations           # design-choice ablation studies
 //	sciotobench -exp serve -json         # serve-mode perf artifact (JSON)
+//	sciotobench -exp transports -json    # cross-transport perf artifact (JSON)
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, ablations, all
 // (the paper evaluation, on dsim), plus serve (the sciotod ingest
-// service on shm, real wall clock — not part of all).
+// service on shm, real wall clock) and transports (the Table 1 ops on
+// shm/ipc/tcp, real wall clock) — neither is part of all.
 //
 // With -json the tables are emitted as one JSON document instead of
 // aligned text, the perf-lab artifact convention: checked-in BENCH_*.json
@@ -44,7 +46,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|fig8|ablations|serve|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|fig8|ablations|serve|transports|all")
 	quick := flag.Bool("quick", false, "reduced problem sizes and process counts")
 	flag.BoolVar(&jsonOut, "json", false, "emit tables as one JSON document (perf-lab artifact format)")
 	obs := transportflag.ObsFlags()
@@ -125,8 +127,21 @@ func main() {
 		}
 		emit(bench.Serve(o))
 	}
+	if *exp == "transports" {
+		// Not part of all: the ipc and tcp worlds launch rank processes
+		// that re-execute this binary, and the rank processes must reach
+		// bench.Transports without the launcher's other experiments
+		// running first (their in-process worlds would desynchronize
+		// nothing, but would burn minutes per rank).
+		ran = true
+		o := bench.Table1Options{}
+		if *quick {
+			o.Iters = 100
+		}
+		emit(bench.Transports(o))
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table1|fig4|fig5|fig6|fig7|fig8|ablations|serve|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want table1|fig4|fig5|fig6|fig7|fig8|ablations|serve|transports|all)\n", *exp)
 		os.Exit(2)
 	}
 	if jsonOut {

@@ -11,17 +11,19 @@
 // with 503, admitted work runs to completion, result streams flush, and
 // the process exits 0. A second signal force-quits.
 //
-// With -recover (shm only) every task is journaled for work replay: a
+// With -recover (shm or ipc) every task is journaled for work replay: a
 // worker rank's death mid-phase is healed by the survivors, lost tasks
 // are re-queued from the journal, and results that died with the rank
 // are re-run, so clients still stream every result. See DESIGN.md
 // "Recovery". Rank 0 hosts the gateway, so its death stays fatal.
 //
-// Transports: shm (default — one process, ranks as goroutines) and tcp
-// (one OS process per rank; the gateway endpoint lives in the rank-0
-// process, so deliver the drain signal there, or Ctrl-C the foreground
-// process group). dsim is rejected: its clock is virtual, so a live
-// ingest endpoint has no meaningful time base.
+// Transports: shm (default — one process, ranks as goroutines), ipc (one
+// OS process per rank over a zero-copy shared mapping; the launcher
+// relays SIGTERM/SIGINT to the rank-0 process, which hosts the gateway),
+// and tcp (one OS process per rank; the gateway endpoint lives in the
+// rank-0 process, so deliver the drain signal there, or Ctrl-C the
+// foreground process group). dsim is rejected: its clock is virtual, so
+// a live ingest endpoint has no meaningful time base.
 package main
 
 import (
@@ -50,15 +52,15 @@ func main() {
 		rate       = flag.Float64("tenant-rate", 0, "per-tenant admission rate, tasks/s (0 = unlimited)")
 		burst      = flag.Int("tenant-burst", 0, "per-tenant admission burst (0 = default)")
 		perPhase   = flag.Int("batch-per-phase", 0, "tasks handed to the runtime per phase (0 = default 2048)")
-		rec        = flag.Bool("recover", false, "arm work-replay recovery: journal every task and heal around a worker rank's death (shm only)")
+		rec        = flag.Bool("recover", false, "arm work-replay recovery: journal every task and heal around a worker rank's death (shm or ipc)")
 	)
 	flag.Parse()
 	if tr.Transport() == scioto.TransportDSim {
 		fmt.Fprintln(os.Stderr, "sciotod: the dsim transport runs in virtual time and cannot serve a live ingest endpoint; use shm or tcp")
 		os.Exit(2)
 	}
-	if *rec && tr.Transport() != scioto.TransportSHM {
-		fmt.Fprintln(os.Stderr, "sciotod: -recover needs a survivable transport; only shm qualifies for a live endpoint")
+	if *rec && tr.Transport() != scioto.TransportSHM && tr.Transport() != scioto.TransportIPC {
+		fmt.Fprintln(os.Stderr, "sciotod: -recover needs a survivable transport; only shm and ipc qualify for a live endpoint")
 		os.Exit(2)
 	}
 

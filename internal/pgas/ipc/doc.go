@@ -1,0 +1,76 @@
+// Package ipc implements the pgas interface with zero-copy shared memory
+// between real OS processes on one host: the launcher creates one file
+// holding every rank's symmetric heap plus a control region, every rank
+// process maps it MAP_SHARED, and from then on Get/Put are plain copy()
+// against the remote rank's heap pages while Load64/Store64/FetchAdd64/
+// CAS64 are hardware atomics on them — no frames, no serialization, and
+// no syscalls on the data path. It fills the rung between shm (ranks as
+// goroutines in one process) and tcp (ranks as processes exchanging
+// frames over loopback): real process isolation at near-shm cost.
+//
+// # Launch
+//
+// Rank processes are launched with the tcp transport's self-exec pattern:
+// the parent re-executes the current binary once per rank with
+// SCIOTO_IPC_RANK / SCIOTO_IPC_FILE / SCIOTO_IPC_WORLD / SCIOTO_IPC_NPROCS
+// in the environment. A child re-runs the same deterministic program; the
+// NewWorld call whose sequence number matches SCIOTO_IPC_WORLD returns the
+// child's handle, earlier calls return inert worlds. There is no
+// rendezvous: the mapped file exists fully-formed before the first child
+// starts, so a rank may issue one-sided operations against a sibling that
+// has not even finished exec'ing.
+//
+// # Memory layout
+//
+// The shared file is laid out as
+//
+//	header   | magic, nprocs, arena/ring geometry (sanity-checked on map)
+//	control  | world words: ctl spinlock, faultSeq, liveCount, barrier
+//	         | epoch+count, lockCount; per-rank dead flags; the current
+//	         | fault record; per-rank exit-report slots; per-rank
+//	         | accumulate locks; the lock table; mailbox ring headers
+//	rings    | one byte ring per (sender, receiver) pair
+//	arenas   | one fixed-size symmetric heap arena per rank
+//
+// Collective allocation needs no communication at all: every rank runs
+// the same bump allocator over its arena in the same collective order, so
+// segment k lives at the same arena offset on every rank and a remote
+// address is just arenaBase(rank) + segOff + off.
+//
+// # Blocking primitives
+//
+// There are no cross-process wakeups (no futexes): every blocking
+// primitive — Lock, Recv, Barrier, Send backpressure — is a spin-then-park
+// poll: a short tight spin, then runtime.Gosched, then escalating
+// microsecond sleeps. Each iteration also polls the control region's
+// faultSeq word, which is what makes poisoning prompt: the instant a
+// death is registered, every parked rank unwinds with a rank-attributed
+// *pgas.FaultError clone, exactly like the shm transport.
+//
+// Locks are holder-tagged words (0 free, rank+1 held) acquired by CAS;
+// mailboxes are single-producer byte rings per (sender, receiver) pair,
+// drained into a receiver-local queue where tag/source matching happens
+// (per-pair FIFO falls out of ring order); the barrier is a shared
+// epoch+count pair mutated under the control spinlock with the waiting
+// done outside it.
+//
+// # Failure model
+//
+// Crash containment matches shm and tcp. A rank that panics (including
+// injected faults from pgas/faulty) registers its death in the control
+// region — dead flag, fault record, faultSeq bump, force-release of every
+// lock the dead rank held — writes its exit report slot, and exits
+// nonzero. A rank killed by a signal cannot register anything, so the
+// parent, which also maps the file and reaps children, registers the
+// death on its behalf (phase "exit") the moment the wait returns.
+// Survivors observe faultSeq on their next operation and panic the
+// recorded fault; the parent selects the root cause among the report
+// slots like the tcp launcher does among report frames.
+//
+// With Config.Survivable the world keeps operating instead: each death is
+// delivered to each survivor exactly once, acknowledged via
+// pgas.Resilient.SurviveFault, barriers complete over the live
+// membership, and the dead rank's arena stays mapped and readable through
+// Salvage/SalvageLoad64 — which is what lets the runtime's work-replay
+// recovery reconstruct a dead rank's journal from its still-mapped heap.
+package ipc

@@ -1,0 +1,203 @@
+package ipc_test
+
+import (
+	"errors"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"scioto"
+	"scioto/internal/pgas"
+	"scioto/internal/pgas/faulty"
+	"scioto/internal/pgas/ipc"
+)
+
+// These tests assert on the error returned by the *launcher's* Run. In a
+// rank process the same code runs too (children re-execute the binary, and
+// every NewWorld call must happen there in the same order to keep the
+// world sequence aligned), but Run either never returns (the rank's own
+// world exits the process) or is an inert skip returning nil — so each
+// test bails out after Run when running inside a rank process.
+func inRankProcess() bool { return os.Getenv("SCIOTO_IPC_RANK") != "" }
+
+// TestCrashContainmentSIGKILL is the acceptance scenario: one rank is
+// killed dead mid-run — while holding a remote lock, between barriers —
+// and every surviving rank must come back with a FaultError naming the
+// dead rank, promptly and without leaking goroutines in the launcher.
+// Grace is set high so a pass proves the survivors self-detected the
+// death (through the control region's fault word, published by the
+// launcher the moment it reaps the killed child); only a hung survivor
+// would be grace-killed, and that would blow the elapsed-time bound.
+func TestCrashContainmentSIGKILL(t *testing.T) {
+	const n = 4
+	const deadRank = 3
+	w := ipc.NewWorld(ipc.Config{NProcs: n, Seed: 2, Grace: 10 * time.Second})
+	goroutines := runtime.NumGoroutine()
+	start := time.Now()
+	err := w.Run(func(p pgas.Proc) {
+		seg := p.AllocWords(2)
+		lk := p.AllocLock()
+		for i := 1; i <= 200; i++ {
+			p.FetchAdd64(0, seg, 0, 1)
+			p.Lock(0, lk)
+			if p.Rank() == deadRank && i == 25 {
+				// Die holding the lock: the cruelest spot — waiters are
+				// parked spinning on the holder word, which only the
+				// death registrar's force-release can ever clear.
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+			p.FetchAdd64(0, seg, 1, 1)
+			p.Unlock(0, lk)
+			if i%10 == 0 {
+				p.Barrier()
+			}
+		}
+	})
+	if inRankProcess() {
+		return
+	}
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("world with a SIGKILLed rank returned nil error")
+	}
+	fe, ok := pgas.AsFault(err)
+	if !ok {
+		t.Fatalf("error does not carry a FaultError: %v", err)
+	}
+	if fe.Rank != deadRank {
+		t.Errorf("fault attributed to rank %d, want %d (err: %v)", fe.Rank, deadRank, err)
+	}
+	if elapsed >= 5*time.Second {
+		t.Errorf("containment took %v, want < 5s (survivors were grace-killed instead of self-detecting)", elapsed)
+	}
+	// The launcher must not leak goroutines: the signal relay and exit
+	// watchers all finish once every child is reaped.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > goroutines+1 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > goroutines+1 {
+		t.Errorf("launcher leaked goroutines: %d before Run, %d after", goroutines, got)
+	}
+}
+
+// TestInjectedCrashOverIPC drives the faulty wrapper across process
+// boundaries: the crashing rank panics with a structured FaultError,
+// which must survive the trip through the shared-file report slot so the
+// launcher's error keeps both the rank and the injection phase.
+func TestInjectedCrashOverIPC(t *testing.T) {
+	const n = 3
+	w := faulty.Wrap(
+		ipc.NewWorld(ipc.Config{NProcs: n, Seed: 3, Grace: 10 * time.Second}),
+		faulty.Config{Seed: 4, CrashRank: 1, CrashAfterOps: 30},
+	)
+	start := time.Now()
+	err := w.Run(func(p pgas.Proc) {
+		seg := p.AllocWords(1)
+		for i := 1; i <= 100; i++ {
+			p.FetchAdd64(0, seg, 0, 1)
+			if i%10 == 0 {
+				p.Barrier()
+			}
+		}
+	})
+	if inRankProcess() {
+		return
+	}
+	if err == nil {
+		t.Fatal("world with injected crash returned nil error")
+	}
+	fe, ok := pgas.AsFault(err)
+	if !ok {
+		t.Fatalf("error does not carry a FaultError: %v", err)
+	}
+	if fe.Rank != 1 || fe.Phase != "injected-crash" {
+		t.Errorf("fault = rank %d phase %q, want rank 1 phase injected-crash (err: %v)", fe.Rank, fe.Phase, err)
+	}
+	if elapsed := time.Since(start); elapsed >= 5*time.Second {
+		t.Errorf("containment took %v, want < 5s", elapsed)
+	}
+}
+
+// TestRecoverySIGKILLReplaysJournal is the satellite scenario end to end:
+// a worker rank is SIGKILLed mid-phase (inside a task callback, so its
+// in-flight task is provably not yet durable), the survivors acknowledge
+// the death through SurviveFault, salvage the dead rank's journal from
+// its still-mapped arena, replay the lost tasks, and finish the phase
+// with an exact completion count — and the launcher's Run returns nil,
+// because in a survivable world a healed death is not an error. All
+// assertions run inside the body (each rank process has its own copy of
+// captured variables); a failed assertion panics and fails the world.
+func TestRecoverySIGKILLReplaysJournal(t *testing.T) {
+	const n = 4
+	const tasksPerRank = 50
+	err := scioto.Run(scioto.Config{
+		Procs:     n,
+		Transport: scioto.TransportIPC,
+		Seed:      9,
+		Recover:   true,
+	}, func(rt *scioto.Runtime) {
+		tc := scioto.NewTC(rt, scioto.TCConfig{MaxBodySize: 8, ChunkSize: 2, MaxTasks: 2048})
+		var executed int64
+		h := tc.Register(func(tc *scioto.TC, task *scioto.Task) {
+			if rt.Rank() == 2 && atomic.AddInt64(&executed, 1) == 5 {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		})
+		task := scioto.NewTask(h, 8)
+		for i := 0; i < tasksPerRank; i++ {
+			if err := tc.Add(rt.Rank(), scioto.AffinityHigh, task); err != nil {
+				panic(err)
+			}
+		}
+		tc.Process()
+		g := tc.GlobalStats()
+		if rt.Rank() == 0 {
+			if total := g.TasksExecuted + g.SalvagedExecs; total != n*tasksPerRank {
+				panic("durable completions after SIGKILL recovery do not match the task count")
+			}
+		}
+	})
+	if inRankProcess() {
+		return
+	}
+	if err != nil {
+		t.Fatalf("recoverable run failed: %v", err)
+	}
+}
+
+// TestRecoverRankZeroUnrecoverableOverIPC: with recovery armed, the death
+// of rank 0 (the termination-tree root) surfaces as ErrUnrecoverable at
+// the launcher, still carrying the rank-0 FaultError.
+func TestRecoverRankZeroUnrecoverableOverIPC(t *testing.T) {
+	err := scioto.Run(scioto.Config{
+		Procs:     4,
+		Transport: scioto.TransportIPC,
+		Seed:      9,
+		Recover:   true,
+		Faults:    &scioto.FaultConfig{Seed: 9, CrashRank: 0, CrashAfterOps: 40},
+	}, func(rt *scioto.Runtime) {
+		tc := scioto.NewTC(rt, scioto.TCConfig{MaxBodySize: 8, ChunkSize: 2})
+		h := tc.Register(func(tc *scioto.TC, t *scioto.Task) {})
+		task := scioto.NewTask(h, 8)
+		for i := 0; i < 50; i++ {
+			if err := tc.Add(rt.Rank(), scioto.AffinityHigh, task); err != nil {
+				panic(err)
+			}
+		}
+		tc.Process()
+	})
+	if inRankProcess() {
+		return
+	}
+	if !errors.Is(err, scioto.ErrUnrecoverable) {
+		t.Fatalf("want ErrUnrecoverable, got %v", err)
+	}
+	fe, ok := scioto.AsFault(err)
+	if !ok || fe.Rank != 0 {
+		t.Fatalf("want FaultError naming rank 0 inside ErrUnrecoverable, got %v", err)
+	}
+}

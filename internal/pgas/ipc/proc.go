@@ -1,0 +1,498 @@
+package ipc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scioto/internal/pgas"
+)
+
+// proc is the pgas.Proc handle of one rank process. Every one-sided
+// operation resolves the remote address arithmetically (arena base +
+// symmetric segment offset) and acts on the mapped bytes directly; there
+// is no request path and no goroutine besides the rank's own.
+type proc struct {
+	cfg   Config
+	m     *mapping
+	rank  int
+	speed float64
+	rng   *rand.Rand
+	start time.Time
+
+	// Symmetric-heap bump allocation, identical on every rank because
+	// collective allocation happens in the same order with the same sizes.
+	dataOff  []int64
+	dataLen  []int64
+	wordOff  []int64
+	wordLen  []int64
+	heapUsed int64
+	lockN    int
+
+	// ackedSeq is the fault sequence this rank has acknowledged
+	// (survivable mode; see pgas.Resilient). Own-goroutine only.
+	ackedSeq int64
+
+	// inbox is the receiver-local message queue: shared rings are drained
+	// into it in ring order, and tag/source matching removes from it, so
+	// per-pair FIFO holds while non-matching messages stay queued.
+	inbox []message
+}
+
+type message struct {
+	from int
+	tag  int32
+	data []byte
+}
+
+var _ pgas.Proc = (*proc)(nil)
+var _ pgas.Resilient = (*proc)(nil)
+
+func newProc(cfg Config, m *mapping, rank int, speed float64) *proc {
+	return &proc{
+		cfg:   cfg,
+		m:     m,
+		rank:  rank,
+		speed: speed,
+		rng:   rand.New(rand.NewSource(cfg.Seed*7919 + int64(rank) + 1)),
+		start: time.Now(),
+	}
+}
+
+func (p *proc) tag() int64  { return int64(p.rank) + 1 }
+func (p *proc) Rank() int   { return p.rank }
+func (p *proc) NProcs() int { return p.cfg.NProcs }
+
+// check panics a clone of the registered fault so a surviving rank
+// unwinds on its next communication attempt. In survivable mode a death
+// is delivered only until this rank acknowledges it via SurviveFault;
+// otherwise any registered fault poisons every later operation, exactly
+// like the shm transport. The fast path is one atomic load.
+func (p *proc) check() {
+	seq := p.m.load(p.m.l.faultSeq)
+	if seq == 0 {
+		return
+	}
+	if p.cfg.Survivable && seq <= p.ackedSeq {
+		return
+	}
+	panic(p.m.currentFault(p.tag()))
+}
+
+// Barrier is a shared epoch+count pair. Arrival, withdrawal, and release
+// mutate the pair under the control lock; the waiting spins outside it on
+// the epoch word alone. In survivable mode the arrival target is the live
+// membership, a waiter that observes an unacknowledged death withdraws
+// its arrival (it re-arrives after recovery) and panics, and a waiter
+// that sees the membership shrink to (or below) the arrivals already
+// parked releases the round on the dead rank's behalf.
+func (p *proc) Barrier() {
+	p.check()
+	m, l := p.m, &p.m.l
+	tag := p.tag()
+	m.lockCtl(tag)
+	e := m.load(l.barEpoch)
+	cnt := m.load(l.barCnt) + 1
+	m.store(l.barCnt, cnt)
+	target := int64(p.cfg.NProcs)
+	if p.cfg.Survivable {
+		target = m.load(l.liveCount)
+	}
+	if cnt >= target {
+		m.store(l.barCnt, 0)
+		m.store(l.barEpoch, e+1)
+		m.unlockCtl(tag)
+		return
+	}
+	m.unlockCtl(tag)
+
+	var bo backoff
+	for {
+		if m.load(l.barEpoch) != e {
+			return
+		}
+		if seq := m.load(l.faultSeq); seq > 0 && (!p.cfg.Survivable || seq > p.ackedSeq) {
+			// Withdraw the arrival, unless the round was released while we
+			// were deciding (then the fault is delivered at the next op).
+			m.lockCtl(tag)
+			if m.load(l.barEpoch) == e {
+				m.store(l.barCnt, m.load(l.barCnt)-1)
+				m.unlockCtl(tag)
+				p.check() // panics
+			}
+			m.unlockCtl(tag)
+			return
+		}
+		if p.cfg.Survivable && m.load(l.barCnt) >= m.load(l.liveCount) {
+			m.lockCtl(tag)
+			if m.load(l.barEpoch) == e && m.load(l.barCnt) >= m.load(l.liveCount) {
+				m.store(l.barCnt, 0)
+				m.store(l.barEpoch, e+1)
+			}
+			m.unlockCtl(tag)
+			continue
+		}
+		bo.pause()
+	}
+}
+
+// Collective allocation is pure arithmetic: every rank bumps the same
+// allocator in the same order, so segment k has one arena offset shared
+// by all ranks and no communication is needed to agree on it.
+
+func (p *proc) bump(nbytes int64, what string) int64 {
+	off := align8(p.heapUsed)
+	if off+nbytes > p.m.l.arenaBytes {
+		panic(fmt.Sprintf("ipc: rank %d: symmetric heap exhausted allocating %d bytes for %s (arena %d bytes; raise Config.ArenaBytes or %s)",
+			p.rank, nbytes, what, p.m.l.arenaBytes, envArena))
+	}
+	p.heapUsed = off + nbytes
+	return off
+}
+
+func (p *proc) AllocData(nbytes int) pgas.Seg {
+	off := p.bump(int64(nbytes), "AllocData")
+	p.dataOff = append(p.dataOff, off)
+	p.dataLen = append(p.dataLen, int64(nbytes))
+	return pgas.Seg(len(p.dataOff) - 1)
+}
+
+func (p *proc) AllocWords(nwords int) pgas.Seg {
+	off := p.bump(int64(nwords)*wordSize, "AllocWords")
+	p.wordOff = append(p.wordOff, off)
+	p.wordLen = append(p.wordLen, int64(nwords))
+	return pgas.Seg(len(p.wordOff) - 1)
+}
+
+func (p *proc) AllocLock() pgas.LockID {
+	id := p.lockN
+	if id >= maxLocks {
+		panic(fmt.Sprintf("ipc: rank %d: lock table exhausted (%d instances)", p.rank, maxLocks))
+	}
+	p.lockN++
+	// Publish the high-water mark so the death registrar knows how much
+	// of the lock table to scan. Every rank stores the same sequence of
+	// values; a CAS-max loop keeps it monotonic without the control lock.
+	for {
+		cur := p.m.load(p.m.l.lockCount)
+		if cur >= int64(p.lockN) || p.m.cas(p.m.l.lockCount, cur, int64(p.lockN)) {
+			break
+		}
+	}
+	return pgas.LockID(id)
+}
+
+// dataAt bounds-checks and returns the [off, off+n) window of segment seg
+// on the given rank's arena.
+func (p *proc) dataAt(rank int, seg pgas.Seg, off, n int) []byte {
+	if off < 0 || int64(off)+int64(n) > p.dataLen[seg] {
+		panic(fmt.Sprintf("ipc: data access [%d, %d) outside segment %d (%d bytes)", off, off+n, seg, p.dataLen[seg]))
+	}
+	base := p.m.l.arena(rank) + p.dataOff[seg] + int64(off)
+	return p.m.bytes(base, int64(n))
+}
+
+// wordAt bounds-checks and returns the map offset of word idx of segment
+// seg on the given rank's arena.
+func (p *proc) wordAt(rank int, seg pgas.Seg, idx int) int64 {
+	if idx < 0 || int64(idx) >= p.wordLen[seg] {
+		panic(fmt.Sprintf("ipc: word access %d outside segment %d (%d words)", idx, seg, p.wordLen[seg]))
+	}
+	return p.m.l.arena(rank) + p.wordOff[seg] + int64(idx)*wordSize
+}
+
+func (p *proc) Get(dst []byte, proc int, seg pgas.Seg, off int) {
+	p.check()
+	copy(dst, p.dataAt(proc, seg, off, len(dst)))
+}
+
+func (p *proc) Put(proc int, seg pgas.Seg, off int, src []byte) {
+	p.check()
+	copy(p.dataAt(proc, seg, off, len(src)), src)
+}
+
+// AccF64 serializes accumulates per target rank through a holder-tagged
+// spin word (the ARMCI_Acc atomicity contract), released on the holder's
+// behalf by the death registrar if it dies mid-accumulate.
+func (p *proc) AccF64(proc int, seg pgas.Seg, off int, vals []float64) {
+	p.check()
+	w := p.m.l.accLock(proc)
+	var bo backoff
+	for !p.m.cas(w, 0, p.tag()) {
+		p.check()
+		bo.pause()
+	}
+	pgas.AccF64Bytes(p.dataAt(proc, seg, off, len(vals)*pgas.F64Bytes), vals)
+	if !p.m.cas(w, p.tag(), 0) {
+		panic("ipc: accumulate lock released by a non-holder")
+	}
+}
+
+func (p *proc) Local(seg pgas.Seg) []byte {
+	return p.dataAt(p.rank, seg, 0, int(p.dataLen[seg]))
+}
+
+func (p *proc) Load64(proc int, seg pgas.Seg, idx int) int64 {
+	p.check()
+	return p.m.load(p.wordAt(proc, seg, idx))
+}
+
+func (p *proc) Store64(proc int, seg pgas.Seg, idx int, val int64) {
+	p.check()
+	p.m.store(p.wordAt(proc, seg, idx), val)
+}
+
+func (p *proc) FetchAdd64(proc int, seg pgas.Seg, idx int, delta int64) int64 {
+	p.check()
+	return p.m.add(p.wordAt(proc, seg, idx), delta) - delta
+}
+
+func (p *proc) CAS64(proc int, seg pgas.Seg, idx int, old, new int64) bool {
+	p.check()
+	return p.m.cas(p.wordAt(proc, seg, idx), old, new)
+}
+
+// Non-blocking operations complete inline, like shm: the data path is a
+// memory access, so there is nothing to overlap, and NbDone with no-op
+// Wait/Flush is a legal (maximally eager) completion schedule under the
+// Proc contract.
+
+func (p *proc) NbGet(dst []byte, proc int, seg pgas.Seg, off int) pgas.Nb {
+	p.Get(dst, proc, seg, off)
+	return pgas.NbDone
+}
+
+func (p *proc) NbPut(proc int, seg pgas.Seg, off int, src []byte) pgas.Nb {
+	p.Put(proc, seg, off, src)
+	return pgas.NbDone
+}
+
+func (p *proc) NbLoad64(proc int, seg pgas.Seg, idx int, out *int64) pgas.Nb {
+	*out = p.Load64(proc, seg, idx)
+	return pgas.NbDone
+}
+
+func (p *proc) NbStore64(proc int, seg pgas.Seg, idx int, val int64) pgas.Nb {
+	p.Store64(proc, seg, idx, val)
+	return pgas.NbDone
+}
+
+func (p *proc) NbFetchAdd64(proc int, seg pgas.Seg, idx int, delta int64, old *int64) pgas.Nb {
+	*old = p.FetchAdd64(proc, seg, idx, delta)
+	return pgas.NbDone
+}
+
+func (p *proc) Wait(pgas.Nb) {}
+func (p *proc) Flush()       {}
+
+// The relaxed owner-side accessors still use atomics: the words are
+// shared with other processes, and on the hardware level a plain load of
+// a concurrently-CASed word is exactly what atomics make well-defined.
+
+func (p *proc) RelaxedLoad64(seg pgas.Seg, idx int) int64 {
+	return p.m.load(p.wordAt(p.rank, seg, idx))
+}
+
+func (p *proc) RelaxedStore64(seg pgas.Seg, idx int, val int64) {
+	p.m.store(p.wordAt(p.rank, seg, idx), val)
+}
+
+// Lock spins CAS on the instance's holder word (0 free, rank+1 held).
+// The fault poll in the loop is what converts a dead holder into either a
+// force-released word (the registrar CASed it free) or a FaultError.
+func (p *proc) Lock(proc int, id pgas.LockID) {
+	p.check()
+	w := p.m.l.lockWord(int(id), proc)
+	var bo backoff
+	for !p.m.cas(w, 0, p.tag()) {
+		p.check()
+		bo.pause()
+	}
+}
+
+func (p *proc) TryLock(proc int, id pgas.LockID) bool {
+	p.check()
+	return p.m.cas(p.m.l.lockWord(int(id), proc), 0, p.tag())
+}
+
+// Unlock deliberately skips the fault check: releasing is harmless, and
+// deferred unlocks run while a fault panic is already unwinding.
+func (p *proc) Unlock(proc int, id pgas.LockID) {
+	if !p.m.cas(p.m.l.lockWord(int(id), proc), p.tag(), 0) {
+		panic(fmt.Sprintf("ipc: rank %d unlocked lock %d@%d that is not held", p.rank, id, proc))
+	}
+}
+
+// Two-sided messages ride per-(sender, receiver) byte rings in the
+// control region: the sender appends [tag|len][payload] records and
+// publishes by bumping the tail word; the receiver drains complete
+// records into its local inbox and publishes consumption by bumping the
+// head word. Single producer and single consumer per ring, so two atomic
+// words are the whole protocol.
+
+// ringRecord returns the record stride for an n-byte payload.
+func ringRecord(n int) int64 { return wordSize + align8(int64(n)) }
+
+func (p *proc) Send(to int, tag int32, data []byte) {
+	p.check()
+	need := ringRecord(len(data))
+	l := &p.m.l
+	if need > l.ringBytes {
+		panic(fmt.Sprintf("ipc: Send of %d bytes exceeds the %d-byte message ring (raise %s)", len(data), l.ringBytes, envRing))
+	}
+	headW, tailW := l.ringHead(to, p.rank), l.ringTail(to, p.rank)
+	tail := p.m.load(tailW)
+	var bo backoff
+	for tail-p.m.load(headW)+need > l.ringBytes {
+		// Backpressure: the receiver is behind. The fault poll keeps a
+		// send to (or past) a dead world from spinning forever.
+		p.check()
+		bo.pause()
+	}
+	ring := p.m.bytes(l.ring(to, p.rank), l.ringBytes)
+	pos := tail % l.ringBytes
+	binary.LittleEndian.PutUint64(ring[pos:], uint64(tag)<<32|uint64(uint32(len(data))))
+	copyIn(ring, pos+wordSize, data)
+	p.m.store(tailW, tail+need) // publish: release-store after the payload
+}
+
+// copyIn copies src into the ring starting at pos, wrapping modulo the
+// ring size. pos is always 8-aligned and record headers never wrap
+// (strides are 8-aligned and the ring size is a multiple of 8).
+func copyIn(ring []byte, pos int64, src []byte) {
+	pos %= int64(len(ring))
+	n := copy(ring[pos:], src)
+	copy(ring, src[n:])
+}
+
+// copyOut is the inverse of copyIn.
+func copyOut(dst []byte, ring []byte, pos int64) {
+	pos %= int64(len(ring))
+	n := copy(dst, ring[pos:])
+	copy(dst[n:], ring)
+}
+
+// drain moves every complete record from every incoming ring into the
+// local inbox, preserving per-sender order.
+func (p *proc) drain() {
+	l := &p.m.l
+	for s := 0; s < p.cfg.NProcs; s++ {
+		headW, tailW := l.ringHead(p.rank, s), l.ringTail(p.rank, s)
+		tail := p.m.load(tailW) // acquire: payloads below tail are complete
+		head := p.m.load(headW)
+		if head == tail {
+			continue
+		}
+		ring := p.m.bytes(l.ring(p.rank, s), l.ringBytes)
+		for head < tail {
+			hdr := binary.LittleEndian.Uint64(ring[head%l.ringBytes:])
+			tag := int32(uint32(hdr >> 32))
+			n := int(uint32(hdr))
+			data := make([]byte, n)
+			copyOut(data, ring, head+wordSize)
+			p.inbox = append(p.inbox, message{from: s, tag: tag, data: data})
+			head += ringRecord(n)
+		}
+		p.m.store(headW, head) // publish consumption
+	}
+}
+
+// popInbox removes and returns the first queued message matching
+// (from, tag); from may be pgas.AnySource.
+func (p *proc) popInbox(from int, tag int32) (message, bool) {
+	for i, m := range p.inbox {
+		if (from == pgas.AnySource || m.from == from) && m.tag == tag {
+			p.inbox = append(p.inbox[:i], p.inbox[i+1:]...)
+			return m, true
+		}
+	}
+	return message{from: -1}, false
+}
+
+func (p *proc) Recv(from int, tag int32) ([]byte, int) {
+	var bo backoff
+	for {
+		p.drain()
+		if m, ok := p.popInbox(from, tag); ok {
+			return m.data, m.from
+		}
+		// Queued matches are delivered even after a fault; once nothing
+		// matches, an unacknowledged death is returned instead of parking
+		// for a message a dead rank will never send.
+		p.check()
+		bo.pause()
+	}
+}
+
+func (p *proc) TryRecv(from int, tag int32) ([]byte, int, bool) {
+	p.drain()
+	if m, ok := p.popInbox(from, tag); ok {
+		return m.data, m.from, true
+	}
+	p.check()
+	return nil, -1, false
+}
+
+func (p *proc) Compute(d time.Duration) {
+	scale := p.cfg.ComputeScale
+	if scale == 0 {
+		scale = 1.0
+	}
+	scaled := time.Duration(float64(d) * scale * p.speed)
+	if scaled > 0 {
+		spin(scaled)
+	}
+}
+
+// Charge is a no-op: like shm and tcp, modeled bookkeeping costs are
+// already paid in real time on a real transport.
+func (p *proc) Charge(time.Duration) {}
+
+func (p *proc) Now() time.Duration { return time.Since(p.start) }
+func (p *proc) Rand() *rand.Rand   { return p.rng }
+
+// pgas.Resilient: survivable-mode fault acknowledgement and post-mortem
+// access to a dead rank's symmetric memory. The registrar's faultSeq bump
+// is the release edge ordering the dead rank's final (pre-registration)
+// writes before any salvage read that observed the bump.
+
+// SurviveFault acknowledges every death registered so far and returns the
+// live membership. ok is false when the world is not survivable.
+func (p *proc) SurviveFault(fe *pgas.FaultError) (alive []bool, ok bool) {
+	if !p.cfg.Survivable {
+		return nil, false
+	}
+	p.ackedSeq = p.m.load(p.m.l.faultSeq)
+	alive = make([]bool, p.cfg.NProcs)
+	for r := range alive {
+		alive[r] = p.m.load(p.m.l.deadFlag(r)) == 0
+	}
+	return alive, true
+}
+
+// Salvage reads a dead (or any) rank's data segment directly: the arena
+// stays mapped after the process that owned it died.
+func (p *proc) Salvage(dst []byte, rank int, seg pgas.Seg, off int) bool {
+	if !p.cfg.Survivable {
+		return false
+	}
+	copy(dst, p.dataAt(rank, seg, off, len(dst)))
+	return true
+}
+
+// SalvageLoad64 reads a dead (or any) rank's word segment directly.
+func (p *proc) SalvageLoad64(rank int, seg pgas.Seg, idx int) (int64, bool) {
+	if !p.cfg.Survivable {
+		return 0, false
+	}
+	return p.m.load(p.wordAt(rank, seg, idx)), true
+}
+
+// spin busy-waits for d, as in shm and tcp: it models a process occupied
+// with computation at microsecond granularity.
+func spin(d time.Duration) {
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+}

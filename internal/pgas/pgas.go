@@ -8,7 +8,7 @@
 // small two-sided message layer (standing in for MPI point-to-point, used by
 // the UTS-MPI work-stealing baseline).
 //
-// Three transports implement the interface:
+// Four transports implement the interface:
 //
 //   - pgas/shm: real concurrency. Every simulated process is a goroutine and
 //     all operations are performed with real atomics and mutexes. Optionally
@@ -22,6 +22,14 @@
 //     cost, and per-process speed factors model heterogeneous clusters. This
 //     transport reproduces the paper's scaling experiments (up to 512
 //     processes) on any host.
+//
+//   - pgas/ipc: real distribution on one host, zero-copy. Every process is
+//     a separate OS process (launched by re-executing the current binary)
+//     and all of them mmap one shared file holding every rank's symmetric
+//     heap plus a control region, so one-sided operations are plain copies
+//     and atomics on the remote heap — no frames and no syscalls on the
+//     data path. The niche is co-hosted ranks: shm's cost model with tcp's
+//     process isolation.
 //
 //   - pgas/tcp: real distribution. Every process is a separate OS process
 //     (launched by re-executing the current binary) and all remote
@@ -272,5 +280,6 @@ type Transport string
 const (
 	TransportSHM  Transport = "shm"
 	TransportDSim Transport = "dsim"
+	TransportIPC  Transport = "ipc"
 	TransportTCP  Transport = "tcp"
 )

@@ -44,3 +44,42 @@ func TestStealPipelineOutstanding(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFlushWindowCoalesces pins down the syscall-lean flush: a window of
+// Nb request frames must leave in far fewer write calls than frames — the
+// whole window rides one net.Buffers vector write — instead of one write
+// per frame. The assertion runs inside rank 0's process against the
+// package-wide wire accounting, bracketing exactly the batch + Flush.
+func TestFlushWindowCoalesces(t *testing.T) {
+	w := NewWorld(Config{NProcs: 2, Seed: 2})
+	if err := w.Run(func(pp pgas.Proc) {
+		p := pp.(*proc)
+		seg := p.AllocData(1024)
+		words := p.AllocWords(8)
+		p.Barrier()
+		if p.Rank() == 0 {
+			buf := make([]byte, 64)
+			var outs [8]int64
+			f0, w0 := WireStats()
+			for i := 0; i < 8; i++ {
+				p.NbLoad64(1, words, i, &outs[i])
+			}
+			p.NbGet(buf, 1, seg, 0)
+			p.NbStore64(1, words, 0, 7)
+			p.Flush()
+			frames, writes := WireStats()
+			frames, writes = frames-f0, writes-w0
+			if frames < 10 {
+				panic(fmt.Sprintf("batch of 10 Nb issues accounted only %d frames", frames))
+			}
+			if writes*4 > frames {
+				panic(fmt.Sprintf(
+					"flush window of %d frames took %d write calls; the writev coalescing is broken",
+					frames, writes))
+			}
+		}
+		p.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,18 +16,22 @@ import (
 // connection is pipelined: every request frame carries a client-assigned
 // sequence number, many requests may be outstanding at once, and a
 // per-connection demux goroutine routes each reply to the pendingOp
-// registered under its sequence number. Frames are written through a
-// bufio.Writer, so consecutive non-blocking issues coalesce into a single
-// wire write at the next flush; blocking operations flush immediately.
+// registered under its sequence number. Request frames are assembled into
+// pooled buffers and queued; a flush hands the whole window to the kernel
+// in one net.Buffers vector write (writev), so consecutive non-blocking
+// issues cost one syscall instead of one per frame — a bufio.Writer would
+// coalesce too, but only by paying an extra copy of every frame into its
+// internal buffer. Blocking operations flush immediately.
 type peerConn struct {
 	rank    int
 	c       net.Conn
 	own     *owner
 	timeout time.Duration // deadline for bounded ops; 0 disables deadlines
 
-	wmu       sync.Mutex // serializes frame writes and flushes
-	w         *bufio.Writer
-	unflushed bool // frames sit in w since the last flush
+	wmu      sync.Mutex  // serializes frame queuing and flushes
+	wfbs     []*frameBuf // assembled frames queued since the last flush
+	wvec     net.Buffers // reusable scatter list (backing array persists)
+	wBounded bool        // some queued frame belongs to a deadline-bounded op
 
 	pmu         sync.Mutex // guards the fields below
 	nextSeq     uint32
@@ -83,14 +87,10 @@ func newPeerConn(self, rank int, c net.Conn, own *owner, timeout time.Duration) 
 		c:       c,
 		own:     own,
 		timeout: timeout,
-		w:       bufio.NewWriter(c),
 		pending: make(map[uint32]*pendingOp),
 	}
 	hello := append([]byte{opHello}, appendI32(nil, int32(self))...)
-	if err := writeFrameSeq(pc.w, 0, hello, nil); err != nil {
-		return nil, err
-	}
-	if err := pc.w.Flush(); err != nil {
+	if err := writeFrameSeq(c, 0, hello, nil); err != nil {
 		return nil, err
 	}
 	go pc.demux(bufio.NewReader(c))
@@ -129,21 +129,12 @@ func (pc *peerConn) issue(op *pendingOp, head, tail []byte, bounded, flush bool,
 	pc.pmu.Unlock()
 
 	pc.wmu.Lock()
-	if bounded && pc.timeout > 0 {
-		pc.c.SetWriteDeadline(time.Now().Add(pc.timeout))
-	} else {
-		pc.c.SetWriteDeadline(time.Time{})
-	}
-	err := writeFrameSeq(pc.w, seq, head, tail)
-	if err == nil {
-		if flush {
-			err = pc.w.Flush()
-			pc.unflushed = false
-			if err == nil {
-				pc.armReadDeadline()
-			}
-		} else {
-			pc.unflushed = true
+	pc.queueFrame(seq, head, tail, bounded)
+	var err error
+	if flush {
+		err = pc.flushLocked()
+		if err == nil {
+			pc.armReadDeadline()
 		}
 	}
 	pc.wmu.Unlock()
@@ -154,15 +145,67 @@ func (pc *peerConn) issue(op *pendingOp, head, tail []byte, bounded, flush bool,
 	}
 }
 
+// queueFrame assembles one [len][seq][head][tail] request frame into a
+// pooled buffer and appends it to the flush window. head and tail are
+// copied, so the caller may reuse both immediately. No I/O happens here:
+// the write deadline is armed (and the syscall paid) at flush time, when
+// the bytes actually move.
+func (pc *peerConn) queueFrame(seq uint32, head, tail []byte, bounded bool) {
+	fb := getFrame()
+	fb.b = append(fb.b[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(fb.b, uint32(4+len(head)+len(tail)))
+	binary.LittleEndian.PutUint32(fb.b[4:], seq)
+	fb.b = append(fb.b, head...)
+	fb.b = append(fb.b, tail...)
+	pc.wfbs = append(pc.wfbs, fb)
+	if bounded {
+		pc.wBounded = true
+	}
+}
+
+// flushLocked pushes the queued window onto the wire — a lone frame as a
+// plain Write, a batch as one net.Buffers vector write (writev on Linux),
+// so an n-frame window costs one syscall, not n. Called with wmu held.
+func (pc *peerConn) flushLocked() error {
+	if len(pc.wfbs) == 0 {
+		return nil
+	}
+	if pc.timeout > 0 {
+		if pc.wBounded {
+			pc.c.SetWriteDeadline(time.Now().Add(pc.timeout))
+		} else {
+			pc.c.SetWriteDeadline(time.Time{})
+		}
+	}
+	var err error
+	if len(pc.wfbs) == 1 {
+		_, err = pc.c.Write(pc.wfbs[0].b)
+	} else {
+		vec := pc.wvec[:0]
+		for _, fb := range pc.wfbs {
+			vec = append(vec, fb.b)
+		}
+		pc.wvec = vec // keep the backing array before WriteTo consumes the view
+		_, err = vec.WriteTo(pc.c)
+		for i := range pc.wvec[:len(pc.wfbs)] {
+			pc.wvec[i] = nil // do not pin pooled frames past the flush
+		}
+	}
+	wireWrites.Add(1)
+	wireFrames.Add(int64(len(pc.wfbs)))
+	for _, fb := range pc.wfbs {
+		putFrame(fb)
+	}
+	pc.wfbs = pc.wfbs[:0]
+	pc.wBounded = false
+	return err
+}
+
 // flushWrites pushes coalesced non-blocking request frames onto the wire
 // and arms the read deadline for their replies.
 func (pc *peerConn) flushWrites(info func() string) {
 	pc.wmu.Lock()
-	var err error
-	if pc.unflushed {
-		pc.unflushed = false
-		err = pc.w.Flush()
-	}
+	err := pc.flushLocked()
 	if err == nil {
 		pc.armReadDeadline()
 	}

@@ -5,9 +5,26 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"scioto/internal/pgas"
 )
+
+// Wire-write accounting for the mesh request path: wireFrames counts
+// request frames flushed, wireWrites counts the write calls (plain or
+// vector) that carried them. The gap between the two is the syscall
+// saving of the writev flush window; pgasbench reports it and
+// TestFlushWindowCoalesces pins it down.
+var (
+	wireFrames atomic.Int64
+	wireWrites atomic.Int64
+)
+
+// WireStats reports the cumulative (frames flushed, write calls) of every
+// mesh connection in this process since it started.
+func WireStats() (frames, writes int64) {
+	return wireFrames.Load(), wireWrites.Load()
+}
 
 // Request opcodes, one per remote Proc method (see doc.go for the frame
 // layouts). Mesh frames are sequence-numbered in both directions: a reply

@@ -10,11 +10,12 @@
 // over split queues and detects global termination with token waves.
 //
 // Because Go has no MPI or ARMCI, the distributed machine itself is
-// provided by this module: Run launches N processes over one of three
+// provided by this module: Run launches N processes over one of four
 // interchangeable transports — real shared-memory concurrency ("shm"), a
 // deterministic discrete-event simulation in virtual time ("dsim") that
 // models network latency, bandwidth, and heterogeneous processor speeds,
-// or real OS processes communicating over TCP ("tcp", launched by
+// real OS processes on one host sharing a zero-copy mapped file ("ipc"),
+// or real OS processes communicating over TCP ("tcp"; both launched by
 // re-executing the current binary). The Scioto runtime, the Global Arrays
 // subset, and the bundled applications are written purely against the
 // one-sided pgas interface, so they cannot tell the difference.
@@ -46,6 +47,7 @@ import (
 	"scioto/internal/pgas/dsim"
 	"scioto/internal/pgas/faulty"
 	"scioto/internal/pgas/instr"
+	"scioto/internal/pgas/ipc"
 	"scioto/internal/pgas/shm"
 	"scioto/internal/pgas/tcp"
 	"scioto/internal/trace"
@@ -75,7 +77,8 @@ type (
 	Dep = core.Dep
 	// Proc is the underlying one-sided communication handle.
 	Proc = pgas.Proc
-	// Transport names a machine implementation ("shm", "dsim", or "tcp").
+	// Transport names a machine implementation ("shm", "dsim", "ipc", or
+	// "tcp").
 	Transport = pgas.Transport
 	// FaultError is the structured error Run returns when a rank fails:
 	// it names the failing rank, the phase of the failure, and (when
@@ -114,6 +117,9 @@ const (
 	TransportSHM = pgas.TransportSHM
 	// TransportDSim selects the deterministic virtual-time machine.
 	TransportDSim = pgas.TransportDSim
+	// TransportIPC selects real OS processes on one host sharing a
+	// zero-copy mapped file.
+	TransportIPC = pgas.TransportIPC
 	// TransportTCP selects real OS processes communicating over TCP.
 	TransportTCP = pgas.TransportTCP
 	// TermWave selects the paper's wave-based termination detection.
@@ -169,8 +175,9 @@ type Config struct {
 	// in symmetric memory, and when a worker rank dies mid-phase the
 	// survivors reconstruct its lost tasks from the journals, re-root the
 	// termination tree around it, and finish the phase with an exact
-	// completion count (see DESIGN.md "Recovery"). Only the shm and dsim
-	// transports are survivable; recovery requires wave termination (the
+	// completion count (see DESIGN.md "Recovery"). Only the shm, dsim,
+	// and ipc transports are survivable; recovery requires wave
+	// termination (the
 	// TC default). The death of rank 0 stays fatal — Run then returns an
 	// error matching ErrUnrecoverable. When false, the SCIOTO_RECOVER
 	// environment variable (any non-empty value but "0") arms it instead.
@@ -313,6 +320,13 @@ func (c Config) NewWorld() (pgas.World, error) {
 			SpeedFactor:   c.SpeedFactor,
 			Survivable:    c.recoverOn(),
 		})
+	case TransportIPC:
+		w = ipc.NewWorld(ipc.Config{
+			NProcs:      c.Procs,
+			Seed:        c.Seed,
+			SpeedFactor: c.SpeedFactor,
+			Survivable:  c.recoverOn(),
+		})
 	case TransportTCP:
 		w = tcp.NewWorld(tcp.Config{
 			NProcs:      c.Procs,
@@ -350,7 +364,7 @@ func (c Config) NewWorld() (pgas.World, error) {
 	if obsOn {
 		w = instr.Wrap(w, hub, instr.Options{
 			Addr:        obsCfg.Addr,
-			PerRankPort: c.Transport == TransportTCP,
+			PerRankPort: c.Transport == TransportTCP || c.Transport == TransportIPC,
 			TraceLimit:  obsCfg.TraceLimit,
 		})
 	}

@@ -1,17 +1,29 @@
 #!/usr/bin/env bash
-# bench_compare.sh — regression gate for the serve-mode perf artifact.
+# bench_compare.sh — regression gate for the checked-in perf artifacts.
 #
-# Re-runs `sciotobench -exp serve -json` and compares the measured p95
-# latency and sustained tasks/s against the checked-in BENCH_serve.json
-# baseline, failing when either drifts outside the allowed band
-# (SCIOTO_BENCH_BAND, default 0.15 = ±15%). Cells recorded as "-" in the
-# baseline are not compared. Run via `make bench-compare`; CI runs the
-# same target after the recovery matrix so a healing-path change that
-# taxes the steady-state ingest hot path is caught in the same PR.
+# Serve: re-runs `sciotobench -exp serve -json` and compares the measured
+# p95 latency and sustained tasks/s against the checked-in
+# BENCH_serve.json baseline, failing when either drifts outside the
+# allowed band (SCIOTO_BENCH_BAND, default 0.15 = ±15%). Cells recorded
+# as "-" in the baseline are not compared.
+#
+# Transports: re-runs `sciotobench -exp transports -json` and compares
+# the Remote Steal row of BENCH_transport.json per transport. Wall-clock
+# latency on a shared runner is far noisier than throughput, so the band
+# is wide (SCIOTO_BENCH_TRANSPORT_BAND, default 1.0 = 2x) and the real
+# gate is the ordering invariant: the fresh ipc Remote Steal must stay
+# strictly below the fresh tcp Remote Steal — the zero-copy transport
+# losing its order-of-magnitude edge over sockets fails regardless of
+# drift against the baseline.
+#
+# Run via `make bench-compare`; CI runs the same target after the
+# recovery matrix so a healing-path change that taxes a steady-state hot
+# path is caught in the same PR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 band="${SCIOTO_BENCH_BAND:-0.15}"
+tband="${SCIOTO_BENCH_TRANSPORT_BAND:-1.0}"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -86,4 +98,62 @@ if failures:
         print("  " + f, file=sys.stderr)
     sys.exit(1)
 print(f"PASS: {checked} cells within ±{band * 100:.0f}% of BENCH_serve.json")
+EOF
+
+go run ./cmd/sciotobench -exp transports -json >"$tmp/transports.json"
+
+python3 - "$tmp/transports.json" BENCH_transport.json "$tband" <<'EOF'
+import json, sys
+
+fresh_path, base_path, band = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def steal_row(doc):
+    """The Remote Steal row of the transports table as {transport: µs}."""
+    for table in doc["tables"]:
+        if table["ID"] != "transports":
+            continue
+        cols = table["Columns"]
+        for row in table["Rows"]:
+            if row[0] == "Remote Steal":
+                return {c: float(v) for c, v in zip(cols[1:], row[1:])}
+    return None
+
+with open(fresh_path) as f:
+    fresh = steal_row(json.load(f))
+with open(base_path) as f:
+    base = steal_row(json.load(f))
+
+failures = []
+if fresh is None:
+    failures.append("fresh run has no transports table with a Remote Steal row")
+if base is None:
+    failures.append("BENCH_transport.json has no transports table with a Remote Steal row")
+
+if not failures:
+    for tr in ("shm", "ipc", "tcp"):
+        want, got = base.get(tr), fresh.get(tr)
+        if want is None or got is None:
+            failures.append(f"Remote Steal {tr}: missing column")
+            continue
+        worse = got / want
+        verdict = "ok" if worse <= 1 + band else "REGRESSION"
+        print(f"Remote Steal {tr}: baseline {want:.4f}µs, fresh {got:.4f}µs ({verdict})")
+        if worse > 1 + band:
+            failures.append(
+                f"Remote Steal {tr}: {got:.4f}µs vs baseline {want:.4f}µs "
+                f"({(worse - 1) * 100:.0f}% worse, band +{band * 100:.0f}%)")
+    # The invariant the artifact exists to guard: the zero-copy ipc
+    # transport must beat loopback tcp on the steal path, whatever the
+    # host. Both numbers come from the same fresh run, so this check is
+    # immune to baseline staleness and runner speed.
+    if fresh["ipc"] >= fresh["tcp"]:
+        failures.append(
+            f"ordering inverted: ipc Remote Steal {fresh['ipc']:.4f}µs >= tcp {fresh['tcp']:.4f}µs")
+
+if failures:
+    print("FAIL: transport benchmark outside the regression gate:", file=sys.stderr)
+    for f in failures:
+        print("  " + f, file=sys.stderr)
+    sys.exit(1)
+print(f"PASS: Remote Steal within +{band * 100:.0f}% of BENCH_transport.json, ipc < tcp holds")
 EOF

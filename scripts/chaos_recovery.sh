@@ -2,13 +2,15 @@
 # chaos_recovery.sh — seed-pinned recovery matrix against the deployed
 # daemon.
 #
-# Runs sciotod -recover on the survivable shm transport and, per
-# scenario, kills worker rank 2 at a pinned operation count via the
-# SCIOTO_FAULT_* environment (deterministic injection, see
-# internal/pgas/faulty). Scenarios place the crash before the rank's
-# first steal, mid-steal, and while deferred-dependency tasks are in
-# flight. Each run must (a) actually fire the injected crash, (b) stream
-# every submitted result back to the client, and (c) drain to exit 0.
+# Runs sciotod -recover on each survivable transport (shm: ranks are
+# goroutines; ipc: ranks are OS processes over one shared mapping, and
+# the injected panic genuinely kills a process) and, per scenario, kills
+# worker rank 2 at a pinned operation count via the SCIOTO_FAULT_*
+# environment (deterministic injection, see internal/pgas/faulty).
+# Scenarios place the crash before the rank's first steal, mid-steal,
+# and while deferred-dependency tasks are in flight. Each run must (a)
+# actually fire the injected crash, (b) stream every submitted result
+# back to the client, and (c) drain to exit 0.
 #
 # The in-process matrix (go test: TestRecovery* on shm+dsim, TestRunRecover,
 # TestServeWorkerCrashRecovers) proves exactness; this script proves the
@@ -57,11 +59,11 @@ print(json.dumps({'tenant': 'chaos', 'tasks': tasks}))
 }
 
 run_scenario() {
-	local name="$1" crash_after="$2" payload="$3" ntasks="$4"
-	echo "== scenario: $name (crash rank 2 after $crash_after ops) =="
+	local tr="$1" name="$2" crash_after="$3" payload="$4" ntasks="$5"
+	echo "== scenario: $tr/$name (crash rank 2 after $crash_after ops) =="
 	: >"$tmp/err.log"
 	SCIOTO_FAULT_SEED=21 SCIOTO_FAULT_CRASH_RANK=2 SCIOTO_FAULT_CRASH_AFTER="$crash_after" \
-		"$tmp/sciotod" -procs 4 -seed 7 -recover -addr 127.0.0.1:0 \
+		"$tmp/sciotod" -transport "$tr" -procs 4 -seed 7 -recover -addr 127.0.0.1:0 \
 		>"$tmp/out.log" 2>"$tmp/err.log" &
 	pid=$!
 
@@ -118,8 +120,13 @@ print(n)
 	echo "ok: $ntasks results streamed across the crash, clean drain"
 }
 
-run_scenario "crash-before-steal" 1040 "$(spin_tasks 200)" 200
-run_scenario "crash-mid-steal" 1060 "$(spin_tasks 200)" 200
-run_scenario "crash-with-deferred-deps" 1060 "$(dep_tasks 200)" 200
+# The op pins hold on both transports: faulty counts rank 2's own
+# checked operations, and the setup sequence (dep-pool init + journal)
+# that dominates the count is identical core code on shm and ipc.
+for tr in shm ipc; do
+	run_scenario "$tr" "crash-before-steal" 1040 "$(spin_tasks 200)" 200
+	run_scenario "$tr" "crash-mid-steal" 1060 "$(spin_tasks 200)" 200
+	run_scenario "$tr" "crash-with-deferred-deps" 1060 "$(dep_tasks 200)" 200
+done
 
-echo "PASS: recovery matrix (3 scenarios, seed-pinned SCIOTO_FAULT_*)"
+echo "PASS: recovery matrix (2 transports x 3 scenarios, seed-pinned SCIOTO_FAULT_*)"

@@ -1,0 +1,14 @@
+// Package ipc is the fixture stub of scioto/internal/pgas/ipc. The
+// analyzers care only that NewWorld returns a pgas.World whose methods are
+// declared in package pgas; the shared mapping and rank launching are
+// irrelevant.
+package ipc
+
+import "pgas"
+
+type Config struct {
+	NProcs int
+	Seed   int64
+}
+
+func NewWorld(cfg Config) pgas.World { return nil }
