@@ -26,9 +26,10 @@
 //
 //	header   | magic, nprocs, arena/ring geometry (sanity-checked on map)
 //	control  | world words: ctl spinlock, faultSeq, liveCount, barrier
-//	         | epoch+count, lockCount; per-rank dead flags; the current
-//	         | fault record; per-rank exit-report slots; per-rank
-//	         | accumulate locks; the lock table; mailbox ring headers
+//	         | epoch, lockCount; per-rank dead flags; per-rank barrier
+//	         | arrival stamps; the current fault record; per-rank
+//	         | exit-report slots; per-rank accumulate locks; the lock
+//	         | table; mailbox ring headers
 //	rings    | one byte ring per (sender, receiver) pair
 //	arenas   | one fixed-size symmetric heap arena per rank
 //
@@ -50,9 +51,12 @@
 // Locks are holder-tagged words (0 free, rank+1 held) acquired by CAS;
 // mailboxes are single-producer byte rings per (sender, receiver) pair,
 // drained into a receiver-local queue where tag/source matching happens
-// (per-pair FIFO falls out of ring order); the barrier is a shared
-// epoch+count pair mutated under the control spinlock with the waiting
-// done outside it.
+// (per-pair FIFO falls out of ring order); the barrier is a shared epoch
+// word plus per-rank arrival stamps mutated under the control spinlock
+// with the waiting done outside it — per-rank stamps (not an anonymous
+// count) so a rank that is SIGKILLed after arriving never stands in for
+// a live rank that has not, and a single-store release so there is no
+// multi-word release window a SIGKILL could tear.
 //
 // # Failure model
 //

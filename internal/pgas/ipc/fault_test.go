@@ -2,6 +2,7 @@ package ipc_test
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"runtime"
 	"sync/atomic"
@@ -81,6 +82,100 @@ func TestCrashContainmentSIGKILL(t *testing.T) {
 	}
 	if got := runtime.NumGoroutine(); got > goroutines+1 {
 		t.Errorf("launcher leaked goroutines: %d before Run, %d after", goroutines, got)
+	}
+}
+
+// TestSurvivableBarrierSIGKILLMidWait pins the barrier's arrival
+// accounting against the cruelest spot: a rank is SIGKILLed after
+// arriving at a barrier, while a live rank has provably not arrived yet.
+// The dead rank's stale arrival must not stand in for the missing live
+// one — that would release the round early and desynchronize every later
+// round — so each survivor absorbs exactly one FaultError, acknowledges
+// it, and the healed round plus a later round both complete over the
+// live membership. Run must return nil: a healed death is not an error
+// in a survivable world.
+func TestSurvivableBarrierSIGKILLMidWait(t *testing.T) {
+	const n = 4
+	const deadRank = 3
+	w := ipc.NewWorld(ipc.Config{NProcs: n, Seed: 5, Survivable: true})
+	err := w.Run(func(p pgas.Proc) {
+		res := p.(pgas.Resilient)
+		pidSeg := p.AllocWords(1)
+		cntSeg := p.AllocWords(1)
+		p.RelaxedStore64(pidSeg, 0, int64(os.Getpid()))
+		p.Barrier()
+
+		// catching runs f and returns the FaultError it panicked, if any.
+		catching := func(f func()) (fe *pgas.FaultError) {
+			defer func() {
+				if r := recover(); r != nil {
+					var ok bool
+					if fe, ok = r.(*pgas.FaultError); !ok {
+						panic(r)
+					}
+				}
+			}()
+			f()
+			return nil
+		}
+		// do runs f, absorbing (acknowledging, then retrying after) the
+		// dead rank's fault: which step delivers it depends on the
+		// reap/acknowledge interleaving, so every step must tolerate it.
+		faults := 0
+		do := func(f func()) {
+			for {
+				fe := catching(f)
+				if fe == nil {
+					return
+				}
+				if fe.Rank != deadRank {
+					panic(fmt.Sprintf("fault names rank %d, want %d", fe.Rank, deadRank))
+				}
+				faults++
+				res.SurviveFault(fe)
+			}
+		}
+
+		if p.Rank() == deadRank {
+			// Arrive, then die parked in the wait: the launcher registers
+			// the death while this arrival is already stamped.
+			go func() {
+				time.Sleep(150 * time.Millisecond)
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}()
+			//lint:ignore collective the dying rank arrives alone by design: it is SIGKILLed mid-wait, and the survivors complete the round over the live membership
+			p.Barrier() // never returns
+			panic("rank survived its own SIGKILL")
+		}
+		if p.Rank() == 0 {
+			// Stay away from the barrier until the death is registered, so
+			// the wounded round provably has a live rank missing while the
+			// dead rank's arrival is on the books.
+			deadline := time.Now().Add(8 * time.Second)
+			for catching(func() { p.Load64(0, cntSeg, 0) }) == nil {
+				if time.Now().After(deadline) {
+					panic("death of the SIGKILLed rank was never registered")
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		do(p.Barrier)                                // the wounded round, healed
+		do(func() { p.FetchAdd64(0, cntSeg, 0, 1) }) // ops work after healing
+		do(p.Barrier)                                // a later round works too
+		if faults != 1 {
+			panic(fmt.Sprintf("rank %d absorbed %d faults, want exactly 1", p.Rank(), faults))
+		}
+		if p.Rank() == 0 {
+			if got := p.RelaxedLoad64(cntSeg, 0); got != n-1 {
+				panic(fmt.Sprintf("post-recovery count = %d, want %d", got, n-1))
+			}
+		}
+	})
+	if inRankProcess() {
+		return
+	}
+	if err != nil {
+		t.Fatalf("survivable world with a rank SIGKILLed mid-barrier-wait failed: %v", err)
 	}
 }
 

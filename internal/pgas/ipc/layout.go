@@ -3,8 +3,10 @@ package ipc
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -60,10 +62,10 @@ type layout struct {
 	faultSeq  int64 // registered deaths; survivors compare with ackedSeq
 	liveCount int64 // ranks not registered dead
 	barEpoch  int64 // barrier generation
-	barCnt    int64 // arrivals in the current generation
 	lockCount int64 // AllocLock high-water mark (for dead-holder scans)
 
 	deadFlags int64 // nprocs words: 1 = registered dead
+	barArrs   int64 // nprocs words: epoch stamp of each rank's latest barrier arrival
 	faultRec  int64 // faultRecBytes: the current fault record
 	reports   int64 // nprocs slots of (state word, len word, reportBuf)
 	accLocks  int64 // nprocs words: per-target accumulate locks
@@ -94,9 +96,9 @@ func computeLayout(nprocs int, arenaBytes, ringBytes int64) layout {
 	word(&l.faultSeq)
 	word(&l.liveCount)
 	word(&l.barEpoch)
-	word(&l.barCnt)
 	word(&l.lockCount)
 	region(&l.deadFlags, int64(nprocs)*wordSize)
+	region(&l.barArrs, int64(nprocs)*wordSize)
 	region(&l.faultRec, faultRecBytes)
 	region(&l.reports, int64(nprocs)*reportSlotBytes)
 	region(&l.accLocks, int64(nprocs)*wordSize)
@@ -111,6 +113,7 @@ func computeLayout(nprocs int, arenaBytes, ringBytes int64) layout {
 // Per-structure offset helpers.
 
 func (l *layout) deadFlag(rank int) int64 { return l.deadFlags + int64(rank)*wordSize }
+func (l *layout) barArr(rank int) int64   { return l.barArrs + int64(rank)*wordSize }
 func (l *layout) report(rank int) int64   { return l.reports + int64(rank)*reportSlotBytes }
 func (l *layout) accLock(rank int) int64  { return l.accLocks + int64(rank)*wordSize }
 func (l *layout) lockWord(id, host int) int64 {
@@ -134,6 +137,12 @@ type mapping struct {
 // mapFile maps the file MAP_SHARED. The file must already have the layout's
 // size (the parent ftruncates before spawning).
 func mapFile(f *os.File, l layout) (*mapping, error) {
+	if l.total > math.MaxInt {
+		// On 32-bit platforms a realistic geometry (default 64 MiB arena
+		// times enough ranks) overflows int; a truncated mmap length would
+		// map less than the computed layout and panic on a later access.
+		return nil, fmt.Errorf("ipc: world layout needs %d bytes, which does not fit this platform's %d-bit address space — reduce NProcs or ArenaBytes", l.total, strconv.IntSize)
+	}
 	b, err := syscall.Mmap(int(f.Fd()), 0, int(l.total), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
 	if err != nil {
 		return nil, fmt.Errorf("ipc: mmap %d bytes: %v", l.total, err)
@@ -162,6 +171,23 @@ func (m *mapping) cas(off int64, old, new int64) bool {
 
 // bytes returns the [off, off+n) window of the map.
 func (m *mapping) bytes(off, n int64) []byte { return m.b[off : off+n : off+n] }
+
+// barArrived reports whether every counted rank has arrived for barrier
+// round e (arrival stamp e+1; see proc.Barrier). liveOnly excludes
+// registered-dead ranks from the predicate: a dead rank neither holds the
+// round open (it will never arrive) nor releases it on a live straggler's
+// behalf (its stale arrival stamp is ignored, not withdrawn).
+func (m *mapping) barArrived(e int64, liveOnly bool) bool {
+	for r := 0; r < m.l.nprocs; r++ {
+		if liveOnly && m.load(m.l.deadFlag(r)) != 0 {
+			continue
+		}
+		if m.load(m.l.barArr(r)) != e+1 {
+			return false
+		}
+	}
+	return true
+}
 
 // writeHeader stamps the geometry; children verify it against the layout
 // they recomputed from their own (deterministically identical) Config.
@@ -274,6 +300,14 @@ func (m *mapping) currentFault(tag int64) *pgas.FaultError {
 // publication survivors poll), then force-release of every lock and
 // accumulate lock the dead rank held. Reports whether the death was
 // fresh. Safe from ranks and from the parent (distinct tags).
+//
+// Barrier state needs no repair here: the release predicate skips
+// dead-flagged ranks (their arrival stamps are ignored rather than
+// withdrawn), the release itself is a single barEpoch store with no
+// multi-word window a SIGKILL could tear, and the faultSeq bump exceeds
+// every survivor's acknowledged sequence, forcing parked waiters to
+// withdraw and re-arrive — re-evaluating the predicate against the
+// shrunk membership (see proc.Barrier).
 func (m *mapping) registerDeath(tag int64, fe *pgas.FaultError) bool {
 	m.lockCtl(tag)
 	fresh := fe.Rank >= 0 && fe.Rank < m.l.nprocs && m.load(m.l.deadFlag(fe.Rank)) == 0

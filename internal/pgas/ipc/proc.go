@@ -80,27 +80,28 @@ func (p *proc) check() {
 	panic(p.m.currentFault(p.tag()))
 }
 
-// Barrier is a shared epoch+count pair. Arrival, withdrawal, and release
-// mutate the pair under the control lock; the waiting spins outside it on
-// the epoch word alone. In survivable mode the arrival target is the live
-// membership, a waiter that observes an unacknowledged death withdraws
-// its arrival (it re-arrives after recovery) and panics, and a waiter
-// that sees the membership shrink to (or below) the arrivals already
-// parked releases the round on the dead rank's behalf.
+// Barrier tracks arrivals as per-rank epoch stamps: barArr(r) == e+1 says
+// rank r has arrived for round e. The round releases when every counted
+// rank has arrived — all ranks normally, the live membership in
+// survivable mode — and the release is a single barEpoch store, so there
+// is no multi-word release window a SIGKILL could tear. A rank that dies
+// after arriving leaves a stale stamp that the predicate ignores (dead
+// ranks are excluded, not withdrawn), so a ghost arrival can never stand
+// in for a live rank that has not arrived. The waiting spins outside the
+// control lock on the epoch word alone. A registered death bumps faultSeq
+// above every survivor's acknowledged sequence, so each parked waiter
+// withdraws its own arrival and unwinds with the fault; re-arrivals after
+// recovery re-evaluate the release predicate against the shrunk
+// membership, which is what completes a round whose last missing (or
+// mid-release) rank died.
 func (p *proc) Barrier() {
 	p.check()
 	m, l := p.m, &p.m.l
 	tag := p.tag()
 	m.lockCtl(tag)
 	e := m.load(l.barEpoch)
-	cnt := m.load(l.barCnt) + 1
-	m.store(l.barCnt, cnt)
-	target := int64(p.cfg.NProcs)
-	if p.cfg.Survivable {
-		target = m.load(l.liveCount)
-	}
-	if cnt >= target {
-		m.store(l.barCnt, 0)
+	m.store(l.barArr(p.rank), e+1)
+	if m.barArrived(e, p.cfg.Survivable) {
 		m.store(l.barEpoch, e+1)
 		m.unlockCtl(tag)
 		return
@@ -117,21 +118,12 @@ func (p *proc) Barrier() {
 			// were deciding (then the fault is delivered at the next op).
 			m.lockCtl(tag)
 			if m.load(l.barEpoch) == e {
-				m.store(l.barCnt, m.load(l.barCnt)-1)
+				m.store(l.barArr(p.rank), 0)
 				m.unlockCtl(tag)
 				p.check() // panics
 			}
 			m.unlockCtl(tag)
 			return
-		}
-		if p.cfg.Survivable && m.load(l.barCnt) >= m.load(l.liveCount) {
-			m.lockCtl(tag)
-			if m.load(l.barEpoch) == e && m.load(l.barCnt) >= m.load(l.liveCount) {
-				m.store(l.barCnt, 0)
-				m.store(l.barEpoch, e+1)
-			}
-			m.unlockCtl(tag)
-			continue
 		}
 		bo.pause()
 	}

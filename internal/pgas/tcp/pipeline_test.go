@@ -83,3 +83,34 @@ func TestFlushWindowCoalesces(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAutoFlushBoundsWindow pins the other side of the coalescing
+// bargain: a long run of Nb issues with no explicit Flush must not
+// accumulate pooled frames without bound. Once the queued window passes
+// autoFlushBytes, issue itself flushes, so frames reach the wire (and
+// replies start streaming back) before any blocking op.
+func TestAutoFlushBoundsWindow(t *testing.T) {
+	w := NewWorld(Config{NProcs: 2, Seed: 3})
+	if err := w.Run(func(pp pgas.Proc) {
+		p := pp.(*proc)
+		seg := p.AllocData(16 << 10)
+		p.Barrier()
+		if p.Rank() == 0 {
+			src := make([]byte, 16<<10)
+			_, w0 := WireStats()
+			for i := 0; i < 8; i++ { // 128 KiB queued, two windows' worth
+				p.NbPut(1, seg, 0, src)
+			}
+			_, w1 := WireStats()
+			if w1 == w0 {
+				panic(fmt.Sprintf(
+					"8 Nb issues (%d KiB) queued without a single auto-flush; the window is unbounded",
+					8*16))
+			}
+			p.Flush()
+		}
+		p.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -31,6 +31,7 @@ type peerConn struct {
 	wmu      sync.Mutex  // serializes frame queuing and flushes
 	wfbs     []*frameBuf // assembled frames queued since the last flush
 	wvec     net.Buffers // reusable scatter list (backing array persists)
+	wBytes   int         // bytes queued in wfbs; autoFlushBytes caps the window
 	wBounded bool        // some queued frame belongs to a deadline-bounded op
 
 	pmu         sync.Mutex // guards the fields below
@@ -131,7 +132,7 @@ func (pc *peerConn) issue(op *pendingOp, head, tail []byte, bounded, flush bool,
 	pc.wmu.Lock()
 	pc.queueFrame(seq, head, tail, bounded)
 	var err error
-	if flush {
+	if flush || pc.wBytes >= autoFlushBytes {
 		err = pc.flushLocked()
 		if err == nil {
 			pc.armReadDeadline()
@@ -144,6 +145,14 @@ func (pc *peerConn) issue(op *pendingOp, head, tail []byte, bounded, flush bool,
 		pc.fail(err, info)
 	}
 }
+
+// autoFlushBytes caps the unflushed window: once the queued frames exceed
+// it, the next issue flushes even without an explicit Flush. Typical
+// steal-shaped batches stay far under it and still leave as one writev;
+// a long run of Nb issues streams in window-sized writes instead of
+// accumulating pooled frames without bound (and without any send/reply
+// overlap) until the next blocking op.
+const autoFlushBytes = 64 << 10
 
 // queueFrame assembles one [len][seq][head][tail] request frame into a
 // pooled buffer and appends it to the flush window. head and tail are
@@ -158,6 +167,7 @@ func (pc *peerConn) queueFrame(seq uint32, head, tail []byte, bounded bool) {
 	fb.b = append(fb.b, head...)
 	fb.b = append(fb.b, tail...)
 	pc.wfbs = append(pc.wfbs, fb)
+	pc.wBytes += len(fb.b)
 	if bounded {
 		pc.wBounded = true
 	}
@@ -197,6 +207,7 @@ func (pc *peerConn) flushLocked() error {
 		putFrame(fb)
 	}
 	pc.wfbs = pc.wfbs[:0]
+	pc.wBytes = 0
 	pc.wBounded = false
 	return err
 }
