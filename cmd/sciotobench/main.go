@@ -35,9 +35,12 @@ import (
 )
 
 // jsonDoc is the -json output document: the perf-lab artifact schema.
+// Machine records the producing host so bench_compare.sh can refuse to
+// treat cross-machine drift as a regression silently.
 type jsonDoc struct {
-	Quick  bool           `json:"quick,omitempty"`
-	Tables []*bench.Table `json:"tables"`
+	Quick   bool           `json:"quick,omitempty"`
+	Machine bench.Machine  `json:"machine"`
+	Tables  []*bench.Table `json:"tables"`
 }
 
 var (
@@ -147,7 +150,7 @@ func main() {
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonDoc{Quick: *quick, Tables: jsonTabs}); err != nil {
+		if err := enc.Encode(jsonDoc{Quick: *quick, Machine: bench.MachineInfo(), Tables: jsonTabs}); err != nil {
 			fmt.Fprintf(os.Stderr, "encoding tables: %v\n", err)
 			os.Exit(1)
 		}

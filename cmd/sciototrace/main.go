@@ -8,10 +8,21 @@
 // victim's row; votes, waves, releases, reacquires, task adds, injected
 // faults, and termination render as instants.
 //
+// With -report the merge instead feeds the attribution engine: the
+// output is a machine-readable bottleneck report — per-rank occupancy
+// fractions (disjoint, summing to ≤ 1.0 with idle) and the serialized
+// critical path carved up by blamed resource.
+//
+// With -serve the merged run is held in memory and served over local
+// HTTP: an index page with the top-k bottleneck table and occupancy
+// bars, plus /trace (Chrome JSON), /report, and /occupancy endpoints.
+//
 // Usage:
 //
 //	sciototrace /tmp/traces                    # merge dir/trace-rank*.json
 //	sciototrace -o run.json trace-rank*.json   # explicit files
+//	sciototrace -report -o - /tmp/traces       # attribution report to stdout
+//	sciototrace -serve localhost:8123 /tmp/traces
 package main
 
 import (
@@ -28,9 +39,11 @@ import (
 
 func main() {
 	out := flag.String("o", "scioto-trace.json", `output file ("-" for stdout)`)
+	report := flag.Bool("report", false, "emit a bottleneck-attribution report (JSON) instead of a Chrome trace")
+	serve := flag.String("serve", "", "serve the merged trace, occupancy timelines, and attribution report over HTTP at this address (e.g. localhost:8123)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: sciototrace [-o out.json] <trace-dir | trace-rank*.json ...>")
+		fmt.Fprintln(os.Stderr, "usage: sciototrace [-o out.json] [-report] [-serve addr] <trace-dir | trace-rank*.json ...>")
 		os.Exit(2)
 	}
 
@@ -52,7 +65,23 @@ func main() {
 		if d.Dropped > 0 {
 			fmt.Fprintf(os.Stderr, "sciototrace: warning: rank %d dropped %d events (raise SCIOTO_OBS_TRACE_LIMIT)\n", d.Rank, d.Dropped)
 		}
+		if d.OccDropped > 0 {
+			fmt.Fprintf(os.Stderr, "sciototrace: warning: rank %d dropped %d occupancy intervals (aggregates stay exact; the timeline is truncated)\n", d.Rank, d.OccDropped)
+		}
 		dumps = append(dumps, d)
+	}
+
+	if *serve != "" {
+		if err := serveRun(*serve, dumps); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *report {
+		if err := writeReport(*out, dumps); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	events := convert(dumps)
@@ -142,11 +171,21 @@ type openSpan struct {
 // begin is synthesized shut at the rank's last timestamp.
 func convert(dumps []*trace.Dump) []chromeEvent {
 	const pid = 1
+	const occPid = 2 // occupancy rows in their own process group
 	var out []chromeEvent
 	out = append(out, chromeEvent{
 		Name: "process_name", Ph: "M", Pid: pid,
 		Args: map[string]any{"name": "scioto"},
 	})
+	for _, d := range dumps {
+		if len(d.Occ) > 0 {
+			out = append(out, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: occPid,
+				Args: map[string]any{"name": "scioto occupancy"},
+			})
+			break
+		}
+	}
 	var flowID int64
 	for _, d := range dumps {
 		rank := d.Rank
@@ -200,6 +239,26 @@ func convert(dumps []*trace.Dump) []chromeEvent {
 		}
 		if steal != nil {
 			out = append(out, stealSpan(pid, rank, *steal, lastNs, trace.StealBegin, 0))
+		}
+		// Occupancy intervals become complete spans in their own process
+		// group (they overlap freely; nesting them under the task spans
+		// would misrender).
+		if len(d.Occ) > 0 {
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: occPid, Tid: rank,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
+			})
+			for _, q := range d.Occ {
+				res := "resource(?)"
+				if int(q[0]) < len(d.OccResources) {
+					res = d.OccResources[q[0]]
+				}
+				out = append(out, chromeEvent{
+					Name: res, Cat: "occ", Ph: "X",
+					Ts: micros(q[1]), Dur: durPtr(q[1], q[2]), Pid: occPid, Tid: rank,
+					Args: map[string]any{"detail": q[3]},
+				})
+			}
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"scioto/internal/trace"
+)
+
+// writeReport runs the attribution engine over the merged dumps and
+// writes the report as indented JSON. The engine and the encoding are
+// both deterministic (fixed priority order, slice-only schema), so a
+// deterministic transport (dsim) produces a bit-identical report.
+func writeReport(out string, dumps []*trace.Dump) error {
+	rep, err := trace.Attribute(dumps, 0, 0)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if out != "-" {
+		top := rep.TopBottleneck()
+		if top == "" {
+			top = "none (no serialized stalls)"
+		}
+		fmt.Fprintf(os.Stderr, "sciototrace: wrote attribution for %d ranks to %s (top bottleneck: %s)\n",
+			len(rep.Ranks), out, top)
+	}
+	return nil
+}

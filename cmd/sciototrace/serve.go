@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+
+	"scioto/internal/trace"
+)
+
+// serveRun holds the merged run in memory and serves it over local HTTP
+// (stdlib only):
+//
+//	/           index page: top-k bottleneck table + occupancy bars
+//	/trace      the merged Chrome trace-event JSON (load in Perfetto)
+//	/report     the attribution report (same schema as -report)
+//	/occupancy  bucketed per-rank, per-resource timelines (?buckets=N)
+func serveRun(addr string, dumps []*trace.Dump) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, indexHTML)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, chromeTrace{TraceEvents: convert(dumps), DisplayTimeUnit: "ns"})
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := trace.Attribute(dumps, 0, 0)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, rep)
+	})
+	mux.HandleFunc("/occupancy", func(w http.ResponseWriter, r *http.Request) {
+		buckets := 120
+		if s := r.URL.Query().Get("buckets"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 && n <= 10000 {
+				buckets = n
+			}
+		}
+		writeJSON(w, trace.OccupancyTimeline(dumps, buckets))
+	})
+	fmt.Fprintf(os.Stderr, "sciototrace: serving %d ranks at http://%s/ (endpoints: /trace /report /occupancy)\n", len(dumps), addr)
+	return http.ListenAndServe(addr, mux)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// indexHTML is the report server's single page: it fetches /report and
+// /occupancy and renders the bottleneck table plus per-rank occupancy
+// bars with no external assets.
+const indexHTML = `<!doctype html>
+<html><head><meta charset="utf-8"><title>scioto run report</title>
+<style>
+body{font:14px/1.5 system-ui,sans-serif;margin:2em auto;max-width:72em;padding:0 1em;color:#222}
+h1{font-size:1.4em} h2{font-size:1.1em;margin-top:2em}
+table{border-collapse:collapse;margin:1em 0} td,th{border:1px solid #ccc;padding:.3em .7em;text-align:left}
+th{background:#f3f3f3} .num{text-align:right;font-variant-numeric:tabular-nums}
+.bar{display:flex;height:18px;border:1px solid #bbb;margin:2px 0;min-width:40em}
+.bar div{height:100%} .legend span{display:inline-block;margin-right:1em;white-space:nowrap}
+.legend i{display:inline-block;width:.9em;height:.9em;margin-right:.3em;vertical-align:-1px}
+small{color:#777}
+</style></head><body>
+<h1>scioto run report</h1>
+<p><a href="/trace">Chrome trace JSON</a> (open in Perfetto) &middot;
+<a href="/report">attribution report</a> &middot;
+<a href="/occupancy">occupancy timelines</a></p>
+<div id="summary"></div>
+<h2>Critical-path bottlenecks</h2>
+<table id="bn"><thead><tr><th>resource</th><th class="num">stall&nbsp;ns</th><th class="num">fraction</th><th class="num">rank</th><th class="num">detail</th></tr></thead><tbody></tbody></table>
+<h2>Per-rank occupancy</h2>
+<div class="legend" id="legend"></div>
+<div id="occ"></div>
+<script>
+const palette=['#4e79a7','#f28e2b','#e15759','#76b7b2','#59a14f','#edc949','#af7aa1','#ff9da7','#9c755f','#bab0ab','#8cd17d','#b6992d'];
+function pct(x){return (100*x).toFixed(1)+'%'}
+fetch('/report').then(r=>r.json()).then(rep=>{
+  const s=document.getElementById('summary');
+  const total=rep.window_end_ns-rep.window_start_ns;
+  s.innerHTML='<p>window '+total.toLocaleString()+' ns, '+rep.ranks.length+' ranks: '
+    +'<b>'+pct(rep.exec_ns/Math.max(total,1))+'</b> executing somewhere, '
+    +'<b>'+pct(rep.stall_ns/Math.max(total,1))+'</b> serialized stall'
+    +(rep.truncated?' <small>(truncated: some ranks dropped events/intervals)</small>':'')+'</p>';
+  const tb=document.querySelector('#bn tbody');
+  (rep.bottlenecks||[]).forEach(b=>{
+    const tr=document.createElement('tr');
+    tr.innerHTML='<td>'+b.resource+'</td><td class="num">'+b.ns.toLocaleString()
+      +'</td><td class="num">'+pct(b.fraction)+'</td><td class="num">'+b.rank
+      +'</td><td class="num">'+b.detail+'</td>';
+    tb.appendChild(tr);
+  });
+  if(!(rep.bottlenecks||[]).length)
+    tb.innerHTML='<tr><td colspan="5"><small>no serialized stalls: some rank was always executing</small></td></tr>';
+});
+fetch('/occupancy?buckets=160').then(r=>r.json()).then(tl=>{
+  const lg=document.getElementById('legend');
+  tl.resources.forEach((n,i)=>{
+    const sp=document.createElement('span');
+    sp.innerHTML='<i style="background:'+palette[i%palette.length]+'"></i>'+n;
+    lg.appendChild(sp);
+  });
+  const box=document.getElementById('occ');
+  (tl.ranks||[]).forEach(rk=>{
+    const label=document.createElement('div');
+    label.innerHTML='<small>rank '+rk.rank+'</small>';
+    box.appendChild(label);
+    const bar=document.createElement('div');bar.className='bar';
+    const buckets=rk.busy.length?rk.busy[0].length:0;
+    for(let b=0;b<buckets;b++){
+      // stacked cell: dominant resource of the bucket colors it, alpha by busy share
+      let best=-1,bestNs=0,sum=0;
+      for(let p=0;p<rk.busy.length;p++){sum+=rk.busy[p][b];if(rk.busy[p][b]>bestNs){bestNs=rk.busy[p][b];best=p}}
+      const cell=document.createElement('div');
+      cell.style.flex='1';
+      if(best>=0){cell.style.background=palette[best%palette.length];cell.style.opacity=Math.max(.15,Math.min(1,sum/tl.bucket_ns))}
+      cell.title='bucket '+b+(best>=0?': '+tl.resources[best]:'');
+      bar.appendChild(cell);
+    }
+    box.appendChild(bar);
+  });
+});
+</script></body></html>
+`

@@ -103,18 +103,28 @@ func TestFig56Shape(t *testing.T) {
 
 func TestFig7Shape(t *testing.T) {
 	o := UTSOptions{Tree: uts.TreeSmall}.withDefaults()
-	nodes, d1 := runUTSPoint(ClusterWorld(1, 5), o, seriesSciotoSplit, OpteronNodeCost)
+	nodes, d1, occ1 := runUTSPoint(ClusterWorld(1, 5), o, seriesSciotoSplit, OpteronNodeCost)
 	if nodes == 0 {
 		t.Fatal("no nodes enumerated")
 	}
-	_, d8split := runUTSPoint(ClusterWorld(8, 5), o, seriesSciotoSplit, OpteronNodeCost)
-	_, d8mpi := runUTSPoint(ClusterWorld(8, 5), o, seriesMPIWS, OpteronNodeCost)
-	_, d8lock := runUTSPoint(ClusterWorld(8, 5), o, seriesSciotoNoSplit, OpteronNodeCost)
+	_, d8split, occ8 := runUTSPoint(ClusterWorld(8, 5), o, seriesSciotoSplit, OpteronNodeCost)
+	_, d8mpi, _ := runUTSPoint(ClusterWorld(8, 5), o, seriesMPIWS, OpteronNodeCost)
+	_, d8lock, _ := runUTSPoint(ClusterWorld(8, 5), o, seriesSciotoNoSplit, OpteronNodeCost)
 	t.Logf("P=1 split %v; P=8 split %v mpi %v locked %v", d1, d8split, d8mpi, d8lock)
 	if d8split >= d1 {
 		t.Errorf("split queues did not speed up: %v -> %v", d1, d8split)
 	}
 	if d8lock < d8split {
 		t.Errorf("locked queues (%v) should not beat split queues (%v)", d8lock, d8split)
+	}
+	// Occupancy plumbing: the run must have charged task execution, and a
+	// single-rank run (no victims to steal from) must charge virtually all
+	// of its busy time to exec.
+	if occ1.exec.Load() == 0 || occ8.exec.Load() == 0 {
+		t.Errorf("occupancy totals missing task execution: P=1 %d ns, P=8 %d ns",
+			occ1.exec.Load(), occ8.exec.Load())
+	}
+	if occ8.steal.Load() == 0 {
+		t.Errorf("8-rank run recorded no steal-window occupancy")
 	}
 }

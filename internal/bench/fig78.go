@@ -2,10 +2,12 @@ package bench
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"scioto/internal/core"
 	"scioto/internal/mpiws"
+	"scioto/internal/obs/occ"
 	"scioto/internal/pgas"
 	"scioto/internal/uts"
 )
@@ -43,17 +45,50 @@ const (
 	seriesMPIWS
 )
 
-// runUTSPoint executes one UTS run and returns total nodes and the rank-0
-// elapsed virtual time.
-func runUTSPoint(w pgas.World, o UTSOptions, s utsSeries, perNode time.Duration) (int64, time.Duration) {
+// utsOccTotals sums per-rank occupancy aggregates (virtual-time busy ns)
+// across a run. The windows overlap (a steal window encloses its lock
+// windows), so these are raw per-resource loads, not a disjoint
+// breakdown — the attribution engine in internal/trace does that.
+type utsOccTotals struct {
+	exec, lock, steal, nic atomic.Int64
+}
+
+// pctOf renders ns as a percentage of P ranks times the elapsed window.
+func pctOf(ns int64, nprocs int, elapsed time.Duration) string {
+	total := int64(nprocs) * int64(elapsed)
+	if total <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", 100*float64(ns)/float64(total))
+}
+
+// runUTSPoint executes one UTS run and returns total nodes, the rank-0
+// elapsed virtual time, and (Scioto series only) occupancy totals.
+func runUTSPoint(w pgas.World, o UTSOptions, s utsSeries, perNode time.Duration) (int64, time.Duration, *utsOccTotals) {
 	var nodes int64
 	var elapsed time.Duration
+	ot := &utsOccTotals{}
 	mustRun(w, func(p pgas.Proc) {
 		p.Barrier()
 		t0 := p.Now()
 		var st uts.Stats
 		switch s {
 		case seriesSciotoSplit, seriesSciotoNoSplit:
+			// One occupancy buffer per rank: the runtime layers inherit it
+			// through the proc-observer registration and the transport (the
+			// dsim NIC model) through AttachOcc. Aggregates stay exact even
+			// if the interval timeline truncates, so the columns are safe at
+			// any scale.
+			ob := occ.NewBuffer(p.Rank(), 1<<14, nil)
+			core.RegisterProcObserver(p, nil, nil, ob)
+			defer core.UnregisterProcObserver(p)
+			occ.Attach(p, ob)
+			defer func() {
+				ot.exec.Add(ob.BusyNs(occ.TaskExec))
+				ot.lock.Add(ob.BusyNs(occ.QueueLockHeld) + ob.BusyNs(occ.QueueLockWait))
+				ot.steal.Add(ob.BusyNs(occ.StealWindow))
+				ot.nic.Add(ob.BusyNs(occ.DsimNIC))
+			}()
 			mode := core.ModeSplit
 			if s == seriesSciotoNoSplit {
 				mode = core.ModeLocked
@@ -89,7 +124,7 @@ func runUTSPoint(w pgas.World, o UTSOptions, s utsSeries, perNode time.Duration)
 			elapsed = p.Now() - t0
 		}
 	})
-	return nodes, elapsed
+	return nodes, elapsed, ot
 }
 
 // Fig7 reproduces Figure 7: UTS throughput on the heterogeneous cluster
@@ -103,19 +138,22 @@ func Fig7(ps []int, o UTSOptions) *Table {
 	t := &Table{
 		ID:      "fig7",
 		Title:   "UTS throughput on the cluster model (millions of nodes/s)",
-		Columns: []string{"P", "Split-Queues", "MPI-WS", "No-Split"},
+		Columns: []string{"P", "Split-Queues", "MPI-WS", "No-Split", "Exec%", "Lock%", "Steal%", "NIC%"},
 		Notes: []string{
 			fmt.Sprintf("tree: %v, %s", o.Tree.Kind, treeSize(o.Tree)),
 			"paper: Split-Queues > MPI-WS >> No-Split, whose locked queues collapse as P grows",
 			"half the ranks are Opterons (0.316 µs/node), half Xeons (1.5x slower)",
+			"occupancy columns: split-queue run, % of P x elapsed; windows overlap (raw loads)",
 		},
 	}
 	for _, n := range ps {
-		nodesA, dA := runUTSPoint(ClusterWorld(n, 5), o, seriesSciotoSplit, OpteronNodeCost)
-		_, dB := runUTSPoint(ClusterWorld(n, 5), o, seriesMPIWS, OpteronNodeCost)
-		_, dC := runUTSPoint(ClusterWorld(n, 5), o, seriesSciotoNoSplit, OpteronNodeCost)
+		nodesA, dA, occA := runUTSPoint(ClusterWorld(n, 5), o, seriesSciotoSplit, OpteronNodeCost)
+		_, dB, _ := runUTSPoint(ClusterWorld(n, 5), o, seriesMPIWS, OpteronNodeCost)
+		_, dC, _ := runUTSPoint(ClusterWorld(n, 5), o, seriesSciotoNoSplit, OpteronNodeCost)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(n), mnps(nodesA, dA), mnps(nodesA, dB), mnps(nodesA, dC),
+			pctOf(occA.exec.Load(), n, dA), pctOf(occA.lock.Load(), n, dA),
+			pctOf(occA.steal.Load(), n, dA), pctOf(occA.nic.Load(), n, dA),
 		})
 	}
 	return t
@@ -135,16 +173,21 @@ func Fig8(ps []int, o UTSOptions) *Table {
 	t := &Table{
 		ID:      "fig8",
 		Title:   "UTS throughput on the Cray XT4 model (millions of nodes/s)",
-		Columns: []string{"P", "UTS-Scioto", "UTS-MPI"},
+		Columns: []string{"P", "UTS-Scioto", "UTS-MPI", "Exec%", "Lock%", "Steal%", "NIC%"},
 		Notes: []string{
 			fmt.Sprintf("tree: %v, %s", o.Tree.Kind, treeSize(o.Tree)),
 			"paper: both scale near-linearly to 512; Scioto leads by a modest margin (no polling)",
+			"occupancy columns: Scioto run, % of P x elapsed; windows overlap (raw loads)",
 		},
 	}
 	for _, n := range ps {
-		nodesA, dA := runUTSPoint(XT4World(n, 5), o, seriesSciotoSplit, XT4NodeCost)
-		_, dB := runUTSPoint(XT4World(n, 5), o, seriesMPIWS, XT4NodeCost)
-		t.Rows = append(t.Rows, []string{fmt.Sprint(n), mnps(nodesA, dA), mnps(nodesA, dB)})
+		nodesA, dA, occA := runUTSPoint(XT4World(n, 5), o, seriesSciotoSplit, XT4NodeCost)
+		_, dB, _ := runUTSPoint(XT4World(n, 5), o, seriesMPIWS, XT4NodeCost)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), mnps(nodesA, dA), mnps(nodesA, dB),
+			pctOf(occA.exec.Load(), n, dA), pctOf(occA.lock.Load(), n, dA),
+			pctOf(occA.steal.Load(), n, dA), pctOf(occA.nic.Load(), n, dA),
+		})
 	}
 	return t
 }

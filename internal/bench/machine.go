@@ -1,0 +1,25 @@
+package bench
+
+import "runtime"
+
+// Machine identifies the host a BENCH_*.json artifact was produced on.
+// Perf numbers from different machines are not comparable; bench_compare.sh
+// reads this block and warns loudly before diffing bands across hosts.
+type Machine struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+}
+
+// MachineInfo captures the current host.
+func MachineInfo() Machine {
+	return Machine{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"scioto/internal/obs/occ"
 	"scioto/internal/pgas"
 )
 
@@ -123,6 +124,10 @@ func MeasureStealAllocs(p pgas.Proc, bodySize, chunk, iters int) float64 {
 	slotSize := HeaderBytes + bodySize
 	capacity := iters*chunk + 8
 	q := newTaskQueue(p, ModeSplit, slotSize, capacity)
+	// Occupancy accounting is attached so the zero-alloc gate proves the
+	// steal path stays allocation-free with interval recording *enabled*,
+	// not just in the nil-buffer no-op mode.
+	q.occ = occ.NewBuffer(p.Rank(), iters*4+64, nil)
 	var s Stats
 	task := NewTask(0, bodySize)
 	wire := task.wire()

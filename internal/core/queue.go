@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"scioto/internal/obs/occ"
 	"scioto/internal/pgas"
 	"scioto/internal/trace"
 )
@@ -88,6 +89,7 @@ type taskQueue struct {
 
 	tracer  *trace.Recorder // nil = tracing disabled
 	metrics *Metrics        // nil = metrics disabled
+	occ     *occ.Buffer     // nil = occupancy accounting disabled
 }
 
 // newTaskQueue collectively allocates a task queue. All processes must call
@@ -251,20 +253,25 @@ func (q *taskQueue) reacquire(s *Stats) bool {
 			return false
 		}
 	}
+	t0 := q.p.Now()
 	q.p.Lock(me, q.lock)
 	q.heldLock = me
+	lockT := q.p.Now()
+	q.occ.Record(occ.QueueLockWait, t0, lockT, int64(me))
 	bottom := q.p.Load64(me, q.meta, wBottom)
 	split := q.p.Load64(me, q.meta, wSplit)
 	avail := split - bottom
 	if avail <= 0 {
 		q.p.Unlock(me, q.lock)
 		q.heldLock = -1
+		q.occ.Record(occ.QueueLockHeld, lockT, q.p.Now(), int64(me))
 		return false
 	}
 	k := (avail + 1) / 2
 	q.p.Store64(me, q.meta, wSplit, split-k)
 	q.p.Unlock(me, q.lock)
 	q.heldLock = -1
+	q.occ.Record(occ.QueueLockHeld, lockT, q.p.Now(), int64(me))
 	q.tracer.Record(q.p.Now(), trace.Reacquire, k, 0)
 	q.metrics.noteReacquire()
 	s.Reacquires++
@@ -277,13 +284,17 @@ func (q *taskQueue) reacquire(s *Stats) bool {
 // pushLocked inserts at the owner end under the queue lock (ModeLocked).
 func (q *taskQueue) pushLocked(wire []byte, s *Stats) bool {
 	me := q.p.Rank()
+	t0 := q.p.Now()
 	q.p.Lock(me, q.lock)
 	q.heldLock = me
+	lockT := q.p.Now()
+	q.occ.Record(occ.QueueLockWait, t0, lockT, int64(me))
 	top := q.p.Load64(me, q.meta, wTop)
 	bottom := q.p.Load64(me, q.meta, wBottom)
 	if top-bottom >= int64(q.capacity) {
 		q.p.Unlock(me, q.lock)
 		q.heldLock = -1
+		q.occ.Record(occ.QueueLockHeld, lockT, q.p.Now(), int64(me))
 		return false
 	}
 	off := q.slotOff(top)
@@ -291,6 +302,7 @@ func (q *taskQueue) pushLocked(wire []byte, s *Stats) bool {
 	q.p.Store64(me, q.meta, wTop, top+1)
 	q.p.Unlock(me, q.lock)
 	q.heldLock = -1
+	q.occ.Record(occ.QueueLockHeld, lockT, q.p.Now(), int64(me))
 	q.p.Charge(localCost(len(wire)))
 	s.LocalInserts++
 	return true
@@ -299,13 +311,17 @@ func (q *taskQueue) pushLocked(wire []byte, s *Stats) bool {
 // popLocked removes from the owner end under the queue lock (ModeLocked).
 func (q *taskQueue) popLocked(s *Stats) (*Task, bool) {
 	me := q.p.Rank()
+	t0 := q.p.Now()
 	q.p.Lock(me, q.lock)
 	q.heldLock = me
+	lockT := q.p.Now()
+	q.occ.Record(occ.QueueLockWait, t0, lockT, int64(me))
 	top := q.p.Load64(me, q.meta, wTop)
 	bottom := q.p.Load64(me, q.meta, wBottom)
 	if top <= bottom {
 		q.p.Unlock(me, q.lock)
 		q.heldLock = -1
+		q.occ.Record(occ.QueueLockHeld, lockT, q.p.Now(), int64(me))
 		return nil, false
 	}
 	off := q.slotOff(top - 1)
@@ -313,6 +329,7 @@ func (q *taskQueue) popLocked(s *Stats) (*Task, bool) {
 	q.p.Store64(me, q.meta, wTop, top-1)
 	q.p.Unlock(me, q.lock)
 	q.heldLock = -1
+	q.occ.Record(occ.QueueLockHeld, lockT, q.p.Now(), int64(me))
 	q.p.Charge(localCost(len(t.wire())))
 	s.LocalGets++
 	return t, true
@@ -327,8 +344,11 @@ func (q *taskQueue) popLocked(s *Stats) (*Task, bool) {
 //
 //scioto:noalloc
 func (q *taskQueue) addRemote(proc int, wire []byte, s *Stats) bool {
+	t0 := q.p.Now()
 	q.p.Lock(proc, q.lock)
 	q.heldLock = proc
+	lockT := q.p.Now()
+	q.occ.Record(occ.QueueLockWait, t0, lockT, int64(proc))
 	// Both index words travel in one pipelined round instead of two
 	// sequential remote loads.
 	q.p.NbLoad64(proc, q.meta, wBottom, &q.nbBottom)
@@ -338,6 +358,7 @@ func (q *taskQueue) addRemote(proc int, wire []byte, s *Stats) bool {
 	if top-(bottom-1) > int64(q.capacity) {
 		q.p.Unlock(proc, q.lock)
 		q.heldLock = -1
+		q.occ.Record(occ.QueueLockHeld, lockT, q.p.Now(), int64(proc))
 		return false
 	}
 	newBottom := bottom - 1
@@ -351,6 +372,7 @@ func (q *taskQueue) addRemote(proc int, wire []byte, s *Stats) bool {
 	q.p.Flush()
 	q.p.Unlock(proc, q.lock)
 	q.heldLock = -1
+	q.occ.Record(occ.QueueLockHeld, lockT, q.p.Now(), int64(proc))
 	if proc == q.p.Rank() {
 		s.LocalSharedInserts++
 	} else {
@@ -401,11 +423,16 @@ func (b *stealBatch) recycle() {
 //scioto:noalloc
 func (q *taskQueue) steal(victim, chunk int, markDirty bool, s *Stats) (*stealBatch, stealResult) {
 	s.StealAttempts++
+	t0 := q.p.Now()
 	if !q.p.TryLock(victim, q.lock) {
+		// A failed probe is the contended window: the victim's lock was
+		// held by someone else for the whole TryLock round trip.
+		q.occ.Record(occ.QueueLockWait, t0, q.p.Now(), int64(victim))
 		s.StealsBusy++
 		return nil, stealBusy
 	}
 	q.heldLock = victim
+	lockT := q.p.Now()
 	limitWord := wSplit
 	if q.mode != ModeSplit {
 		limitWord = wTop
@@ -418,6 +445,7 @@ func (q *taskQueue) steal(victim, chunk int, markDirty bool, s *Stats) (*stealBa
 	if avail <= 0 {
 		q.p.Unlock(victim, q.lock)
 		q.heldLock = -1
+		q.occ.Record(occ.QueueLockHeld, lockT, q.p.Now(), int64(victim))
 		s.StealsEmpty++
 		return nil, stealEmpty
 	}
@@ -456,6 +484,7 @@ func (q *taskQueue) steal(victim, chunk int, markDirty bool, s *Stats) (*stealBa
 	q.p.Flush()
 	q.p.Unlock(victim, q.lock)
 	q.heldLock = -1
+	q.occ.Record(occ.QueueLockHeld, lockT, q.p.Now(), int64(victim))
 	for i := 0; i < int(k); i++ {
 		b.slots = append(b.slots, buf[i*q.slotSize:(i+1)*q.slotSize])
 	}

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"scioto/internal/obs"
+	"scioto/internal/obs/occ"
 	"scioto/internal/pgas"
 	"scioto/internal/trace"
 )
@@ -159,10 +160,12 @@ type Runtime struct {
 	rng  *rand.Rand
 
 	// Observer state, attached by the facade when observability is on.
-	// Collections created after SetObserver auto-wire their metrics and
-	// tracer from these; both are nil-safe when disabled.
+	// Collections created after SetObserver auto-wire their metrics,
+	// tracer, and occupancy buffer from these; all are nil-safe when
+	// disabled.
 	obsReg *obs.Registry
 	tracer *trace.Recorder
+	occ    *occ.Buffer
 
 	// recoverOn arms work-replay recovery: collections created on this
 	// runtime journal their insertions and heal around rank death when the
@@ -184,16 +187,18 @@ var (
 type procObserver struct {
 	reg    *obs.Registry
 	tracer *trace.Recorder
+	occ    *occ.Buffer
 }
 
 // RegisterProcObserver makes every future Attach on p observer-wired.
-// Pair with UnregisterProcObserver when the proc's run ends.
-func RegisterProcObserver(p pgas.Proc, reg *obs.Registry, tracer *trace.Recorder) {
+// Any argument may be nil to leave that channel disabled. Pair with
+// UnregisterProcObserver when the proc's run ends.
+func RegisterProcObserver(p pgas.Proc, reg *obs.Registry, tracer *trace.Recorder, ob *occ.Buffer) {
 	procObsMu.Lock()
 	if procObs == nil {
 		procObs = make(map[pgas.Proc]procObserver)
 	}
-	procObs[p] = procObserver{reg: reg, tracer: tracer}
+	procObs[p] = procObserver{reg: reg, tracer: tracer, occ: ob}
 	procObsMu.Unlock()
 }
 
@@ -246,6 +251,7 @@ func Attach(p pgas.Proc) *Runtime {
 	if st, ok := procObs[p]; ok {
 		rt.obsReg = st.reg
 		rt.tracer = st.tracer
+		rt.occ = st.occ
 	}
 	procObsMu.Unlock()
 	procRecMu.Lock()
@@ -266,6 +272,15 @@ func (rt *Runtime) SetObserver(reg *obs.Registry, tracer *trace.Recorder) {
 	rt.obsReg = reg
 	rt.tracer = tracer
 }
+
+// SetOcc attaches this rank's occupancy buffer. Task collections
+// created afterwards record busy/wait windows into it; nil (the
+// default) leaves occupancy accounting disabled.
+func (rt *Runtime) SetOcc(b *occ.Buffer) { rt.occ = b }
+
+// Occ returns the runtime's attached occupancy buffer (nil when
+// disabled — itself a valid, disabled buffer).
+func (rt *Runtime) Occ() *occ.Buffer { return rt.occ }
 
 // Tracer returns the runtime's attached trace recorder (nil when tracing
 // is disabled — itself a valid, disabled recorder).

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"scioto/internal/obs/occ"
 	"scioto/internal/pgas"
 	"scioto/internal/trace"
 )
@@ -117,6 +118,7 @@ type TC struct {
 
 	tracer  *trace.Recorder // nil = tracing disabled
 	metrics *Metrics        // nil = metrics disabled
+	occ     *occ.Buffer     // nil = occupancy accounting disabled
 
 	execHook ExecHook // nil = no completion notification
 }
@@ -169,6 +171,9 @@ func NewTC(rt *Runtime, cfg Config) *TC {
 	if rt.tracer != nil {
 		tc.SetTracer(rt.tracer)
 	}
+	if rt.occ != nil {
+		tc.SetOcc(rt.occ)
+	}
 	rt.p.Barrier()
 	return tc
 }
@@ -189,6 +194,17 @@ func (tc *TC) SetMetrics(m *Metrics) {
 	tc.metrics = m
 	tc.q.metrics = m
 	tc.td.metrics = m
+}
+
+// SetOcc attaches an occupancy buffer to this collection (nil
+// detaches). Local operation, usually performed automatically by NewTC
+// when the runtime carries one; the scheduler then records busy/wait
+// windows — task execution, queue-lock held/contended, the steal
+// pipeline, termination-detection waves — into the buffer.
+func (tc *TC) SetOcc(b *occ.Buffer) {
+	tc.occ = b
+	tc.q.occ = b
+	tc.td.occ = b
 }
 
 // SetExecHook attaches a completion-notification hook invoked after every
@@ -354,6 +370,7 @@ func (tc *TC) execute(t *Task) {
 	tc.callbacks[h](tc, t)
 	d := tc.rt.p.Now() - t0
 	tc.tracer.Record(t0+d, trace.TaskExecEnd, int64(h), 0)
+	tc.occ.Record(occ.TaskExec, t0, t0+d, int64(h))
 	tc.metrics.noteExec(d)
 	tc.stats.WorkTime += d
 	tc.stats.TasksExecuted++
@@ -481,6 +498,9 @@ func (tc *TC) processOnce() (fault *pgas.FaultError) {
 			case stealBusy:
 				tc.tracer.Record(stealEnd, trace.StealBusy, int64(victim), 0)
 			}
+			// The steal window covers the whole pipelined exchange —
+			// victim choice through the final completion round.
+			tc.occ.Record(occ.StealWindow, idle0, stealEnd, int64(victim))
 			tc.metrics.noteSteal(res, stealEnd-idle0, stolen)
 			if res == stealOK {
 				tc.td.noteBalance()

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"time"
+
+	"scioto/internal/obs/occ"
 	"scioto/internal/pgas"
 	"scioto/internal/trace"
 )
@@ -99,6 +102,7 @@ type termDetector struct {
 	stats   *Stats
 	tracer  *trace.Recorder // nil = tracing disabled
 	metrics *Metrics        // nil = metrics disabled
+	occ     *occ.Buffer     // nil = occupancy accounting disabled
 }
 
 // newTermDetector collectively allocates the detector's word segment.
@@ -211,6 +215,14 @@ func (td *termDetector) step(passive bool, queueDirty func() int64) bool {
 		return true
 	}
 	me := td.p.Rank()
+	// Wave-activity occupancy: the step's start is captured lazily (the
+	// detector polls in the idle loop, so an unconditional Now per call
+	// would dominate) and an interval is recorded only when the step did
+	// real wave work — observed a wave, voted, or terminated.
+	var stepT0 time.Duration
+	if td.occ != nil {
+		stepT0 = td.p.Now()
+	}
 
 	if td.nLive == 1 {
 		// Sole live process: passivity is termination.
@@ -231,6 +243,7 @@ func (td *termDetector) step(passive bool, queueDirty func() int64) bool {
 		if down == termSignal {
 			td.propagateDown(termSignal)
 			td.tracer.Record(td.p.Now(), trace.Terminate, td.wave, 0)
+			td.occ.Record(occ.TDWave, stepT0, td.p.Now(), td.wave)
 			td.metrics.noteTerminate()
 			td.terminated = true
 			return true
@@ -241,6 +254,7 @@ func (td *termDetector) step(passive bool, queueDirty func() int64) bool {
 			td.voted = false
 			td.stats.WavesSeen++
 			td.tracer.Record(td.p.Now(), trace.WaveDown, down, 0)
+			td.occ.Record(occ.TDWave, stepT0, td.p.Now(), down)
 			td.metrics.noteWave()
 		}
 		if td.wave > 0 && !td.forwarded {
@@ -289,18 +303,21 @@ func (td *termDetector) step(passive bool, queueDirty func() int64) bool {
 		if color == colorWhite {
 			td.propagateDown(termSignal)
 			td.tracer.Record(td.p.Now(), trace.Terminate, td.wave, 0)
+			td.occ.Record(occ.TDWave, stepT0, td.p.Now(), td.wave)
 			td.metrics.noteTerminate()
 			td.terminated = true
 			td.voted = true
 			return true
 		}
 		td.startWave(td.wave + 1)
+		td.occ.Record(occ.TDWave, stepT0, td.p.Now(), td.wave)
 		return false
 	}
 
 	// Cast our vote upward.
 	td.p.Store64(td.parent, td.seg, td.upCellOf(me), encodeVote(td.wave, color))
 	td.tracer.Record(td.p.Now(), trace.Vote, td.wave, color)
+	td.occ.Record(occ.TDWave, stepT0, td.p.Now(), td.wave)
 	td.metrics.noteVote()
 	td.voted = true
 	td.stats.Votes++

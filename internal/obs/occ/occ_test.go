@@ -1,0 +1,158 @@
+package occ
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"scioto/internal/obs"
+)
+
+func TestRecordAggregatesAndIntervals(t *testing.T) {
+	b := NewBuffer(3, 16, nil)
+	if b.Rank() != 3 {
+		t.Fatalf("rank = %d, want 3", b.Rank())
+	}
+	b.Record(TaskExec, 10*time.Microsecond, 30*time.Microsecond, 7)
+	b.Record(QueueLockHeld, 12*time.Microsecond, 13*time.Microsecond, 1)
+	b.Record(TaskExec, 40*time.Microsecond, 45*time.Microsecond, 8)
+
+	if got := b.BusyNs(TaskExec); got != 25_000 {
+		t.Errorf("TaskExec busy = %d ns, want 25000", got)
+	}
+	if got := b.Count(TaskExec); got != 2 {
+		t.Errorf("TaskExec count = %d, want 2", got)
+	}
+	if got := b.BusyNs(QueueLockHeld); got != 1_000 {
+		t.Errorf("QueueLockHeld busy = %d ns, want 1000", got)
+	}
+	if b.Len() != 3 || b.OccDropped() != 0 {
+		t.Errorf("len=%d dropped=%d, want 3/0", b.Len(), b.OccDropped())
+	}
+
+	iv := b.OccIntervals()
+	if len(iv) != 3 {
+		t.Fatalf("%d intervals, want 3", len(iv))
+	}
+	// Sorted by start time regardless of record order.
+	for i := 1; i < len(iv); i++ {
+		if iv[i][1] < iv[i-1][1] {
+			t.Errorf("intervals not sorted by start: %v after %v", iv[i], iv[i-1])
+		}
+	}
+	if iv[0] != [4]int64{int64(TaskExec), 10_000, 30_000, 7} {
+		t.Errorf("first interval = %v", iv[0])
+	}
+}
+
+func TestRecordRejectsDegenerate(t *testing.T) {
+	b := NewBuffer(0, 4, nil)
+	b.Record(TaskExec, 5, 5, 0)             // empty
+	b.Record(TaskExec, 9, 3, 0)             // inverted
+	b.Record(NumResources, 0, time.Hour, 0) // out-of-range resource
+	if b.Len() != 0 || b.BusyNs(TaskExec) != 0 {
+		t.Errorf("degenerate records retained: len=%d busy=%d", b.Len(), b.BusyNs(TaskExec))
+	}
+}
+
+func TestNilBufferIsSafe(t *testing.T) {
+	var b *Buffer
+	b.Record(TaskExec, 0, time.Second, 0) // must not panic
+}
+
+func TestDropsKeepAggregatesExact(t *testing.T) {
+	b := NewBuffer(0, 2, nil)
+	for i := int64(0); i < 5; i++ {
+		b.Record(StealWindow, time.Duration(i)*time.Microsecond,
+			time.Duration(i)*time.Microsecond+time.Microsecond, i)
+	}
+	if b.Len() != 2 {
+		t.Errorf("retained %d intervals, want capacity 2", b.Len())
+	}
+	if b.OccDropped() != 3 {
+		t.Errorf("dropped = %d, want 3", b.OccDropped())
+	}
+	// The aggregates must cover all five records, drops or not.
+	if got := b.BusyNs(StealWindow); got != 5_000 {
+		t.Errorf("busy = %d ns, want 5000 (drops must not lose aggregate time)", got)
+	}
+	if got := b.Count(StealWindow); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+}
+
+func TestRegistryCountersMirrorAggregates(t *testing.T) {
+	reg := obs.NewRegistry(0)
+	b := NewBuffer(0, 8, reg)
+	b.Record(TDWave, 0, 3*time.Microsecond, 2)
+	b.Record(TDWave, 10*time.Microsecond, 11*time.Microsecond, 3)
+	busy := reg.Counter(`scioto_occ_busy_ns_total{resource="td_wave"}`, "")
+	n := reg.Counter(`scioto_occ_intervals_total{resource="td_wave"}`, "")
+	if busy.Value() != 4_000 || n.Value() != 2 {
+		t.Errorf("registry counters busy=%d n=%d, want 4000/2", busy.Value(), n.Value())
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	const workers, per = 8, 200
+	b := NewBuffer(0, workers*per, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				at := time.Duration(w*per+i) * time.Microsecond
+				b.Record(TaskExec, at, at+time.Microsecond, int64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Len() != workers*per || b.OccDropped() != 0 {
+		t.Fatalf("len=%d dropped=%d, want %d/0", b.Len(), b.OccDropped(), workers*per)
+	}
+	if got := b.BusyNs(TaskExec); got != workers*per*1000 {
+		t.Errorf("busy = %d, want %d", got, workers*per*1000)
+	}
+	iv := b.OccIntervals()
+	for i := 1; i < len(iv); i++ {
+		if iv[i][1] < iv[i-1][1] {
+			t.Fatalf("snapshot not sorted at %d", i)
+		}
+	}
+}
+
+func TestNamesMatchCatalogue(t *testing.T) {
+	names := Names()
+	if len(names) != int(NumResources) {
+		t.Fatalf("%d names for %d resources", len(names), NumResources)
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n == "" {
+			t.Errorf("resource %d unnamed", i)
+		}
+		if seen[n] {
+			t.Errorf("duplicate resource name %q", n)
+		}
+		seen[n] = true
+	}
+	if names[TaskExec] != "task_exec" || names[IPCBarrierPark] != "ipc_barrier_park" {
+		t.Errorf("catalogue order broken: %v", names)
+	}
+}
+
+type fakeAttacher struct{ got *Buffer }
+
+func (f *fakeAttacher) AttachOcc(b *Buffer) { f.got = b }
+
+func TestAttachDuckTyping(t *testing.T) {
+	b := NewBuffer(0, 4, nil)
+	f := &fakeAttacher{}
+	if !Attach(f, b) || f.got != b {
+		t.Errorf("Attach did not reach the Attacher")
+	}
+	if Attach(struct{}{}, b) {
+		t.Errorf("Attach claimed success on a non-Attacher")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"scioto/internal/obs/occ"
 	"scioto/internal/pgas"
 )
 
@@ -48,7 +49,15 @@ type proc struct {
 	nb     []nbOp
 	nbSeq  uint64
 	nbDone uint64
+
+	// occ, when attached, receives the NIC service window of every remote
+	// operation this process issues, in virtual time. Windows are derived
+	// from the deterministic clock, so traced runs stay bit-reproducible.
+	occ *occ.Buffer
 }
+
+// AttachOcc wires an occupancy buffer into this process's handle.
+func (p *proc) AttachOcc(b *occ.Buffer) { p.occ = b }
 
 // nbOp records one initiated non-blocking operation. Parameters are held
 // as plain fields (not a closure) so the pending slice is reusable without
@@ -134,7 +143,9 @@ func (p *proc) orderedRemote(target, n int) {
 		p.clock = busy
 		p.yield()
 	}
-	p.w.busyUntil[target] = p.clock + p.w.cfg.Occupancy + time.Duration(n)*p.w.cfg.PerByte
+	nic := p.clock + p.w.cfg.Occupancy + time.Duration(n)*p.w.cfg.PerByte
+	p.w.busyUntil[target] = nic
+	p.occ.Record(occ.DsimNIC, p.clock, nic, int64(target))
 }
 
 // opCost is the cost of a one-sided operation of n payload bytes targeting
@@ -337,8 +348,10 @@ func (p *proc) Flush() {
 			if nic < start {
 				nic = start
 			}
+			svc0 := nic
 			nic += p.w.cfg.Occupancy + time.Duration(op.n)*p.w.cfg.PerByte
 			p.w.busyUntil[op.target] = nic
+			p.occ.Record(occ.DsimNIC, svc0, nic, int64(op.target))
 			if nic > end {
 				end = nic
 			}

@@ -41,6 +41,7 @@ import (
 	"strconv"
 	"time"
 
+	"scioto/internal/obs/occ"
 	"scioto/internal/pgas"
 )
 
@@ -379,6 +380,15 @@ func (p *proc) SalvageLoad64(rank int, seg pgas.Seg, idx int) (int64, bool) {
 		return res.SalvageLoad64(rank, seg, idx)
 	}
 	return 0, false
+}
+
+// AttachOcc forwards an occupancy buffer to the inner transport when it
+// records resource occupancy. Fault injection adds no resources of its
+// own — injected stalls show up in the inner transport's windows.
+func (p *proc) AttachOcc(b *occ.Buffer) {
+	if a, ok := p.inner.(occ.Attacher); ok {
+		a.AttachOcc(b)
+	}
 }
 
 func (p *proc) Lock(proc int, id pgas.LockID) {

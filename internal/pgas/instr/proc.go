@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"scioto/internal/obs"
+	"scioto/internal/obs/occ"
 	"scioto/internal/pgas"
 )
 
@@ -371,4 +372,14 @@ func (p *proc) SalvageLoad64(rank int, seg pgas.Seg, idx int) (int64, bool) {
 		return res.SalvageLoad64(rank, seg, idx)
 	}
 	return 0, false
+}
+
+// AttachOcc forwards an occupancy buffer to the inner transport when it
+// records resource occupancy (dsim NIC windows, tcp flush windows, ipc
+// ring/barrier waits). The wrapper records nothing itself: its view of
+// latency is already covered by the histograms above.
+func (p *proc) AttachOcc(b *occ.Buffer) {
+	if a, ok := p.inner.(occ.Attacher); ok {
+		a.AttachOcc(b)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"scioto/internal/obs/occ"
 	"scioto/internal/pgas"
 )
 
@@ -38,7 +39,14 @@ type proc struct {
 	// into it in ring order, and tag/source matching removes from it, so
 	// per-pair FIFO holds while non-matching messages stay queued.
 	inbox []message
+
+	// occ, when attached, receives barrier-park and ring-backpressure
+	// windows against the proc's Now() epoch. Own-goroutine only.
+	occ *occ.Buffer
 }
+
+// AttachOcc wires an occupancy buffer into this rank's handle.
+func (p *proc) AttachOcc(b *occ.Buffer) { p.occ = b }
 
 type message struct {
 	from int
@@ -108,9 +116,16 @@ func (p *proc) Barrier() {
 	}
 	m.unlockCtl(tag)
 
+	// Parked: the round is incomplete and this rank now burns cycles on
+	// the epoch word. The park window is charged to the round's epoch.
+	var park0 time.Duration
+	if p.occ != nil {
+		park0 = time.Since(p.start)
+	}
 	var bo backoff
 	for {
 		if m.load(l.barEpoch) != e {
+			p.occ.Record(occ.IPCBarrierPark, park0, time.Since(p.start), e)
 			return
 		}
 		if seq := m.load(l.faultSeq); seq > 0 && (!p.cfg.Survivable || seq > p.ackedSeq) {
@@ -336,11 +351,20 @@ func (p *proc) Send(to int, tag int32, data []byte) {
 	headW, tailW := l.ringHead(to, p.rank), l.ringTail(to, p.rank)
 	tail := p.m.load(tailW)
 	var bo backoff
+	var wait0 time.Duration
+	waited := false
 	for tail-p.m.load(headW)+need > l.ringBytes {
 		// Backpressure: the receiver is behind. The fault poll keeps a
 		// send to (or past) a dead world from spinning forever.
+		if !waited && p.occ != nil {
+			wait0 = time.Since(p.start)
+			waited = true
+		}
 		p.check()
 		bo.pause()
+	}
+	if waited {
+		p.occ.Record(occ.IPCRingWait, wait0, time.Since(p.start), int64(to))
 	}
 	ring := p.m.bytes(l.ring(to, p.rank), l.ringBytes)
 	pos := tail % l.ringBytes

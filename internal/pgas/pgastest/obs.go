@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"scioto/internal/obs"
+	"scioto/internal/obs/occ"
 	"scioto/internal/pgas"
 )
 
@@ -64,6 +65,63 @@ func testObsMerge(t *testing.T, f Factory) {
 		snap = m.Merge()
 		if got := snap.Counter("pgastest_ops_total"); got != wantC+n {
 			panic(fmt.Sprintf("rank %d: re-merged counter %d, want %d", me, got, wantC+n))
+		}
+	})
+}
+
+// testOccMerge: occupancy aggregates are ordinary registry counters, so
+// they must merge cross-rank exactly like hand-registered instruments.
+// Each rank records a closed-form interval pattern into a registry-backed
+// occ.Buffer and validates the merged busy-ns and interval-count totals
+// per resource — again entirely inside the body, so the check exercises
+// the separate OS processes of multi-process transports too.
+func testOccMerge(t *testing.T, f Factory) {
+	const n = 4
+	w := f(n)
+	run(t, w, func(p pgas.Proc) {
+		me := p.Rank()
+		reg := obs.NewRegistry(me)
+		b := occ.NewBuffer(me, 64, reg)
+
+		// Rank r: r+1 lock-held intervals of (r+1)µs each, and one
+		// task-exec interval of 10·(r+1)µs.
+		us := func(k int64) time.Duration { return time.Duration(k) * time.Microsecond }
+		for i := int64(0); i <= int64(me); i++ {
+			b.Record(occ.QueueLockHeld, us(100*i), us(100*i)+us(int64(me)+1), int64(me))
+		}
+		b.Record(occ.TaskExec, 0, us(10*(int64(me)+1)), 0)
+
+		m := obs.NewMerger(p, reg)
+		snap := m.Merge()
+		if snap.Ranks() != n {
+			panic(fmt.Sprintf("rank %d: merged snapshot covers %d ranks, want %d", me, snap.Ranks(), n))
+		}
+		var wantHeldNs, wantHeldCount, wantExecNs int64
+		for r := int64(0); r < n; r++ {
+			wantHeldNs += (r + 1) * (r + 1) * 1000
+			wantHeldCount += r + 1
+			wantExecNs += 10 * (r + 1) * 1000
+		}
+		heldBusy := `scioto_occ_busy_ns_total{resource="queue_lock_held"}`
+		heldCount := `scioto_occ_intervals_total{resource="queue_lock_held"}`
+		execBusy := `scioto_occ_busy_ns_total{resource="task_exec"}`
+		if got := snap.Counter(heldBusy); got != wantHeldNs {
+			panic(fmt.Sprintf("rank %d: merged lock-held busy ns %d, want %d", me, got, wantHeldNs))
+		}
+		if got := snap.Counter(heldCount); got != wantHeldCount {
+			panic(fmt.Sprintf("rank %d: merged lock-held interval count %d, want %d", me, got, wantHeldCount))
+		}
+		if got := snap.Counter(execBusy); got != wantExecNs {
+			panic(fmt.Sprintf("rank %d: merged task-exec busy ns %d, want %d", me, got, wantExecNs))
+		}
+
+		// The local detailed timeline must agree with the aggregates it
+		// mirrors: me+2 intervals retained, none dropped.
+		if got := int64(b.Len()); got != int64(me)+2 {
+			panic(fmt.Sprintf("rank %d: %d retained intervals, want %d", me, got, me+2))
+		}
+		if b.OccDropped() != 0 {
+			panic(fmt.Sprintf("rank %d: unexpected occupancy drops", me))
 		}
 	})
 }

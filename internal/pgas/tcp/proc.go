@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"scioto/internal/obs/occ"
 	"scioto/internal/pgas"
 )
 
@@ -33,6 +34,14 @@ type peerConn struct {
 	wvec     net.Buffers // reusable scatter list (backing array persists)
 	wBytes   int         // bytes queued in wfbs; autoFlushBytes caps the window
 	wBounded bool        // some queued frame belongs to a deadline-bounded op
+
+	// Occupancy accounting (nil = disabled). Intervals are recorded
+	// against occEpoch so they share the owning proc's Now() timeline.
+	// winT0 is the open flush-window's start (first frame queued),
+	// guarded by wmu like the window itself.
+	occ      *occ.Buffer
+	occEpoch time.Time
+	winT0    time.Duration
 
 	pmu         sync.Mutex // guards the fields below
 	nextSeq     uint32
@@ -160,6 +169,9 @@ const autoFlushBytes = 64 << 10
 // the write deadline is armed (and the syscall paid) at flush time, when
 // the bytes actually move.
 func (pc *peerConn) queueFrame(seq uint32, head, tail []byte, bounded bool) {
+	if pc.occ != nil && len(pc.wfbs) == 0 {
+		pc.winT0 = time.Since(pc.occEpoch)
+	}
 	fb := getFrame()
 	fb.b = append(fb.b[:0], 0, 0, 0, 0, 0, 0, 0, 0)
 	binary.LittleEndian.PutUint32(fb.b, uint32(4+len(head)+len(tail)))
@@ -187,6 +199,10 @@ func (pc *peerConn) flushLocked() error {
 			pc.c.SetWriteDeadline(time.Time{})
 		}
 	}
+	var wv0 time.Duration
+	if pc.occ != nil {
+		wv0 = time.Since(pc.occEpoch)
+	}
 	var err error
 	if len(pc.wfbs) == 1 {
 		_, err = pc.c.Write(pc.wfbs[0].b)
@@ -200,6 +216,14 @@ func (pc *peerConn) flushLocked() error {
 		for i := range pc.wvec[:len(pc.wfbs)] {
 			pc.wvec[i] = nil // do not pin pooled frames past the flush
 		}
+	}
+	if pc.occ != nil {
+		now := time.Since(pc.occEpoch)
+		nf := int64(len(pc.wfbs))
+		// Window depth (first frame queued -> wire) and the syscall stall
+		// itself, both blamed on the frame count that rode the write.
+		pc.occ.Record(occ.TCPFlushWindow, pc.winT0, now, nf)
+		pc.occ.Record(occ.TCPWritev, wv0, now, nf)
 	}
 	wireWrites.Add(1)
 	wireFrames.Add(int64(len(pc.wfbs)))
@@ -434,6 +458,22 @@ func newProc(cfg Config, rank int, speed float64, own *owner, peers []*peerConn)
 
 func (p *proc) Rank() int   { return p.rank }
 func (p *proc) NProcs() int { return p.cfg.NProcs }
+
+// AttachOcc wires occupancy accounting into this rank's peer connections:
+// flush-window spans and writev stalls are recorded against the proc's
+// Now() epoch. The wmu handshake publishes the buffer to any concurrent
+// flusher.
+func (p *proc) AttachOcc(b *occ.Buffer) {
+	for _, pc := range p.peers {
+		if pc == nil {
+			continue
+		}
+		pc.wmu.Lock()
+		pc.occ = b
+		pc.occEpoch = p.start
+		pc.wmu.Unlock()
+	}
+}
 
 // Barrier enters the counter barrier hosted on rank 0. Rank 0 enters
 // locally and parks on a channel until the round completes; other ranks

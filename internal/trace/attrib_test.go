@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// occDump builds a dump carrying only occupancy intervals, with the
+// resource catalogue restricted to the names the test uses.
+func occDump(rank int, names []string, iv [][4]int64) *Dump {
+	return &Dump{Rank: rank, OccResources: names, Occ: iv}
+}
+
+func share(ra RankAttrib, resource string) ResourceShare {
+	for _, b := range ra.Busy {
+		if b.Resource == resource {
+			return b
+		}
+	}
+	return ResourceShare{Resource: resource}
+}
+
+func TestProjectionIsDisjoint(t *testing.T) {
+	// Nested windows: a steal window encloses a lock-held window encloses
+	// part of a task-exec stretch. The single-state projection must charge
+	// every instant to exactly one resource — the most specific one.
+	names := []string{"task_exec", "queue_lock_held", "steal_window"}
+	d := occDump(0, names, [][4]int64{
+		{0, 0, 100, 1},  // task_exec   [0,100)
+		{1, 50, 150, 2}, // lock_held   [50,150)
+		{2, 40, 160, 3}, // steal_window[40,160)
+	})
+	rep, err := Attribute([]*Dump{d}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowStartNs != 0 || rep.WindowEndNs != 160 {
+		t.Fatalf("hull = [%d,%d), want [0,160)", rep.WindowStartNs, rep.WindowEndNs)
+	}
+	ra := rep.Ranks[0]
+	if got := share(ra, "task_exec").Ns; got != 100 {
+		t.Errorf("task_exec = %d ns, want 100 (wins every overlap)", got)
+	}
+	if got := share(ra, "queue_lock_held").Ns; got != 50 {
+		t.Errorf("queue_lock_held = %d ns, want 50 (only past exec's end)", got)
+	}
+	if got := share(ra, "steal_window").Ns; got != 10 {
+		t.Errorf("steal_window = %d ns, want 10 (only past lock's end)", got)
+	}
+	var sum float64
+	for _, b := range ra.Busy {
+		sum += b.Fraction
+	}
+	sum += ra.IdleFraction
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Errorf("fractions sum to %v, want 1.0", sum)
+	}
+	if ra.IdleNs != 0 {
+		t.Errorf("idle = %d ns, want 0 (rank always inside some window)", ra.IdleNs)
+	}
+}
+
+func TestCriticalPathBlame(t *testing.T) {
+	// Rank 0 executes [0,100); rank 1 executes [0,50) then waits on the
+	// queue lock [50,200). The machine stalls exactly on [100,200), and
+	// the blame lands on rank 1's lock wait with its detail word.
+	names := []string{"task_exec", "queue_lock_wait"}
+	d0 := occDump(0, names, [][4]int64{{0, 0, 100, 0}})
+	d1 := occDump(1, names, [][4]int64{
+		{0, 0, 50, 0},
+		{1, 50, 200, 7},
+	})
+	rep, err := Attribute([]*Dump{d0, d1}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExecNs != 100 || rep.StallNs != 100 {
+		t.Fatalf("exec/stall = %d/%d, want 100/100", rep.ExecNs, rep.StallNs)
+	}
+	if rep.TopBottleneck() != "queue_lock_wait" {
+		t.Fatalf("top bottleneck = %q, want queue_lock_wait", rep.TopBottleneck())
+	}
+	bn := rep.Bottlenecks[0]
+	if bn.Ns != 100 || bn.Rank != 1 || bn.Detail != 7 {
+		t.Errorf("bottleneck = %+v, want ns=100 rank=1 detail=7", bn)
+	}
+	if math.Abs(bn.Fraction-0.5) > 1e-9 {
+		t.Errorf("fraction = %v, want 0.5 of the window", bn.Fraction)
+	}
+	// Idle tail where NO rank holds any window is idle stall, not blame.
+	if rep.IdleNs != 0 {
+		t.Errorf("idle stall = %d, want 0", rep.IdleNs)
+	}
+}
+
+func TestEventDerivedIntervals(t *testing.T) {
+	// A pre-occupancy dump (events only, no occ quadruples) still yields
+	// exec and steal attribution.
+	d := &Dump{Rank: 0, Events: [][4]int64{
+		{10, int64(TaskExec), 1, 0},
+		{60, int64(TaskExecEnd), 4, 0},
+		{60, int64(StealBegin), 2, 0},
+		{90, int64(StealOK), 2, 5},
+	}}
+	rep, err := Attribute([]*Dump{d}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := rep.Ranks[0]
+	if got := share(ra, "task_exec").Ns; got != 50 {
+		t.Errorf("event-derived task_exec = %d ns, want 50", got)
+	}
+	if got := share(ra, "steal_window").Ns; got != 30 {
+		t.Errorf("event-derived steal_window = %d ns, want 30", got)
+	}
+}
+
+func TestExplicitWindowClips(t *testing.T) {
+	names := []string{"task_exec"}
+	d := occDump(0, names, [][4]int64{{0, 0, 100, 0}})
+	rep, err := Attribute([]*Dump{d}, 25, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := rep.Ranks[0]
+	if got := share(ra, "task_exec").Ns; got != 50 {
+		t.Errorf("clipped exec = %d ns, want 50", got)
+	}
+	if math.Abs(share(ra, "task_exec").Fraction-1.0) > 1e-9 {
+		t.Errorf("clipped fraction = %v, want 1.0", share(ra, "task_exec").Fraction)
+	}
+}
+
+func TestUnknownResourceAppends(t *testing.T) {
+	// A future catalogue name the canonical priority list doesn't know
+	// must still attribute — appended after every known resource, so any
+	// known window shadows it.
+	names := []string{"task_exec", "warp_drive"}
+	d := occDump(0, names, [][4]int64{
+		{1, 0, 100, 0},
+		{0, 0, 50, 0},
+	})
+	rep, err := Attribute([]*Dump{d}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := rep.Ranks[0]
+	if got := share(ra, "task_exec").Ns; got != 50 {
+		t.Errorf("task_exec = %d ns, want 50", got)
+	}
+	if got := share(ra, "warp_drive").Ns; got != 50 {
+		t.Errorf("warp_drive = %d ns, want 50 (shadowed by exec up to 50)", got)
+	}
+}
+
+func TestTruncationFlag(t *testing.T) {
+	d := occDump(0, []string{"task_exec"}, [][4]int64{{0, 0, 10, 0}})
+	d.OccDropped = 4
+	rep, err := Attribute([]*Dump{d}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || rep.Ranks[0].OccDropped != 4 {
+		t.Errorf("truncation not reported: %+v", rep.Ranks[0])
+	}
+}
+
+func TestAttributeDeterministic(t *testing.T) {
+	names := []string{"task_exec", "queue_lock_wait", "steal_window"}
+	mk := func() []*Dump {
+		return []*Dump{
+			occDump(1, names, [][4]int64{{0, 0, 80, 0}, {2, 80, 130, 3}}),
+			occDump(0, names, [][4]int64{{0, 10, 90, 0}, {1, 90, 130, 2}}),
+		}
+	}
+	a, err := Attribute(mk(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Attribute(mk(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Errorf("same dumps, different reports:\n%s\n%s", ja, jb)
+	}
+	// Rank order in the report is by rank, not input order.
+	if a.Ranks[0].Rank != 0 || a.Ranks[1].Rank != 1 {
+		t.Errorf("ranks out of order: %d, %d", a.Ranks[0].Rank, a.Ranks[1].Rank)
+	}
+}
+
+func TestOccupancyTimelineBuckets(t *testing.T) {
+	names := []string{"task_exec"}
+	d := occDump(0, names, [][4]int64{{0, 0, 100, 0}})
+	tl := OccupancyTimeline([]*Dump{d}, 4)
+	if tl.BucketNs != 25 {
+		t.Fatalf("bucket = %d ns, want 25", tl.BucketNs)
+	}
+	if len(tl.Ranks) != 1 {
+		t.Fatalf("%d rank timelines, want 1", len(tl.Ranks))
+	}
+	execRow := -1
+	for i, n := range tl.Resources {
+		if n == "task_exec" {
+			execRow = i
+		}
+	}
+	if execRow < 0 {
+		t.Fatal("no task_exec row in timeline resources")
+	}
+	var sum int64
+	for b, ns := range tl.Ranks[0].Busy[execRow] {
+		if ns != 25 {
+			t.Errorf("bucket %d = %d ns, want 25", b, ns)
+		}
+		sum += ns
+	}
+	if sum != 100 {
+		t.Errorf("bucketed busy sums to %d, want the full 100", sum)
+	}
+}
+
+func TestAttributeEmptyInput(t *testing.T) {
+	if _, err := Attribute(nil, 0, 0); err == nil {
+		t.Fatal("expected error on no dumps")
+	}
+	// A dump with no events or intervals: empty hull, empty report, no panic.
+	rep, err := Attribute([]*Dump{{Rank: 0}}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExecNs != 0 || rep.StallNs != 0 || len(rep.Bottlenecks) != 0 {
+		t.Errorf("empty run produced a non-empty report: %+v", rep)
+	}
+}

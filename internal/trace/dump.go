@@ -17,6 +17,16 @@ type Dump struct {
 	Rank    int        `json:"rank"`
 	Dropped int64      `json:"dropped"`
 	Events  [][4]int64 `json:"events"`
+
+	// Occupancy intervals drained from the rank's occ.Buffer (when one
+	// was attached with SetOccSource): [resource, startNs, endNs, detail]
+	// quadruples, with resource indexing OccResources. The dump is
+	// self-describing — the resource catalogue travels with it — so the
+	// attribution engine and old tools need no occ import or version
+	// negotiation.
+	OccResources []string   `json:"occ_resources,omitempty"`
+	OccDropped   int64      `json:"occ_dropped,omitempty"`
+	Occ          [][4]int64 `json:"occ,omitempty"`
 }
 
 // WriteDump serializes the recorder's current events to w.
@@ -26,6 +36,11 @@ func (r *Recorder) WriteDump(w io.Writer) error {
 	d.Events = make([][4]int64, len(evs))
 	for i, e := range evs {
 		d.Events[i] = [4]int64{int64(e.At), int64(e.Kind), e.Arg1, e.Arg2}
+	}
+	if src := r.occSource(); src != nil {
+		d.OccResources = src.OccResourceNames()
+		d.OccDropped = src.OccDropped()
+		d.Occ = src.OccIntervals()
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(&d)
@@ -58,6 +73,14 @@ func ReadDump(rd io.Reader) (*Dump, error) {
 	for i, q := range d.Events {
 		if q[1] < 0 || q[1] >= int64(NumKinds) {
 			return nil, fmt.Errorf("trace: dump event %d has unknown kind %d", i, q[1])
+		}
+	}
+	for i, q := range d.Occ {
+		if q[0] < 0 || q[0] >= int64(len(d.OccResources)) {
+			return nil, fmt.Errorf("trace: dump occ interval %d names resource %d of %d", i, q[0], len(d.OccResources))
+		}
+		if q[2] < q[1] {
+			return nil, fmt.Errorf("trace: dump occ interval %d ends (%d) before it starts (%d)", i, q[2], q[1])
 		}
 	}
 	return &d, nil

@@ -94,6 +94,62 @@ func TestDumpRoundTrip(t *testing.T) {
 	}
 }
 
+// fakeOccSource is a stand-in occ.Buffer for round-trip tests (trace
+// cannot import occ — the dependency runs the other way).
+type fakeOccSource struct {
+	names   []string
+	iv      [][4]int64
+	dropped int64
+}
+
+func (f *fakeOccSource) OccResourceNames() []string { return f.names }
+func (f *fakeOccSource) OccIntervals() [][4]int64   { return f.iv }
+func (f *fakeOccSource) OccDropped() int64          { return f.dropped }
+
+func TestDumpRoundTripOcc(t *testing.T) {
+	r := NewRecorder(5, 100)
+	r.Record(10*time.Microsecond, TaskExec, 1, 1)
+	r.SetOccSource(&fakeOccSource{
+		names: []string{"task_exec", "queue_lock_held"},
+		iv: [][4]int64{
+			{0, 10_000, 40_000, 7},
+			{1, 12_000, 13_000, 2},
+		},
+		dropped: 3,
+	})
+
+	var buf bytes.Buffer
+	if err := r.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.OccResources) != 2 || d.OccResources[1] != "queue_lock_held" {
+		t.Fatalf("occ resources = %v", d.OccResources)
+	}
+	if len(d.Occ) != 2 || d.Occ[0] != [4]int64{0, 10_000, 40_000, 7} {
+		t.Fatalf("occ intervals = %v", d.Occ)
+	}
+	if d.OccDropped != 3 {
+		t.Fatalf("occ dropped = %d, want 3", d.OccDropped)
+	}
+}
+
+func TestReadDumpRejectsBadOcc(t *testing.T) {
+	// Resource index beyond the dump's own catalogue.
+	in := strings.NewReader(`{"rank":0,"events":[],"occ_resources":["task_exec"],"occ":[[1,0,5,0]]}`)
+	if _, err := ReadDump(in); err == nil {
+		t.Fatal("expected error for out-of-catalogue resource index")
+	}
+	// Interval that ends before it starts.
+	in = strings.NewReader(`{"rank":0,"events":[],"occ_resources":["task_exec"],"occ":[[0,9,3,0]]}`)
+	if _, err := ReadDump(in); err == nil {
+		t.Fatal("expected error for inverted interval")
+	}
+}
+
 func TestReadDumpRejectsBadKind(t *testing.T) {
 	in := strings.NewReader(`{"rank":0,"dropped":0,"events":[[1,99,0,0]]}`)
 	if _, err := ReadDump(in); err == nil {

@@ -101,6 +101,24 @@ type Event struct {
 	Arg1, Arg2 int64
 }
 
+// OccSource supplies a rank's occupancy intervals for inclusion in the
+// trace dump (implemented by occ.Buffer; the interface lives here so
+// the trace package stays free of the obs dependency direction).
+// OccIntervals returns [resource, startNs, endNs, detail] quadruples
+// with resource indexing OccResourceNames.
+type OccSource interface {
+	OccResourceNames() []string
+	OccIntervals() [][4]int64
+	OccDropped() int64
+}
+
+// DropCounter receives one Inc per event discarded over the recorder
+// limit (implemented by obs.Counter), surfacing silent trace truncation
+// on the live metrics endpoint.
+type DropCounter interface {
+	Inc()
+}
+
 // Recorder collects events for one process. A nil *Recorder is a valid,
 // disabled recorder: every method is a no-op, so runtime code records
 // unconditionally. A non-nil Recorder is safe for concurrent use.
@@ -111,6 +129,8 @@ type Recorder struct {
 	events  []Event
 	limit   int
 	dropped int64
+	dropCtr DropCounter
+	occ     OccSource
 }
 
 // NewRecorder creates a recorder for the given rank retaining up to limit
@@ -132,11 +152,47 @@ func (r *Recorder) Record(at time.Duration, kind Kind, arg1, arg2 int64) {
 	r.mu.Lock()
 	if len(r.events) >= r.limit {
 		r.dropped++
+		ctr := r.dropCtr
 		r.mu.Unlock()
+		if ctr != nil {
+			ctr.Inc()
+		}
 		return
 	}
 	r.events = append(r.events, Event{At: at, Kind: kind, Arg1: arg1, Arg2: arg2})
 	r.mu.Unlock()
+}
+
+// SetDropCounter attaches a counter incremented per dropped event (nil
+// detaches). Safe on a nil recorder.
+func (r *Recorder) SetDropCounter(c DropCounter) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.dropCtr = c
+	r.mu.Unlock()
+}
+
+// SetOccSource attaches the rank's occupancy buffer so WriteDump drains
+// its intervals into the dump (nil detaches). Safe on a nil recorder.
+func (r *Recorder) SetOccSource(src OccSource) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.occ = src
+	r.mu.Unlock()
+}
+
+// occSource returns the attached occupancy source (nil when none).
+func (r *Recorder) occSource() OccSource {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.occ
 }
 
 // Rank reports the recorder's rank.

@@ -43,6 +43,7 @@ import (
 
 	"scioto/internal/core"
 	"scioto/internal/obs"
+	"scioto/internal/obs/occ"
 	"scioto/internal/pgas"
 	"scioto/internal/pgas/dsim"
 	"scioto/internal/pgas/faulty"
@@ -388,9 +389,18 @@ func Run(cfg Config, body func(rt *Runtime)) error {
 	err = w.Run(func(p pgas.Proc) {
 		if hub != nil {
 			rank := p.Rank()
+			reg := hub.Registry(rank)
+			// Occupancy accounting rides with observability: a per-rank
+			// interval buffer shared by the runtime layers (queue, TD,
+			// executor) and, via AttachOcc, by the transport underneath.
+			ob := occ.NewBuffer(rank, occ.DefaultCap, reg)
+			occ.Attach(p, ob)
 			var rec *trace.Recorder
 			if obsCfg.TraceDir != "" {
 				rec = trace.NewRecorder(rank, obsCfg.TraceLimit)
+				rec.SetDropCounter(reg.Counter("scioto_trace_dropped_total",
+					"Trace events discarded after the per-rank ring filled."))
+				rec.SetOccSource(ob)
 				hub.SetTracer(rank, rec)
 				// Deferred without a recover: a crashing rank still dumps
 				// the events leading up to the fault, then the panic
@@ -404,7 +414,7 @@ func Run(cfg Config, body func(rt *Runtime)) error {
 			// Registered against the proc rather than set on one Runtime:
 			// application drivers attach their own Runtime from the raw
 			// proc handle, and must inherit the observer too.
-			core.RegisterProcObserver(p, hub.Registry(rank), rec)
+			core.RegisterProcObserver(p, reg, rec, ob)
 			defer core.UnregisterProcObserver(p)
 		}
 		if recoverOn {

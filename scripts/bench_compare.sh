@@ -16,6 +16,18 @@
 # losing its order-of-magnitude edge over sockets fails regardless of
 # drift against the baseline.
 #
+# Machine metadata: every BENCH_*.json carries the producing host's
+# GOMAXPROCS/NumCPU/GOOS/GOARCH/go version. A mismatch against the
+# current host does not fail the gate (the bands are meant to absorb
+# runner variance) but warns loudly, because cross-machine drift is not
+# a regression signal.
+#
+# On a band failure the script additionally runs a deterministic 2-rank
+# dsim UTS trace, produces the attribution report with `sciototrace
+# -report`, and diffs it against the checked-in BENCH_attrib.json so the
+# failure log says *which resource's occupancy moved*, not just that a
+# wall-clock number did.
+#
 # Run via `make bench-compare`; CI runs the same target after the
 # recovery matrix so a healing-path change that taxes a steady-state hot
 # path is caught in the same PR.
@@ -27,9 +39,43 @@ tband="${SCIOTO_BENCH_TRANSPORT_BAND:-1.0}"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-go run ./cmd/sciotobench -exp serve -json >"$tmp/fresh.json"
+# machine_check FRESH BASELINE — loud (but non-fatal) warning when the
+# artifact was recorded on a different machine than the current host.
+machine_check() {
+	python3 - "$1" "$2" <<'EOF'
+import json, sys
 
-python3 - "$tmp/fresh.json" BENCH_serve.json "$band" <<'EOF'
+fresh_path, base_path = sys.argv[1], sys.argv[2]
+with open(fresh_path) as f:
+    fresh = json.load(f).get("machine") or {}
+with open(base_path) as f:
+    base = json.load(f).get("machine") or {}
+
+if not base:
+    print(f"WARNING: {base_path} has no machine block; regenerate it with "
+          "`sciotobench -json` to record the baseline host", file=sys.stderr)
+elif base != fresh:
+    diffs = [f"{k}: baseline {base.get(k, '?')} vs here {fresh.get(k, '?')}"
+             for k in sorted(set(base) | set(fresh)) if base.get(k) != fresh.get(k)]
+    print("=" * 72, file=sys.stderr)
+    print(f"WARNING: {base_path} was recorded on a DIFFERENT MACHINE:",
+          file=sys.stderr)
+    for d in diffs:
+        print("  " + d, file=sys.stderr)
+    print("  absolute comparisons below are not apples-to-apples; trust the",
+          file=sys.stderr)
+    print("  ordering invariants, re-record baselines on this host to reset.",
+          file=sys.stderr)
+    print("=" * 72, file=sys.stderr)
+EOF
+}
+
+fail=0
+
+go run ./cmd/sciotobench -exp serve -json >"$tmp/fresh.json"
+machine_check "$tmp/fresh.json" BENCH_serve.json
+
+python3 - "$tmp/fresh.json" BENCH_serve.json "$band" <<'EOF' || fail=1
 import json, re, sys
 
 fresh_path, base_path, band = sys.argv[1], sys.argv[2], float(sys.argv[3])
@@ -101,8 +147,9 @@ print(f"PASS: {checked} cells within ±{band * 100:.0f}% of BENCH_serve.json")
 EOF
 
 go run ./cmd/sciotobench -exp transports -json >"$tmp/transports.json"
+machine_check "$tmp/transports.json" BENCH_transport.json
 
-python3 - "$tmp/transports.json" BENCH_transport.json "$tband" <<'EOF'
+python3 - "$tmp/transports.json" BENCH_transport.json "$tband" <<'EOF' || fail=1
 import json, sys
 
 fresh_path, base_path, band = sys.argv[1], sys.argv[2], float(sys.argv[3])
@@ -157,3 +204,27 @@ if failures:
     sys.exit(1)
 print(f"PASS: Remote Steal within +{band * 100:.0f}% of BENCH_transport.json, ipc < tcp holds")
 EOF
+
+if [ "$fail" != 0 ]; then
+	# A band tripped: attribute the drift. The dsim transport runs in
+	# virtual time, so this 2-rank UTS trace and its report are
+	# bit-reproducible on any host — any diff against the checked-in
+	# BENCH_attrib.json is a real behavior change (a resource's occupancy
+	# or the critical path moved), not runner noise.
+	echo "band failure: attributing against BENCH_attrib.json ..." >&2
+	if [ -f BENCH_attrib.json ]; then
+		go run ./cmd/uts -transport dsim -procs 2 -depth 8 \
+			-trace-dir "$tmp/attrib-traces" >/dev/null
+		go run ./cmd/sciototrace -report -o "$tmp/attrib.json" "$tmp/attrib-traces"
+		if diff -u BENCH_attrib.json "$tmp/attrib.json" >&2; then
+			echo "attribution unchanged: the drift is outside the modeled resources" \
+				"(host noise or an unmodeled path)" >&2
+		else
+			echo "attribution CHANGED (diff above): the moved resource is the" \
+				"place to look first" >&2
+		fi
+	else
+		echo "no BENCH_attrib.json baseline checked in; skipping attribution diff" >&2
+	fi
+	exit 1
+fi

@@ -3,8 +3,14 @@
 #
 # Runs UTS on the shm transport with the live endpoint and trace dumps
 # enabled, scrapes /metrics and /healthz while the run is in flight, then
-# merges the per-rank dumps with sciototrace and checks the Chrome trace
-# is non-trivial. Run via `make obs-smoke`; CI runs the same target.
+# merges the per-rank dumps with sciototrace, checks the Chrome trace is
+# non-trivial, and runs `sciototrace -report` on the same 2-rank merge:
+# the attribution report must name a top bottleneck and keep every
+# rank's occupancy fractions disjoint (busy + idle == 1 per rank).
+#
+# Run via `make obs-smoke`; CI runs the same target and, when
+# SCIOTO_OBS_OUT is set, the merged Chrome trace and attribution report
+# are copied there for artifact upload.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,5 +74,36 @@ grep -q '"name":"exec"' "$tmp/merged.json" ||
 	{ echo "FAIL: merged trace has no exec spans" >&2; exit 1; }
 grep -q '"name":"steal"' "$tmp/merged.json" ||
 	{ echo "FAIL: merged trace has no steal spans" >&2; exit 1; }
+grep -q '"cat":"occ"' "$tmp/merged.json" ||
+	{ echo "FAIL: merged trace has no occupancy spans" >&2; exit 1; }
 
-echo "obs smoke: live scrape + 2-rank trace merge OK (endpoint $addr)"
+# Attribution report on the same merge: must parse, cover both ranks,
+# and keep each rank's resource fractions disjoint (sum + idle == 1).
+"$tmp/sciototrace" -report -o "$tmp/attrib.json" "$tmp/traces" 2>"$tmp/attrib.log"
+python3 - "$tmp/attrib.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    rep = json.load(f)
+if len(rep["ranks"]) != 2:
+    sys.exit(f"FAIL: attribution covers {len(rep['ranks'])} ranks, want 2")
+win = rep["window_end_ns"] - rep["window_start_ns"]
+if win <= 0:
+    sys.exit("FAIL: attribution window is empty")
+for r in rep["ranks"]:
+    s = sum(b["fraction"] for b in r["busy"]) + r["idle_fraction"]
+    if not (0.999 <= s <= 1.001):
+        sys.exit(f"FAIL: rank {r['rank']} fractions sum to {s:.4f}, want 1")
+    if not any(b["resource"] == "task_exec" and b["ns"] > 0 for b in r["busy"]):
+        sys.exit(f"FAIL: rank {r['rank']} charged no task_exec time")
+top = (rep.get("bottlenecks") or [{}])[0].get("resource", "<none>")
+print(f"attribution OK: window {win} ns, top bottleneck {top}")
+EOF
+
+# Export artifacts for CI upload when asked.
+if [ -n "${SCIOTO_OBS_OUT:-}" ]; then
+	mkdir -p "$SCIOTO_OBS_OUT"
+	cp "$tmp/merged.json" "$tmp/attrib.json" "$SCIOTO_OBS_OUT/"
+fi
+
+echo "obs smoke: live scrape + 2-rank trace merge + attribution OK (endpoint $addr)"

@@ -26,8 +26,18 @@ import (
 //     parameters: different call histories yield different schemas, so
 //     whether ranks converge depends on dynamic behavior, not code.
 //
+// Occupancy-resource registration has the same obligation: occ.NewBuffer
+// registers the fixed resource catalogue as obs counters when handed a
+// registry, so its call sites are checked like any other registration
+// (map iteration, rank-derived control flow). The names themselves come
+// from the compile-time catalogue inside the occ package, so the
+// parameter-dependent-name check does not apply to them.
+//
 // Functions declared in the obs package itself are exempt — they
-// implement the registry, they don't consume it.
+// implement the registry, they don't consume it. The occ package is
+// exempt for the same reason: it implements the catalogue registration
+// (constant names, declaration order, an array loop), and its congruence
+// is asserted by its own tests rather than re-derived here.
 var ObsDeterminism = &analysis.Analyzer{
 	Name: "obsdeterminism",
 	Doc: "flags obs instrument registration under map iteration, rank-dependent control " +
@@ -48,6 +58,15 @@ var obsRegisterMethods = map[string]bool{
 // on the fixtures' stub.
 const obsPkgName = "obs"
 
+// occPkgName / occRegisterFuncs: the occupancy layer's entry points that
+// register the resource catalogue on a registry. Matched by package name
+// like the obs methods, for the same fixture reason.
+const occPkgName = "occ"
+
+var occRegisterFuncs = map[string]bool{
+	"NewBuffer": true,
+}
+
 func runObsDeterminism(pass *analysis.ProgramPass) error {
 	c := &obsChecker{
 		pass:  pass,
@@ -55,7 +74,7 @@ func runObsDeterminism(pass *analysis.ProgramPass) error {
 		taint: computeRankTaint(pass.Prog),
 	}
 	c.registers = c.prog.FixpointBool(func(f *analysis.Func) bool {
-		if f.Pkg.Types.Name() == obsPkgName {
+		if exemptObsPkg(f) {
 			return false
 		}
 		found := false
@@ -63,7 +82,8 @@ func runObsDeterminism(pass *analysis.ProgramPass) error {
 			if lit, ok := n.(*ast.FuncLit); ok && lit != f.Lit {
 				return false
 			}
-			if call, ok := n.(*ast.CallExpr); ok && obsRegisterCall(f.Pkg.Info, call) {
+			if call, ok := n.(*ast.CallExpr); ok &&
+				(obsRegisterCall(f.Pkg.Info, call) || occRegisterCall(f.Pkg.Info, call)) {
 				found = true
 			}
 			return !found
@@ -71,11 +91,18 @@ func runObsDeterminism(pass *analysis.ProgramPass) error {
 		return found
 	})
 	for _, f := range c.prog.SortedFuncs() {
-		if f.Pkg.Types.Name() != obsPkgName {
+		if !exemptObsPkg(f) {
 			c.checkFunc(f)
 		}
 	}
 	return nil
+}
+
+// exemptObsPkg reports whether f implements (rather than consumes) the
+// registration machinery.
+func exemptObsPkg(f *analysis.Func) bool {
+	name := f.Pkg.Types.Name()
+	return name == obsPkgName || name == occPkgName
 }
 
 type obsChecker struct {
@@ -103,6 +130,26 @@ func obsRegisterCall(info *types.Info, call *ast.CallExpr) bool {
 	return obsRegisterMethods[fn.Name()]
 }
 
+// occRegisterCall reports whether call creates an occupancy buffer (and
+// with it, when a registry is passed, the catalogue's obs counters): a
+// call to one of occRegisterFuncs declared in a package named "occ".
+func occRegisterCall(info *types.Info, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != occPkgName {
+		return false
+	}
+	return occRegisterFuncs[fn.Name()]
+}
+
 func (c *obsChecker) checkFunc(f *analysis.Func) {
 	info := f.Pkg.Info
 	params := make(map[types.Object]bool)
@@ -127,17 +174,21 @@ func (c *obsChecker) checkFunc(f *analysis.Func) {
 			return true
 		}
 		direct := obsRegisterCall(info, call)
+		directOcc := !direct && occRegisterCall(info, call)
 		viaCallee := false
-		if !direct {
+		if !direct && !directOcc {
 			if callee := c.prog.ResolveCall(f.Pkg, call); callee != nil && c.registers[callee] {
 				viaCallee = true
 			}
 		}
-		if !direct && !viaCallee {
+		if !direct && !directOcc && !viaCallee {
 			return true
 		}
 		what := "instrument registration"
-		if viaCallee {
+		switch {
+		case directOcc:
+			what = "occupancy-resource registration"
+		case viaCallee:
 			what = "call that registers instruments"
 		}
 		if rs := enclosingMapRange(info, stack); rs != nil {

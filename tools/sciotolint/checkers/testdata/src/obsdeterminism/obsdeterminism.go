@@ -4,6 +4,7 @@ package obsdeterminism
 
 import (
 	"obs"
+	"occ"
 	"pgas"
 )
 
@@ -76,4 +77,38 @@ func okArrayRange(r *obs.Registry) {
 	for _, name := range opNames {
 		r.Counter(name, "per-op count")
 	}
+}
+
+// Positive: occupancy-buffer creation registers the resource catalogue
+// on the registry, so rank-conditional creation diverges the schema like
+// any other registration.
+func badOccRankCond(p pgas.Proc, r *obs.Registry) {
+	if p.Rank() == 0 {
+		occ.NewBuffer(p.Rank(), 0, r) // want `conditional on the process rank`
+	}
+}
+
+// Positive: catalogue registration under map iteration reorders the
+// schema run to run (one buffer per map entry is wrong regardless).
+func badOccMapRange(r *obs.Registry, m map[string]int) {
+	for range m {
+		occ.NewBuffer(0, 0, r) // want `range over a map`
+	}
+}
+
+// Positive: a helper that creates a registered buffer propagates the
+// obligation to its callers.
+func makeOccBuffer(r *obs.Registry) *occ.Buffer { return occ.NewBuffer(0, 0, r) }
+
+func badOccViaHelper(p pgas.Proc, r *obs.Registry) {
+	if p.Rank() != 0 {
+		makeOccBuffer(r) // want `conditional on the process rank`
+	}
+}
+
+// Negative: the intended idiom — one unconditional per-rank buffer; the
+// rank-derived *arguments* are fine, only rank-derived control flow
+// around the call diverges the schema.
+func okOccPerRank(p pgas.Proc, r *obs.Registry) {
+	occ.NewBuffer(p.Rank(), 0, r)
 }
